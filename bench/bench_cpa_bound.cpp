@@ -1,0 +1,161 @@
+// E5 — Reproduces Theorem 6 and Figs 14-19: the simple protocol of [Koo04]
+// (CPA) achieves t <= 2r^2/3 in L∞, asymptotically dominating Koo's own
+// bound t < (r(r+sqrt(r/2)+1))/2; and the CPA ⊊ RPA separation (Section III):
+// budgets where the indirect-report protocol succeeds but CPA stalls.
+//
+// Printed per radius:
+//   * the two analytical bounds (Theorem 6 vs [Koo04]);
+//   * measured CPA success at t = floor(2r^2/3) under barrier and random
+//     placements (expected: success);
+//   * measured CPA vs bv-2hop at t = ceil(r(2r+1)/2)-1 (expected: CPA may
+//     stall, bv-2hop succeeds — the separation).
+
+#include <algorithm>
+#include <iostream>
+
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/core/experiment.h"
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/util/table.h"
+
+namespace {
+
+using namespace rbcast;
+
+Aggregate run_cpa_case(std::int32_t r, std::int64_t t, ProtocolKind protocol,
+                       PlacementKind placement_kind, int reps,
+                       std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.r = r;
+  cfg.width = 8 * r + 4;
+  cfg.height = (2 * r + 1) * 4;
+  cfg.metric = Metric::kLInf;
+  cfg.t = t;
+  cfg.protocol = protocol;
+  cfg.adversary = AdversaryKind::kSilent;
+  cfg.seed = seed;
+  PlacementConfig placement;
+  placement.kind = placement_kind;
+  placement.trim = true;
+  return run_repeated(cfg, placement, reps);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E5: CPA bound (Theorem 6 vs [Koo04]) and the CPA/RPA "
+               "separation, L-infinity\n\n";
+  bool shape_ok = true;
+
+  std::cout << "Analytical bounds (Fig 14-19 machinery):\n";
+  Table bounds({"r", "Thm 6: floor(2r^2/3)", "[Koo04]: r(r+sqrt(r/2)+1)/2",
+                "Thm 6 dominates", "BV threshold (Thm 1)"});
+  for (std::int32_t r = 2; r <= 12; ++r) {
+    bounds.row()
+        .cell(std::to_string(r))
+        .cell(cpa_linf_achievable_max(r))
+        .cell(koo_cpa_linf_bound(r), 2)
+        .cell(static_cast<double>(cpa_linf_achievable_max(r)) >
+              koo_cpa_linf_bound(r))
+        .cell(byz_linf_achievable_max(r));
+  }
+  bounds.print(std::cout);
+  std::cout << "(Theorem 6 is asymptotic: dominance sets in for large r; the "
+               "paper claims it for all sufficiently large r.)\n\n";
+
+  // The proof's staged counting lemmas (Figs 14-19), verified exactly.
+  std::cout << "Theorem 6 stage counts vs the 2t+1 = 4r^2/3 + 1 requirement:\n";
+  Table stages({"r", "stage-1 count", "stack rows floor(r/sqrt 6)",
+                "worst row count", "stage-2 count", "all sufficient"});
+  bool lemmas_ok = true;
+  for (std::int32_t r = 2; r <= 12; ++r) {
+    const std::int32_t depth = cpa_guaranteed_stack_rows(r);
+    std::int64_t worst_row = cpa_stage1_committed_neighbors(r);
+    bool rows_ok = true;
+    for (std::int32_t i = 1; i <= depth; ++i) {
+      const std::int64_t count = cpa_row_committed_neighbors(r, i);
+      worst_row = std::min(worst_row, count);
+      rows_ok = rows_ok && cpa_count_sufficient(count, r);
+    }
+    const bool ok = rows_ok &&
+                    cpa_count_sufficient(cpa_stage1_committed_neighbors(r), r) &&
+                    cpa_count_sufficient(cpa_stage2_committed_neighbors(r), r);
+    lemmas_ok = lemmas_ok && ok;
+    stages.row()
+        .cell(std::to_string(r))
+        .cell(cpa_stage1_committed_neighbors(r))
+        .cell(depth)
+        .cell(worst_row)
+        .cell(cpa_stage2_committed_neighbors(r))
+        .cell(ok);
+  }
+  stages.print(std::cout);
+  shape_ok = shape_ok && lemmas_ok;
+  std::cout << "\n";
+
+  std::cout << "Measured CPA at its Theorem 6 budget:\n";
+  Table meas({"r", "t", "placement", "success", "mean coverage",
+              "wrong commits"});
+  for (std::int32_t r = 2; r <= 3; ++r) {
+    const std::int64_t t = cpa_linf_achievable_max(r);
+    for (const PlacementKind pk :
+         {PlacementKind::kCheckerboardStrip, PlacementKind::kRandomBounded}) {
+      const int reps = pk == PlacementKind::kRandomBounded ? 3 : 1;
+      const Aggregate agg =
+          run_cpa_case(r, t, ProtocolKind::kCpa, pk, reps, 900);
+      meas.row()
+          .cell(std::to_string(r))
+          .cell(t)
+          .cell(to_string(pk))
+          .cell(std::to_string(agg.successes) + "/" + std::to_string(agg.runs))
+          .cell(agg.mean_coverage, 4)
+          .cell(agg.wrong_total);
+      if (!agg.all_success() || agg.wrong_total != 0) shape_ok = false;
+    }
+  }
+  meas.print(std::cout);
+
+  std::cout << "\nCPA vs indirect reports at the exact Byzantine threshold "
+               "(t above CPA's proven bound):\n";
+  Table sep({"r", "t", "protocol", "guaranteed by paper", "success",
+             "mean coverage", "wrong commits"});
+  for (std::int32_t r = 2; r <= 3; ++r) {
+    const std::int64_t t = byz_linf_achievable_max(r);
+    const Aggregate cpa = run_cpa_case(
+        r, t, ProtocolKind::kCpa, PlacementKind::kCheckerboardStrip, 1, 901);
+    const Aggregate bv =
+        run_cpa_case(r, t, ProtocolKind::kBvTwoHop,
+                     PlacementKind::kCheckerboardStrip, 1, 901);
+    sep.row()
+        .cell(std::to_string(r))
+        .cell(t)
+        .cell("cpa")
+        .cell("no (t > 2r^2/3)")
+        .cell(cpa.all_success())
+        .cell(cpa.mean_coverage, 4)
+        .cell(cpa.wrong_total);
+    sep.row()
+        .cell(std::to_string(r))
+        .cell(t)
+        .cell("bv-2hop")
+        .cell("yes (Thm 1)")
+        .cell(bv.all_success())
+        .cell(bv.mean_coverage, 4)
+        .cell(bv.wrong_total);
+    // The proven-guarantee gap: bv must succeed at t; CPA must stay safe
+    // (the paper proves nothing about its liveness there — empirically, on
+    // the grid it survives too, anticipating the authors' footnote-1 remark
+    // and their later exact-threshold result for simple protocols; the
+    // CPA ⊊ RPA liveness separation of [Pelc-Peleg05] uses non-grid graphs).
+    if (!bv.all_success()) shape_ok = false;
+    if (cpa.wrong_total != 0) shape_ok = false;
+  }
+  sep.print(std::cout);
+
+  std::cout << "\n"
+            << (shape_ok ? "SHAPE MATCHES PAPER: CPA sound at 2r^2/3 "
+                           "(and safe beyond); indirect reports carry the "
+                           "proven guarantee to the exact threshold\n"
+                         : "SHAPE MISMATCH — see rows above\n");
+  return shape_ok ? 0 : 1;
+}

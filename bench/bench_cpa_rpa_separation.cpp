@@ -1,0 +1,112 @@
+// E11 — The CPA ⊊ RPA separation on arbitrary graphs (Section III, citing
+// [Pelc-Peleg05]): "It is shown that RPA is a more powerful algorithm, as
+// there exist graphs for which RPA succeeds but CPA does not."
+//
+// This harness exhibits such a graph (graph/graph.h: make_separation_graph,
+// t = 1) and verifies the full quantifier structure of the claim:
+//   * CPA fails to achieve reliable broadcast even with ZERO faults placed
+//     (a legal placement), so CPA does not achieve reliable broadcast on
+//     this graph;
+//   * RPA — indirect reports evaluated through the Section V sufficient
+//     condition (k node-disjoint verified paths whose relayer union S admits
+//     at most k-1 legal faults) — achieves reliable broadcast under EVERY
+//     legal placement, for both silent and lying adversaries, enumerated
+//     exhaustively.
+//
+// The grid experiments (E5) show the flip side: on the torus itself CPA
+// empirically matches the exact threshold, so the separation is genuinely a
+// non-grid phenomenon.
+
+#include <iostream>
+#include <string>
+
+#include "radiobcast/graph/graph_protocols.h"
+#include "radiobcast/util/table.h"
+
+int main() {
+  using namespace rbcast;
+  std::cout << "E11: CPA vs RPA on the separation graph "
+               "([Pelc-Peleg05] via Section III), t = " << kSeparationT
+            << "\n\n";
+
+  const RadioGraph g = make_separation_graph();
+  std::cout << "graph: " << g.node_count() << " nodes, " << g.edge_count()
+            << " edges; source s with 2t+1 = 3 disjoint outward branches; "
+               "9 middlemen; sink u\n\n";
+
+  bool shape_ok = true;
+
+  // CPA fault-free.
+  const GraphFaultSet empty(static_cast<std::size_t>(g.node_count()), false);
+  const auto cpa = run_graph_simulation(g, kSeparationSource, kSeparationT,
+                                        GraphProtocol::kCpa,
+                                        GraphAdversary::kSilent, empty);
+  Table head({"protocol", "placement", "committed", "undecided", "wrong",
+              "reliable broadcast"});
+  head.row()
+      .cell("CPA")
+      .cell("none (fault-free)")
+      .cell(cpa.correct_commits)
+      .cell(cpa.undecided)
+      .cell(cpa.wrong_commits)
+      .cell(cpa.success());
+  if (cpa.success()) shape_ok = false;
+
+  const auto rpa = run_graph_simulation(g, kSeparationSource, kSeparationT,
+                                        GraphProtocol::kRpa,
+                                        GraphAdversary::kSilent, empty);
+  head.row()
+      .cell("RPA")
+      .cell("none (fault-free)")
+      .cell(rpa.correct_commits)
+      .cell(rpa.undecided)
+      .cell(rpa.wrong_commits)
+      .cell(rpa.success());
+  if (!rpa.success()) shape_ok = false;
+  head.print(std::cout);
+  std::cout << "\n";
+
+  // RPA under every legal placement, both adversaries.
+  const auto placements =
+      enumerate_legal_placements(g, kSeparationT, kSeparationSource);
+  std::cout << "exhaustive check: " << placements.size()
+            << " legal placements x {silent, lying} adversaries\n";
+  Table sweep({"placement", "adversary", "committed", "undecided", "wrong",
+               "success"});
+  int rpa_failures = 0;
+  for (const auto& faults : placements) {
+    std::string name = "{ ";
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (faults[static_cast<std::size_t>(v)]) {
+        name += separation_node_name(v) + " ";
+      }
+    }
+    name += "}";
+    for (const GraphAdversary adversary :
+         {GraphAdversary::kSilent, GraphAdversary::kLying}) {
+      const auto res = run_graph_simulation(g, kSeparationSource,
+                                            kSeparationT, GraphProtocol::kRpa,
+                                            adversary, faults);
+      sweep.row()
+          .cell(name)
+          .cell(adversary == GraphAdversary::kSilent ? "silent" : "lying")
+          .cell(res.correct_commits)
+          .cell(res.undecided)
+          .cell(res.wrong_commits)
+          .cell(res.success());
+      if (!res.success()) {
+        ++rpa_failures;
+        shape_ok = false;
+      }
+    }
+  }
+  sweep.print(std::cout);
+
+  std::cout << "\nRPA failures across all legal placements: " << rpa_failures
+            << " (paper/[Pelc-Peleg05] predict 0)\n";
+  std::cout << (shape_ok
+                    ? "SHAPE MATCHES PAPER: CPA stalls, RPA achieves reliable "
+                      "broadcast under every legal placement\n"
+                    : "SHAPE MISMATCH — see rows above\n");
+  return shape_ok ? 0 : 1;
+}

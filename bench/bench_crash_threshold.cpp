@@ -1,0 +1,89 @@
+// E3 — Reproduces Theorems 4 & 5 and Figs 8-10: the exact crash-stop
+// threshold t = r(2r+1) in L∞.
+//
+// Sweeps t across r(2r+1) for r in {1,2,3} and runs plain flooding against:
+//   * full width-r strips (the Fig 8 construction; legal exactly up to
+//     t = r(2r+1)) — expected to partition the torus;
+//   * punctured strips (densest legal barrier below the threshold) —
+//     expected to leak, giving full coverage (the staged propagation of
+//     Figs 9-10);
+//   * random crash placements and mid-protocol crashes (crash-at-round).
+
+#include <iostream>
+
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/core/experiment.h"
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/util/table.h"
+
+int main() {
+  using namespace rbcast;
+  std::cout << "E3: crash-stop threshold in L-infinity (Theorems 4 & 5, "
+               "Figs 8-10)\n\n";
+
+  bool shape_ok = true;
+  for (std::int32_t r = 1; r <= 3; ++r) {
+    const std::int64_t n = r_2r_plus_1(r);
+    std::cout << "r=" << r << ": paper threshold r(2r+1) = " << n
+              << " (achievable up to " << n - 1 << ", impossible from " << n
+              << ")\n";
+    Table table({"t", "placement", "adversary", "success", "mean coverage",
+                 "undecided frac", "paper verdict"});
+
+    struct Case {
+      std::int64_t t;
+      PlacementKind placement;
+      AdversaryKind adversary;
+      bool trim;
+      bool expect_success;
+    };
+    const Case cases[] = {
+        {n - 2, PlacementKind::kPuncturedStrip, AdversaryKind::kSilent, true,
+         true},
+        {n - 1, PlacementKind::kPuncturedStrip, AdversaryKind::kSilent, true,
+         true},
+        {n - 1, PlacementKind::kRandomBounded, AdversaryKind::kSilent, true,
+         true},
+        {n - 1, PlacementKind::kPuncturedStrip, AdversaryKind::kCrashAtRound,
+         true, true},
+        {n, PlacementKind::kFullStrip, AdversaryKind::kSilent, false, false},
+        {n + 2, PlacementKind::kFullStrip, AdversaryKind::kSilent, false,
+         false},
+    };
+    for (const Case& c : cases) {
+      SimConfig cfg;
+      cfg.r = r;
+      cfg.width = 8 * r + 4;
+      cfg.height = (2 * r + 1) * 4;
+      cfg.metric = Metric::kLInf;
+      cfg.t = c.t;
+      cfg.protocol = ProtocolKind::kCrashFlood;
+      cfg.adversary = c.adversary;
+      cfg.crash_round = 2;
+      cfg.seed = 400 + static_cast<std::uint64_t>(c.t);
+      PlacementConfig placement;
+      placement.kind = c.placement;
+      placement.trim = c.trim;
+      const int reps = c.placement == PlacementKind::kRandomBounded ? 3 : 1;
+      const Aggregate agg = run_repeated(cfg, placement, reps);
+      table.row()
+          .cell(c.t)
+          .cell(to_string(c.placement))
+          .cell(to_string(c.adversary))
+          .cell(std::to_string(agg.successes) + "/" + std::to_string(agg.runs))
+          .cell(agg.mean_coverage, 4)
+          .cell(1.0 - agg.mean_coverage, 4)
+          .cell(c.expect_success ? "achievable" : "impossible (partition)");
+      if (agg.all_success() != c.expect_success) shape_ok = false;
+      if (agg.wrong_total != 0) shape_ok = false;
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << (shape_ok
+                    ? "SHAPE MATCHES PAPER: partition appears exactly at "
+                      "t = r(2r+1)\n"
+                    : "SHAPE MISMATCH — see rows above\n");
+  return shape_ok ? 0 : 1;
+}

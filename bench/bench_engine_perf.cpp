@@ -1,0 +1,119 @@
+// E8 — Engineering micro-benchmarks of the simulator substrate
+// (google-benchmark): round-engine throughput, the Dinic disjoint-path
+// verifier, the evidence set-packing solver, neighborhood tables and fault
+// validators. These do not reproduce paper claims; they document the cost of
+// the machinery the reproductions run on.
+
+#include <benchmark/benchmark.h>
+
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/fault/placement.h"
+#include "radiobcast/grid/neighborhood.h"
+#include "radiobcast/paths/construction.h"
+#include "radiobcast/paths/disjoint.h"
+#include "radiobcast/paths/packing.h"
+#include "radiobcast/util/rng.h"
+
+namespace {
+
+using namespace rbcast;
+
+void BM_CrashFloodFullTorus(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  SimConfig cfg;
+  cfg.r = r;
+  cfg.width = cfg.height = 8 * r + 4;
+  cfg.protocol = ProtocolKind::kCrashFlood;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_simulation(cfg, FaultSet{}));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.width * cfg.height);
+}
+BENCHMARK(BM_CrashFloodFullTorus)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_BvTwoHopFullTorus(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  SimConfig cfg;
+  cfg.r = r;
+  cfg.width = cfg.height = 8 * r + 4;
+  cfg.protocol = ProtocolKind::kBvTwoHop;
+  cfg.t = byz_linf_achievable_max(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_simulation(cfg, FaultSet{}));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.width * cfg.height);
+}
+BENCHMARK(BM_BvTwoHopFullTorus)->Arg(1)->Arg(2);
+
+void BM_BvEarmarkedFullTorus(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  SimConfig cfg;
+  cfg.r = r;
+  cfg.width = cfg.height = 8 * r + 4;
+  cfg.protocol = ProtocolKind::kBvIndirectEarmarked;
+  cfg.t = byz_linf_achievable_max(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_simulation(cfg, FaultSet{}));
+  }
+}
+BENCHMARK(BM_BvEarmarkedFullTorus)->Arg(1)->Arg(2);
+
+void BM_DisjointPathsWorstCase(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        best_disjoint_paths({0, 0}, {-r, r}, r, Metric::kLInf));
+  }
+}
+BENCHMARK(BM_DisjointPathsWorstCase)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ConstructionPaths(benchmark::State& state) {
+  // Worst covered indirect displacement: |d|_1 = 2r with |d|_inf > r.
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        construction_paths(r, {0, 0}, {-(r + 1), r - 1}));
+  }
+}
+BENCHMARK(BM_ConstructionPaths)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SetPacking(benchmark::State& state) {
+  // Adversarially overlapping masks, sized like a busy decider's evidence.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  std::vector<NodeMask> masks;
+  for (int i = 0; i < n; ++i) {
+    NodeMask m;
+    for (int j = 0; j < 3; ++j) m.set(rng.below(24));
+    masks.push_back(m);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_disjoint_packing(masks, 6));
+  }
+}
+BENCHMARK(BM_SetPacking)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_NeighborhoodTable(benchmark::State& state) {
+  const Torus torus(64, 64);
+  const auto& table = NeighborhoodTable::get(3, Metric::kLInf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.neighbors(torus, {5, 5}));
+  }
+}
+BENCHMARK(BM_NeighborhoodTable);
+
+void BM_LocalBoundValidator(benchmark::State& state) {
+  const Torus torus(40, 40);
+  Rng rng(7);
+  const FaultSet faults = iid_faults(torus, 0.2, rng, {0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        max_closed_nbd_faults(torus, faults, 2, Metric::kLInf));
+  }
+}
+BENCHMARK(BM_LocalBoundValidator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

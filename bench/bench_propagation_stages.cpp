@@ -1,0 +1,149 @@
+// E9 — Staged propagation (Figs 9-10 for crash-stop, Figs 14-19 for CPA,
+// and the inductive wave of Theorem 3 for the BV protocols).
+//
+// Every achievability proof in the paper is a staged-propagation argument:
+// the committed region grows outward from the source, one pnbd layer (or one
+// row stack, Figs 14-16) per constant number of rounds. That structure is
+// directly observable: commit round as a function of L∞ distance from the
+// source must be (weakly) monotone and roughly linear in distance/r.
+//
+// For each protocol, with faults at the protocol's sound budget, this prints
+// the mean/max commit round per distance ring and the cumulative
+// commits-per-round series, and checks the wavefront shape.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/core/experiment.h"
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/util/table.h"
+
+namespace {
+
+using namespace rbcast;
+
+struct WaveStats {
+  std::vector<double> mean_round_by_ring;  // ring = linf distance / source
+  std::vector<std::int64_t> max_round_by_ring;
+  std::vector<std::int64_t> cumulative;  // commits by round
+  bool success = false;
+};
+
+WaveStats measure(ProtocolKind protocol, std::int32_t r, std::int64_t t,
+                  PlacementKind placement_kind) {
+  SimConfig cfg;
+  cfg.r = r;
+  cfg.width = cfg.height = 8 * r + 4;
+  cfg.metric = Metric::kLInf;
+  cfg.t = t;
+  cfg.protocol = protocol;
+  cfg.adversary = AdversaryKind::kSilent;
+  cfg.seed = 12345;
+  Torus torus(cfg.width, cfg.height);
+  Rng rng(cfg.seed);
+  PlacementConfig placement;
+  placement.kind = placement_kind;
+  placement.trim = true;
+  const FaultSet faults = make_faults(placement, torus, cfg.r, cfg.metric,
+                                      cfg.t, cfg.source, rng);
+  const SimResult res = run_simulation(cfg, faults);
+
+  WaveStats stats;
+  stats.success = res.success();
+  stats.cumulative = res.commits_by_round();
+  const std::int32_t max_ring = std::max(cfg.width, cfg.height) / 2;
+  std::vector<double> sums(static_cast<std::size_t>(max_ring) + 1, 0.0);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(max_ring) + 1, 0);
+  std::vector<std::int64_t> maxima(static_cast<std::size_t>(max_ring) + 1, 0);
+  for (const Coord c : torus.all_coords()) {
+    const auto idx = static_cast<std::size_t>(torus.index(c));
+    const std::int64_t round = res.commit_rounds[idx];
+    if (round < 0) continue;
+    const auto ring = static_cast<std::size_t>(
+        linf_norm(torus.delta(cfg.source, c)));
+    sums[ring] += static_cast<double>(round);
+    counts[ring] += 1;
+    maxima[ring] = std::max(maxima[ring], round);
+  }
+  for (std::size_t ring = 0; ring < sums.size(); ++ring) {
+    if (counts[ring] == 0) break;
+    stats.mean_round_by_ring.push_back(sums[ring] /
+                                       static_cast<double>(counts[ring]));
+    stats.max_round_by_ring.push_back(maxima[ring]);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E9: staged propagation of the committed region "
+               "(Figs 9-10, 14-19, Theorem 3 wave)\n\n";
+
+  bool shape_ok = true;
+  const std::int32_t r = 2;
+
+  struct Case {
+    ProtocolKind protocol;
+    std::int64_t t;
+    PlacementKind placement;
+    const char* figure;
+  };
+  const Case cases[] = {
+      {ProtocolKind::kCrashFlood, crash_linf_achievable_max(r),
+       PlacementKind::kPuncturedStrip, "Figs 9-10"},
+      {ProtocolKind::kCpa, cpa_linf_achievable_max(r),
+       PlacementKind::kCheckerboardStrip, "Figs 14-19"},
+      {ProtocolKind::kBvTwoHop, byz_linf_achievable_max(r),
+       PlacementKind::kCheckerboardStrip, "Theorem 3 induction"},
+  };
+
+  for (const Case& c : cases) {
+    const WaveStats stats = measure(c.protocol, r, c.t, c.placement);
+    std::cout << to_string(c.protocol) << " (t=" << c.t << ", " << c.figure
+              << "): success=" << (stats.success ? "yes" : "no") << "\n";
+    Table rings({"L-inf ring", "mean commit round", "max commit round"});
+    for (std::size_t ring = 0; ring < stats.mean_round_by_ring.size();
+         ++ring) {
+      rings.row()
+          .cell(static_cast<std::int64_t>(ring))
+          .cell(stats.mean_round_by_ring[ring], 2)
+          .cell(stats.max_round_by_ring[ring]);
+    }
+    rings.print(std::cout);
+
+    Table cumulative({"round", "nodes committed (cumulative)"});
+    for (std::size_t k = 0; k < stats.cumulative.size(); ++k) {
+      cumulative.row()
+          .cell(static_cast<std::int64_t>(k))
+          .cell(stats.cumulative[k]);
+    }
+    cumulative.print(std::cout);
+    std::cout << "\n";
+
+    if (!stats.success) shape_ok = false;
+    // Wavefront monotonicity: mean commit round weakly increases with ring
+    // distance (a small slack absorbs barrier detours).
+    for (std::size_t ring = 1; ring < stats.mean_round_by_ring.size();
+         ++ring) {
+      if (stats.mean_round_by_ring[ring] + 1.0 <
+          stats.mean_round_by_ring[ring - 1]) {
+        shape_ok = false;
+      }
+    }
+    // The wave takes at least distance/r rounds to reach the farthest ring.
+    const std::size_t rings_count = stats.mean_round_by_ring.size();
+    if (rings_count > 0) {
+      const auto last = static_cast<std::int64_t>(rings_count - 1);
+      if (stats.max_round_by_ring.back() < last / (2 * r)) shape_ok = false;
+    }
+  }
+
+  std::cout << (shape_ok
+                    ? "SHAPE MATCHES PAPER: the committed region grows "
+                      "outward in monotone stages\n"
+                    : "SHAPE MISMATCH — see rows above\n");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,146 @@
+// Adversary lab: a configurable command-line harness over the full public
+// API. Pick the protocol, the metric, the adversary, the placement, the
+// budget t and the number of repetitions, and get an aggregate verdict — the
+// tool the paper's tables would have been produced with, had it been an
+// experimental paper.
+//
+//   $ ./adversary_lab --protocol=bv2 --adversary=lying --placement=checkerboard --r=2 --t=4 --reps=5
+//
+// Protocols:  crash | cpa | bv2 | bv4 | bv4e
+// Adversaries: silent | lying | crash-at-round | spoofing | jamming
+// Placements: none | strip | punctured | checkerboard | random | iid
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/core/experiment.h"
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/util/cli.h"
+#include "radiobcast/util/table.h"
+
+namespace {
+
+using namespace rbcast;
+
+bool parse_protocol(const std::string& s, ProtocolKind& out) {
+  if (s == "crash") out = ProtocolKind::kCrashFlood;
+  else if (s == "cpa") out = ProtocolKind::kCpa;
+  else if (s == "bv2") out = ProtocolKind::kBvTwoHop;
+  else if (s == "bv4") out = ProtocolKind::kBvIndirectFlood;
+  else if (s == "bv4e") out = ProtocolKind::kBvIndirectEarmarked;
+  else return false;
+  return true;
+}
+
+bool parse_adversary(const std::string& s, AdversaryKind& out) {
+  if (s == "silent") out = AdversaryKind::kSilent;
+  else if (s == "lying") out = AdversaryKind::kLying;
+  else if (s == "crash-at-round") out = AdversaryKind::kCrashAtRound;
+  else if (s == "spoofing") out = AdversaryKind::kSpoofing;
+  else if (s == "jamming") out = AdversaryKind::kJamming;
+  else return false;
+  return true;
+}
+
+bool parse_placement(const std::string& s, PlacementKind& out) {
+  if (s == "none") out = PlacementKind::kNone;
+  else if (s == "strip") out = PlacementKind::kFullStrip;
+  else if (s == "punctured") out = PlacementKind::kPuncturedStrip;
+  else if (s == "checkerboard") out = PlacementKind::kCheckerboardStrip;
+  else if (s == "random") out = PlacementKind::kRandomBounded;
+  else if (s == "iid") out = PlacementKind::kIid;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv,
+                     {"protocol", "adversary", "placement", "r", "t", "reps",
+                      "seed", "metric", "size", "iid-p", "trim", "value",
+                      "crash-round", "jam-budget", "loss-p", "retx"});
+  if (!args.ok()) {
+    std::cerr << args.error() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  SimConfig cfg;
+  cfg.r = static_cast<std::int32_t>(args.get_int("r", 2));
+  const auto size = static_cast<std::int32_t>(args.get_int("size", 0));
+  cfg.width = cfg.height = size > 0 ? size : 8 * cfg.r + 4;
+  cfg.metric = args.get("metric", "linf") == "l2" ? Metric::kL2
+                                                  : Metric::kLInf;
+  const std::int64_t t_arg = args.get_int("t", -1);
+  cfg.t = t_arg >= 0 ? t_arg : byz_linf_achievable_max(cfg.r);
+  cfg.value = static_cast<std::uint8_t>(args.get_int("value", 1) & 1);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.crash_round = args.get_int("crash-round", 1);
+  cfg.jam_budget = args.get_int("jam-budget", 0);
+  cfg.loss_p = args.get_double("loss-p", 0.0);
+  cfg.retransmissions = static_cast<int>(args.get_int("retx", 1));
+
+  if (!parse_protocol(args.get("protocol", "bv2"), cfg.protocol) ||
+      !parse_adversary(args.get("adversary", "silent"), cfg.adversary)) {
+    std::cerr << "bad --protocol or --adversary\n";
+    return EXIT_FAILURE;
+  }
+  PlacementConfig placement;
+  if (!parse_placement(args.get("placement", "random"), placement.kind)) {
+    std::cerr << "bad --placement\n";
+    return EXIT_FAILURE;
+  }
+  placement.iid_p = args.get_double("iid-p", 0.1);
+  placement.trim = args.get_bool("trim", true);
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+
+  std::cout << "adversary_lab: " << to_string(cfg.protocol) << " vs "
+            << to_string(cfg.adversary) << " faults ("
+            << to_string(placement.kind) << " placement), " << cfg.width << "x"
+            << cfg.height << " torus, r=" << cfg.r << " "
+            << to_string(cfg.metric) << ", t=" << cfg.t << ", " << reps
+            << " reps\n\n";
+
+  const Aggregate agg = run_repeated(cfg, placement, reps);
+
+  Table table({"quantity", "value"});
+  table.row().cell("runs").cell(agg.runs);
+  table.row().cell("successes").cell(agg.successes);
+  table.row().cell("mean coverage").cell(agg.mean_coverage, 4);
+  table.row().cell("min coverage").cell(agg.min_coverage, 4);
+  table.row().cell("wrong commits (total)").cell(agg.wrong_total);
+  table.row().cell("mean rounds").cell(agg.mean_rounds, 2);
+  table.row().cell("mean transmissions").cell(agg.mean_transmissions, 1);
+  table.row().cell("mean faults placed").cell(agg.mean_fault_count, 1);
+  table.row().cell("worst nbd fault count").cell(agg.max_nbd_faults);
+  table.print(std::cout);
+
+  std::cout << "\npaper reference points for r=" << cfg.r << " ("
+            << to_string(cfg.metric) << "):\n";
+  Table ref({"bound", "t"});
+  if (cfg.metric == Metric::kLInf) {
+    ref.row().cell("Byzantine achievable (Thm 1)").cell(
+        byz_linf_achievable_max(cfg.r));
+    ref.row().cell("Byzantine impossible ([Koo04])").cell(
+        byz_linf_impossible_min(cfg.r));
+    ref.row().cell("CPA achievable (Thm 6)").cell(
+        cpa_linf_achievable_max(cfg.r));
+    ref.row().cell("crash achievable (Thm 5)").cell(
+        crash_linf_achievable_max(cfg.r));
+    ref.row().cell("crash impossible (Thm 4)").cell(
+        crash_linf_impossible_min(cfg.r));
+  } else {
+    ref.row().cell("Byzantine achievable approx (§VIII)").cell(
+        l2_byz_achievable_approx(cfg.r), 1);
+    ref.row().cell("Byzantine impossible approx (§VIII)").cell(
+        l2_byz_impossible_approx(cfg.r), 1);
+    ref.row().cell("crash achievable approx (§VIII)").cell(
+        l2_crash_achievable_approx(cfg.r), 1);
+    ref.row().cell("crash impossible approx (§VIII)").cell(
+        l2_crash_impossible_approx(cfg.r), 1);
+  }
+  ref.print(std::cout);
+  return agg.all_success() ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,77 @@
+// Custom-graph example: build your own radio network topology and compare
+// CPA against RPA (indirect reports + the Section V sufficient condition)
+// under the locally bounded fault model.
+//
+//   $ ./custom_graph                 # the built-in separation graph, t=1
+//   $ ./custom_graph --faulty=w11 --adversary=lying
+//
+// Nodes of the built-in graph: s (source), a1..a3, w11..w33 (middlemen),
+// u (the far sink).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "radiobcast/graph/graph_protocols.h"
+#include "radiobcast/util/cli.h"
+#include "radiobcast/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rbcast;
+  const CliArgs args(argc, argv, {"faulty", "adversary", "t"});
+  if (!args.ok()) {
+    std::cerr << args.error() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  const RadioGraph g = make_separation_graph();
+  const std::int64_t t = args.get_int("t", kSeparationT);
+  const GraphAdversary adversary = args.get("adversary", "silent") == "lying"
+                                       ? GraphAdversary::kLying
+                                       : GraphAdversary::kSilent;
+
+  GraphFaultSet faults(static_cast<std::size_t>(g.node_count()), false);
+  const std::string faulty_name = args.get("faulty", "");
+  if (!faulty_name.empty()) {
+    bool found = false;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (separation_node_name(v) == faulty_name) {
+        faults[static_cast<std::size_t>(v)] = true;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown node name: " << faulty_name << "\n";
+      return EXIT_FAILURE;
+    }
+  }
+  if (!satisfies_local_bound(g, faults, t)) {
+    std::cerr << "that placement violates the local bound t=" << t << "\n";
+    return EXIT_FAILURE;
+  }
+
+  std::cout << "custom_graph: " << g.node_count() << " nodes, "
+            << g.edge_count() << " edges, t=" << t << ", faulty={"
+            << (faulty_name.empty() ? "none" : faulty_name) << "}\n\n";
+
+  Table table({"protocol", "committed", "undecided", "wrong", "rounds",
+               "transmissions", "reliable broadcast"});
+  for (const GraphProtocol protocol :
+       {GraphProtocol::kCpa, GraphProtocol::kRpa}) {
+    const auto res = run_graph_simulation(g, kSeparationSource, t, protocol,
+                                          adversary, faults);
+    table.row()
+        .cell(protocol == GraphProtocol::kCpa ? "CPA" : "RPA")
+        .cell(res.correct_commits)
+        .cell(res.undecided)
+        .cell(res.wrong_commits)
+        .cell(res.rounds)
+        .cell(res.transmissions)
+        .cell(res.success());
+  }
+  table.print(std::cout);
+  std::cout << "\nRPA verifies indirect reports with the Section V "
+               "condition: k node-disjoint reported paths whose relayer set "
+               "admits at most k-1 legal faults.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,92 @@
+#include "radiobcast/core/analysis.h"
+
+#include <cmath>
+
+namespace rbcast {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::int64_t linf_nbd_size(std::int32_t r) {
+  const std::int64_t side = 2 * static_cast<std::int64_t>(r) + 1;
+  return side * side - 1;
+}
+
+std::int64_t r_2r_plus_1(std::int32_t r) {
+  return static_cast<std::int64_t>(r) * (2 * static_cast<std::int64_t>(r) + 1);
+}
+
+std::int64_t byz_linf_achievable_max(std::int32_t r) {
+  // Largest integer strictly below n/2 is ceil(n/2) - 1.
+  const std::int64_t n = r_2r_plus_1(r);
+  return (n + 1) / 2 - 1;
+}
+
+std::int64_t byz_linf_impossible_min(std::int32_t r) {
+  const std::int64_t n = r_2r_plus_1(r);
+  return (n + 1) / 2;  // ceil(n/2)
+}
+
+std::int64_t crash_linf_achievable_max(std::int32_t r) {
+  return r_2r_plus_1(r) - 1;
+}
+
+std::int64_t crash_linf_impossible_min(std::int32_t r) {
+  return r_2r_plus_1(r);
+}
+
+std::int64_t cpa_linf_achievable_max(std::int32_t r) {
+  return 2 * static_cast<std::int64_t>(r) * r / 3;
+}
+
+double koo_cpa_linf_bound(std::int32_t r) {
+  return 0.5 * r * (r + std::sqrt(r / 2.0) + 1.0);
+}
+
+double koo_cpa_l2_bound(std::int32_t r) {
+  return 0.25 * r * (r + std::sqrt(r / 2.0) + 1.0) - 2.0;
+}
+
+double l2_byz_achievable_approx(std::int32_t r) { return 0.23 * kPi * r * r; }
+double l2_byz_impossible_approx(std::int32_t r) { return 0.30 * kPi * r * r; }
+double l2_crash_achievable_approx(std::int32_t r) { return 0.46 * kPi * r * r; }
+double l2_crash_impossible_approx(std::int32_t r) { return 0.60 * kPi * r * r; }
+
+namespace {
+std::int64_t ceil_half(std::int32_t r) { return (r + 1) / 2; }
+}  // namespace
+
+std::int64_t cpa_stage1_committed_neighbors(std::int32_t r) {
+  return (r + 1 + ceil_half(r)) * static_cast<std::int64_t>(r);
+}
+
+std::int64_t cpa_row_committed_neighbors(std::int32_t r, std::int32_t i) {
+  const std::int64_t ceil_3r_2 = (3 * static_cast<std::int64_t>(r) + 1) / 2;
+  return (ceil_3r_2 + 1) * (r + 1 - i) +
+         static_cast<std::int64_t>(i - 1) * (2 * ceil_half(r) + 1) +
+         static_cast<std::int64_t>(i - 1) * (ceil_half(r) - i + 1);
+}
+
+std::int32_t cpa_guaranteed_stack_rows(std::int32_t r) {
+  // floor(r / sqrt(6)) computed exactly: largest k with 6k^2 <= r^2.
+  std::int32_t k = 0;
+  while (6 * static_cast<std::int64_t>(k + 1) * (k + 1) <=
+         static_cast<std::int64_t>(r) * r) {
+    ++k;
+  }
+  return k;
+}
+
+std::int64_t cpa_stage2_committed_neighbors(std::int32_t r) {
+  return cpa_stage1_committed_neighbors(r) +
+         2 * ceil_half(r) * static_cast<std::int64_t>(r / 3);
+}
+
+bool cpa_count_sufficient(std::int64_t committed_neighbors, std::int32_t r) {
+  // committed >= (4/3) r^2 + 1  <=>  3*committed >= 4 r^2 + 3.
+  return 3 * committed_neighbors >=
+         4 * static_cast<std::int64_t>(r) * r + 3;
+}
+
+}  // namespace rbcast

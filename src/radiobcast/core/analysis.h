@@ -1,0 +1,75 @@
+#pragma once
+// Closed-form thresholds and bounds from the paper, used by the tests and
+// the benchmark harnesses to print "paper claims" next to measured values.
+
+#include <cstdint>
+
+#include "radiobcast/grid/metric.h"
+
+namespace rbcast {
+
+/// |nbd| in the L∞ metric: (2r+1)^2 - 1.
+std::int64_t linf_nbd_size(std::int32_t r);
+
+/// r(2r+1) — the pivotal quantity of the paper: crash-stop threshold, and
+/// twice (plus rounding) the Byzantine threshold.
+std::int64_t r_2r_plus_1(std::int32_t r);
+
+/// Byzantine, L∞ (Theorem 1 + [Koo04]): largest t for which reliable
+/// broadcast is achievable, i.e. the largest t with t < r(2r+1)/2.
+std::int64_t byz_linf_achievable_max(std::int32_t r);
+
+/// Byzantine, L∞ ([Koo04]): smallest t rendering broadcast impossible,
+/// ceil(r(2r+1)/2). Exactly byz_linf_achievable_max + 1 (exact threshold).
+std::int64_t byz_linf_impossible_min(std::int32_t r);
+
+/// Crash-stop, L∞ (Theorem 5): largest achievable t = r(2r+1) - 1.
+std::int64_t crash_linf_achievable_max(std::int32_t r);
+
+/// Crash-stop, L∞ (Theorem 4): smallest impossible t = r(2r+1).
+std::int64_t crash_linf_impossible_min(std::int32_t r);
+
+/// CPA achievability in L∞ (Theorem 6): t <= 2r^2/3, i.e. floor(2r^2/3).
+std::int64_t cpa_linf_achievable_max(std::int32_t r);
+
+/// [Koo04]'s own CPA achievability bound: t < (r(r + sqrt(r/2) + 1))/2.
+/// Theorem 6 dominates this for all sufficiently large r.
+double koo_cpa_linf_bound(std::int32_t r);
+
+/// [Koo04]'s CPA achievability bound for L2: t < (r(r+sqrt(r/2)+1))/4 - 2.
+double koo_cpa_l2_bound(std::int32_t r);
+
+/// Section VIII approximate L2 thresholds (valid for large r, ±O(r)).
+double l2_byz_achievable_approx(std::int32_t r);   // 0.23 * pi * r^2
+double l2_byz_impossible_approx(std::int32_t r);   // 0.30 * pi * r^2
+double l2_crash_achievable_approx(std::int32_t r); // 0.46 * pi * r^2
+double l2_crash_impossible_approx(std::int32_t r); // 0.60 * pi * r^2
+
+// ---------------------------------------------------------------------------
+// Theorem 6 internals (Figs 14-19): the staged-propagation counting lemmas of
+// the CPA achievability proof, as exact integer functions. The proof needs
+// each quantity to dominate 2t+1 = (4/3)r^2 + 1 at the appropriate stage.
+// ---------------------------------------------------------------------------
+
+/// Committed neighbors of the 2*ceil(r/2)+1 first-stage nodes along each
+/// edge of the central square (Fig 14): (r + 1 + ceil(r/2)) * r.
+std::int64_t cpa_stage1_committed_neighbors(std::int32_t r);
+
+/// Committed neighbors available to row i of the growing stack (Fig 15-16):
+/// (ceil(3r/2)+1)(r+1-i) + (i-1)(2*ceil(r/2)+1) + (i-1)(ceil(r/2)-i+1).
+std::int64_t cpa_row_committed_neighbors(std::int32_t r, std::int32_t i);
+
+/// The stack depth the proof guarantees: floor(r / sqrt(6)) rows, which is
+/// at least floor(r/3) since sqrt(6) < 3.
+std::int32_t cpa_guaranteed_stack_rows(std::int32_t r);
+
+/// Committed neighbors of the 8 second-stage corner nodes (Fig 17):
+/// (r + 1 + ceil(r/2)) * r + 2*ceil(r/2)*floor(r/3).
+std::int64_t cpa_stage2_committed_neighbors(std::int32_t r);
+
+/// The Theorem 6 requirement both stages must dominate: 2t+1 with
+/// t = 2r^2/3, i.e. (4/3)r^2 + 1 (kept exact as a rational comparison:
+/// use 3*value >= 4r^2 + 3).
+bool cpa_count_sufficient(std::int64_t committed_neighbors, std::int32_t r);
+
+}  // namespace rbcast

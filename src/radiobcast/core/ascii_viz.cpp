@@ -1,0 +1,32 @@
+#include "radiobcast/core/ascii_viz.h"
+
+namespace rbcast {
+
+std::string render_outcomes(const Torus& torus, const SimResult& result,
+                            std::uint8_t correct_value) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>((torus.width() + 1) * torus.height()));
+  for (std::int32_t y = torus.height() - 1; y >= 0; --y) {
+    for (std::int32_t x = 0; x < torus.width(); ++x) {
+      const NodeOutcome o =
+          result.outcomes[static_cast<std::size_t>(torus.index({x, y}))];
+      char c = '?';
+      switch (o) {
+        case NodeOutcome::kUndecided: c = '.'; break;
+        case NodeOutcome::kFaulty: c = '#'; break;
+        case NodeOutcome::kSource: c = 'S'; break;
+        case NodeOutcome::kCommitted0:
+          c = (correct_value == 0) ? '+' : 'X';
+          break;
+        case NodeOutcome::kCommitted1:
+          c = (correct_value == 1) ? '+' : 'X';
+          break;
+      }
+      out.push_back(c);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rbcast

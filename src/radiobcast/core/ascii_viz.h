@@ -1,0 +1,20 @@
+#pragma once
+// ASCII rendering of simulation outcomes, used by the example programs.
+//
+//   S  source        +  committed to the correct value
+//   #  faulty        X  committed to the WRONG value (Theorem 2: never)
+//   .  undecided
+
+#include <string>
+
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/grid/torus.h"
+
+namespace rbcast {
+
+/// Renders outcomes as height lines of width characters (row y printed
+/// top-to-bottom from y = height-1 so the picture matches the usual axes).
+std::string render_outcomes(const Torus& torus, const SimResult& result,
+                            std::uint8_t correct_value);
+
+}  // namespace rbcast

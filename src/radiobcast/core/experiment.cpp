@@ -1,0 +1,112 @@
+#include "radiobcast/core/experiment.h"
+
+#include <algorithm>
+
+#include "radiobcast/fault/placement.h"
+
+namespace rbcast {
+
+const char* to_string(PlacementKind k) {
+  switch (k) {
+    case PlacementKind::kNone: return "none";
+    case PlacementKind::kFullStrip: return "full-strip";
+    case PlacementKind::kPuncturedStrip: return "punctured-strip";
+    case PlacementKind::kCheckerboardStrip: return "checkerboard-strip";
+    case PlacementKind::kRandomBounded: return "random-bounded";
+    case PlacementKind::kIid: return "iid";
+  }
+  return "?";
+}
+
+namespace {
+
+void merge(FaultSet& into, const Torus& torus, const FaultSet& from) {
+  for (const Coord c : from.sorted()) into.add(torus, c);
+}
+
+}  // namespace
+
+FaultSet make_faults(const PlacementConfig& placement, const Torus& torus,
+                     std::int32_t r, Metric m, std::int64_t t, Coord source,
+                     Rng& rng) {
+  const std::int32_t width =
+      placement.strip_width > 0 ? placement.strip_width : r;
+  const std::int32_t period =
+      placement.puncture_period > 0 ? placement.puncture_period : 2 * r + 1;
+  std::vector<std::int32_t> positions = placement.strip_positions;
+  if (positions.empty()) {
+    positions = {torus.width() / 4, 3 * torus.width() / 4};
+  }
+
+  FaultSet out;
+  switch (placement.kind) {
+    case PlacementKind::kNone:
+      break;
+    case PlacementKind::kFullStrip:
+      for (const std::int32_t x : positions) {
+        merge(out, torus, full_strip(torus, x, width, source));
+      }
+      break;
+    case PlacementKind::kPuncturedStrip:
+      for (const std::int32_t x : positions) {
+        merge(out, torus, punctured_strip(torus, x, width, period, source));
+      }
+      break;
+    case PlacementKind::kCheckerboardStrip:
+      for (const std::int32_t x : positions) {
+        merge(out, torus, checkerboard_strip(torus, x, width, /*parity=*/0,
+                                             source));
+      }
+      break;
+    case PlacementKind::kRandomBounded: {
+      const std::int64_t target = placement.random_target >= 0
+                                      ? placement.random_target
+                                      : torus.node_count();
+      out = random_bounded(torus, r, m, t, target,
+                           /*attempts=*/torus.node_count() * 20, rng, source);
+      break;
+    }
+    case PlacementKind::kIid:
+      out = iid_faults(torus, placement.iid_p, rng, source);
+      break;
+  }
+  if (placement.trim && placement.kind != PlacementKind::kIid &&
+      placement.kind != PlacementKind::kRandomBounded) {
+    trim_to_budget(out, torus, r, m, t);
+  }
+  return out;
+}
+
+Aggregate run_repeated(const SimConfig& base,
+                       const PlacementConfig& placement, int reps) {
+  Aggregate agg;
+  Torus torus(base.width, base.height);
+  for (int i = 0; i < reps; ++i) {
+    SimConfig cfg = base;
+    cfg.seed = hash_seeds(base.seed, static_cast<std::uint64_t>(i));
+    Rng rng(cfg.seed);
+    const FaultSet faults = make_faults(placement, torus, cfg.r, cfg.metric,
+                                        cfg.t, cfg.source, rng);
+    const SimResult result = run_simulation(cfg, faults);
+    agg.runs += 1;
+    agg.successes += result.success() ? 1 : 0;
+    agg.mean_coverage += result.coverage();
+    agg.min_coverage = std::min(agg.min_coverage, result.coverage());
+    agg.wrong_total += result.wrong_commits;
+    agg.mean_rounds += static_cast<double>(result.rounds);
+    agg.mean_transmissions += static_cast<double>(result.transmissions);
+    agg.mean_fault_count += static_cast<double>(faults.size());
+    agg.max_nbd_faults =
+        std::max(agg.max_nbd_faults,
+                 max_closed_nbd_faults(torus, faults, cfg.r, cfg.metric));
+  }
+  if (agg.runs > 0) {
+    agg.mean_coverage /= agg.runs;
+    agg.mean_rounds /= agg.runs;
+    agg.mean_transmissions /= agg.runs;
+    agg.mean_fault_count /= agg.runs;
+  }
+  return agg;
+}
+
+}  // namespace rbcast

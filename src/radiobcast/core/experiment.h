@@ -1,0 +1,72 @@
+#pragma once
+// Experiment driver: fault-placement recipes plus repeated-run aggregation.
+//
+// A note on strips and the torus: on the infinite grid one width-r vertical
+// strip of faults separates a half-plane from the source (Theorem 4, Fig 8).
+// On a torus the x-axis wraps, so the same cut requires *two* strips; placing
+// them half a torus apart keeps every closed neighborhood inside at most one
+// strip, leaving the per-neighborhood fault count identical to the single-
+// strip construction. All strip placements here therefore instantiate the
+// pattern at each of the configured strip columns (default: width/4 and
+// 3*width/4, enclosing the region opposite the source).
+
+#include <cstdint>
+#include <vector>
+
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/fault/fault_set.h"
+#include "radiobcast/util/rng.h"
+
+namespace rbcast {
+
+enum class PlacementKind : std::uint8_t {
+  kNone,               // no faults
+  kFullStrip,          // width-r strips, all rows (Theorem 4 construction)
+  kPuncturedStrip,     // strips with one node removed per `period` rows
+  kCheckerboardStrip,  // half-density strips (Koo's Fig 13 arrangement)
+  kRandomBounded,      // uniform random respecting the local bound t
+  kIid,                // each node faulty with probability iid_p
+};
+
+const char* to_string(PlacementKind k);
+
+struct PlacementConfig {
+  PlacementKind kind = PlacementKind::kNone;
+  /// Strip x-positions; empty means {width/4, 3*width/4}.
+  std::vector<std::int32_t> strip_positions;
+  std::int32_t strip_width = 0;      // 0 = r
+  std::int32_t puncture_period = 0;  // 0 = 2r+1
+  std::int64_t random_target = -1;   // -1 = as many as fit (bounded attempts)
+  double iid_p = 0.0;
+  /// Greedily remove faults until the local bound t holds. Lets over-budget
+  /// patterns (e.g. a checkerboard at t below its density) act as "densest
+  /// legal barrier" adversaries.
+  bool trim = true;
+};
+
+/// Materializes a fault set for one run.
+FaultSet make_faults(const PlacementConfig& placement, const Torus& torus,
+                     std::int32_t r, Metric m, std::int64_t t, Coord source,
+                     Rng& rng);
+
+/// Aggregated outcome of `runs` simulations that differ only in seed.
+struct Aggregate {
+  int runs = 0;
+  int successes = 0;              // full coverage, no wrong commits
+  double mean_coverage = 0.0;
+  double min_coverage = 1.0;
+  std::int64_t wrong_total = 0;   // honest wrong commits across all runs
+  double mean_rounds = 0.0;
+  double mean_transmissions = 0.0;
+  double mean_fault_count = 0.0;
+  std::int64_t max_nbd_faults = 0;  // worst closed-neighborhood fault count
+
+  bool all_success() const { return successes == runs; }
+};
+
+/// Runs `reps` simulations with seeds base.seed, base.seed+1, ... and fresh
+/// fault placements, and aggregates.
+Aggregate run_repeated(const SimConfig& base, const PlacementConfig& placement,
+                       int reps);
+
+}  // namespace rbcast

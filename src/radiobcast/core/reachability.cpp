@@ -1,0 +1,71 @@
+#include "radiobcast/core/reachability.h"
+
+#include <deque>
+
+#include "radiobcast/fault/placement.h"
+#include "radiobcast/grid/neighborhood.h"
+
+namespace rbcast {
+
+ReachabilityResult honest_reachability(const Torus& torus,
+                                       const FaultSet& faults, Coord source,
+                                       std::int32_t r, Metric m) {
+  ReachabilityResult result;
+  result.reachable.assign(static_cast<std::size_t>(torus.node_count()), false);
+  const Coord src = torus.wrap(source);
+  const auto& table = NeighborhoodTable::get(r, m);
+
+  if (!faults.contains(src)) {
+    result.reachable[static_cast<std::size_t>(torus.index(src))] = true;
+    std::deque<Coord> queue{src};
+    while (!queue.empty()) {
+      const Coord v = queue.front();
+      queue.pop_front();
+      for (const Offset o : table.offsets()) {
+        const Coord w = torus.wrap(v + o);
+        const auto idx = static_cast<std::size_t>(torus.index(w));
+        if (result.reachable[idx] || faults.contains(w)) continue;
+        result.reachable[idx] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+
+  for (const Coord c : torus.all_coords()) {
+    if (c == src || faults.contains(c)) continue;
+    result.total_honest += 1;
+    if (result.reachable[static_cast<std::size_t>(torus.index(c))]) {
+      result.reachable_honest += 1;
+    }
+  }
+  return result;
+}
+
+double estimate_percolation_knee(std::int32_t width, std::int32_t height,
+                                 std::int32_t r, Metric m, Coord source,
+                                 double target_fraction, int trials,
+                                 std::uint64_t seed) {
+  const Torus torus(width, height);
+  auto mean_fraction = [&](double p_f) {
+    double sum = 0.0;
+    for (int i = 0; i < trials; ++i) {
+      Rng rng(hash_seeds(seed, static_cast<std::uint64_t>(i) ^
+                                   static_cast<std::uint64_t>(p_f * 1e9)));
+      const FaultSet faults = iid_faults(torus, p_f, rng, source);
+      sum += honest_reachability(torus, faults, source, r, m).fraction();
+    }
+    return sum / trials;
+  };
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 20; ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (mean_fraction(mid) >= target_fraction) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2;
+}
+
+}  // namespace rbcast

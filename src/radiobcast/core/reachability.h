@@ -1,0 +1,50 @@
+#pragma once
+// Reachability analysis (Section VII).
+//
+// "Thus the sole criterion for achievability [under crash-stop failures] is
+// reachability." This module computes the set of honest nodes reachable
+// from the source through honest nodes only — the graph-theoretic quantity
+// that crash-stop flooding must match exactly (property-tested), and the
+// site-percolation quantity the conclusion (Section XI) relates to.
+
+#include <cstdint>
+#include <vector>
+
+#include "radiobcast/fault/fault_set.h"
+#include "radiobcast/grid/metric.h"
+#include "radiobcast/grid/torus.h"
+
+namespace rbcast {
+
+/// Per-node reachability flags, indexed by torus node index. The source is
+/// reachable by definition (if honest); faulty nodes are never reachable.
+struct ReachabilityResult {
+  std::vector<bool> reachable;
+  std::int64_t reachable_honest = 0;  // excluding the source
+  std::int64_t total_honest = 0;      // excluding the source
+
+  /// Fraction of honest non-source nodes reachable from the source.
+  double fraction() const {
+    return total_honest == 0 ? 1.0
+                             : static_cast<double>(reachable_honest) /
+                                   static_cast<double>(total_honest);
+  }
+};
+
+/// BFS from `source` over honest nodes under radio adjacency (radius r,
+/// metric m). Faulty nodes block propagation entirely (crash-stop semantics:
+/// a node that never transmits relays nothing).
+ReachabilityResult honest_reachability(const Torus& torus,
+                                       const FaultSet& faults, Coord source,
+                                       std::int32_t r, Metric m);
+
+/// Bisection estimate of the iid crash-fault probability at which the
+/// source-reachable fraction first drops below `target_fraction`
+/// (Section XI's percolation-style knee). Deterministic given the seed;
+/// `trials` independent placements are averaged per probe.
+double estimate_percolation_knee(std::int32_t width, std::int32_t height,
+                                 std::int32_t r, Metric m, Coord source,
+                                 double target_fraction, int trials,
+                                 std::uint64_t seed);
+
+}  // namespace rbcast

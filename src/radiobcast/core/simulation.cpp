@@ -1,0 +1,192 @@
+#include "radiobcast/core/simulation.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "radiobcast/net/jamming.h"
+#include "radiobcast/net/network.h"
+#include "radiobcast/protocols/bv_indirect.h"
+#include "radiobcast/protocols/bv_two_hop.h"
+#include "radiobcast/protocols/byzantine.h"
+#include "radiobcast/protocols/common.h"
+#include "radiobcast/protocols/cpa.h"
+#include "radiobcast/protocols/crash_flood.h"
+#include "radiobcast/protocols/source.h"
+
+namespace rbcast {
+
+std::vector<std::int64_t> SimResult::commits_by_round() const {
+  std::vector<std::int64_t> cumulative(static_cast<std::size_t>(rounds) + 1,
+                                       0);
+  for (const std::int64_t round : commit_rounds) {
+    if (round < 0) continue;
+    const auto idx = static_cast<std::size_t>(
+        round <= rounds ? round : rounds);
+    cumulative[idx] += 1;
+  }
+  for (std::size_t k = 1; k < cumulative.size(); ++k) {
+    cumulative[k] += cumulative[k - 1];
+  }
+  return cumulative;
+}
+
+const char* to_string(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kCrashFlood: return "crash-flood";
+    case ProtocolKind::kCpa: return "cpa";
+    case ProtocolKind::kBvTwoHop: return "bv-2hop";
+    case ProtocolKind::kBvIndirectFlood: return "bv-4hop-flood";
+    case ProtocolKind::kBvIndirectEarmarked: return "bv-4hop-earmarked";
+  }
+  return "?";
+}
+
+const char* to_string(AdversaryKind k) {
+  switch (k) {
+    case AdversaryKind::kSilent: return "silent";
+    case AdversaryKind::kLying: return "lying";
+    case AdversaryKind::kCrashAtRound: return "crash-at-round";
+    case AdversaryKind::kSpoofing: return "spoofing";
+    case AdversaryKind::kJamming: return "jamming";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<NodeBehavior> make_honest(const SimConfig& cfg,
+                                          const Torus& torus) {
+  const ProtocolParams params{cfg.t, cfg.source};
+  switch (cfg.protocol) {
+    case ProtocolKind::kCrashFlood:
+      return std::make_unique<CrashFloodBehavior>(params);
+    case ProtocolKind::kCpa:
+      return std::make_unique<CpaBehavior>(params);
+    case ProtocolKind::kBvTwoHop:
+      return std::make_unique<BvTwoHopBehavior>(params, torus, cfg.r,
+                                                cfg.metric);
+    case ProtocolKind::kBvIndirectFlood:
+      return std::make_unique<BvIndirectBehavior>(params, torus, cfg.r,
+                                                  cfg.metric,
+                                                  RelayMode::kFlood);
+    case ProtocolKind::kBvIndirectEarmarked:
+      if (cfg.metric != Metric::kLInf) {
+        throw std::invalid_argument(
+            "earmarked relays require the L-infinity metric");
+      }
+      return std::make_unique<BvIndirectBehavior>(params, torus, cfg.r,
+                                                  cfg.metric,
+                                                  RelayMode::kEarmarked);
+  }
+  throw std::logic_error("unknown protocol");
+}
+
+std::unique_ptr<NodeBehavior> make_faulty(const SimConfig& cfg,
+                                          const Torus& torus) {
+  switch (cfg.adversary) {
+    case AdversaryKind::kSilent:
+      return std::make_unique<SilentBehavior>();
+    case AdversaryKind::kLying:
+      return std::make_unique<LyingBehavior>(
+          static_cast<std::uint8_t>(1 - (cfg.value & 1)));
+    case AdversaryKind::kCrashAtRound:
+      return std::make_unique<CrashAtRoundBehavior>(make_honest(cfg, torus),
+                                                    cfg.crash_round);
+    case AdversaryKind::kSpoofing:
+      return std::make_unique<SpoofingBehavior>(
+          static_cast<std::uint8_t>(1 - (cfg.value & 1)), cfg.r, cfg.metric);
+    case AdversaryKind::kJamming:
+      // Jammers are silent nodes; their power lives in the channel (set up
+      // by run_simulation).
+      return std::make_unique<SilentBehavior>();
+  }
+  throw std::logic_error("unknown adversary");
+}
+
+std::int64_t default_round_bound(const SimConfig& cfg) {
+  // Generous: diameter in hops times slack for the multi-round evidence
+  // accumulation of the BV protocols.
+  const std::int64_t diameter_hops =
+      (cfg.width + cfg.height) / (2 * cfg.r) + 2;
+  // Retransmission copies stretch every hop by up to `retransmissions`
+  // rounds.
+  return (8 * diameter_hops + 40) * cfg.retransmissions;
+}
+
+}  // namespace
+
+SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults) {
+  if (cfg.width < 4 * cfg.r + 2 || cfg.height < 4 * cfg.r + 2) {
+    throw std::invalid_argument("torus sides must be at least 4r+2");
+  }
+  Torus torus(cfg.width, cfg.height);
+  const Coord source = torus.wrap(cfg.source);
+  if (faults.contains(source)) {
+    throw std::invalid_argument("the designated source must be correct");
+  }
+
+  RadioNetwork net(torus, cfg.r, cfg.metric, cfg.seed);
+  if (cfg.adversary == AdversaryKind::kSpoofing) net.allow_spoofing(true);
+  if (cfg.adversary == AdversaryKind::kJamming) {
+    net.set_channel(std::make_unique<JammingChannel>(
+        torus, cfg.r, cfg.metric, faults.sorted(), cfg.jam_budget));
+  } else if (cfg.loss_p > 0.0) {
+    net.set_channel(std::make_unique<IidLossChannel>(cfg.loss_p));
+  }
+  if (cfg.retransmissions != 1) {
+    net.set_retransmissions(cfg.retransmissions);
+  }
+  for (const Coord c : torus.all_coords()) {
+    if (c == source) {
+      net.set_behavior(c, std::make_unique<SourceBehavior>(cfg.value));
+    } else if (faults.contains(c)) {
+      net.set_behavior(c, make_faulty(cfg, torus));
+    } else {
+      net.set_behavior(c, make_honest(cfg, torus));
+    }
+  }
+
+  net.start();
+  const std::int64_t bound =
+      cfg.max_rounds > 0 ? cfg.max_rounds : default_round_bound(cfg);
+  SimResult result;
+  result.rounds = net.run_until_quiescent(bound);
+  result.reached_quiescence = net.quiescent();
+  result.transmissions = net.stats().transmissions;
+  result.deliveries = net.stats().deliveries;
+  result.payload_units = net.stats().payload_units;
+
+  result.outcomes.resize(static_cast<std::size_t>(torus.node_count()),
+                         NodeOutcome::kUndecided);
+  result.commit_rounds.assign(static_cast<std::size_t>(torus.node_count()),
+                              -1);
+  for (const Coord c : torus.all_coords()) {
+    const auto idx = static_cast<std::size_t>(torus.index(c));
+    if (c == source) {
+      result.outcomes[idx] = NodeOutcome::kSource;
+      result.commit_rounds[idx] = 0;
+      continue;
+    }
+    if (faults.contains(c)) {
+      result.outcomes[idx] = NodeOutcome::kFaulty;
+      continue;
+    }
+    result.honest_nodes += 1;
+    const auto committed = net.behavior(c)->committed_value();
+    if (!committed.has_value()) {
+      result.undecided += 1;
+      continue;
+    }
+    result.commit_rounds[idx] = net.behavior(c)->commit_round().value_or(-1);
+    result.outcomes[idx] = (*committed & 1) ? NodeOutcome::kCommitted1
+                                            : NodeOutcome::kCommitted0;
+    if (*committed == cfg.value) {
+      result.correct_commits += 1;
+    } else {
+      result.wrong_commits += 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace rbcast

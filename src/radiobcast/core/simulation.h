@@ -1,0 +1,113 @@
+#pragma once
+// End-to-end simulation runner: builds a torus radio network, installs the
+// chosen protocol on honest nodes and the chosen adversary on faulty nodes,
+// runs to quiescence, and scores the outcome.
+//
+// Scoring: reliable broadcast succeeds when every honest node commits to the
+// source's value. `wrong_commits` counts honest nodes committing any other
+// value — Theorem 2 (and the trivial safety of the crash/CPA rules) predicts
+// this is zero in every run, and the test-suite enforces it.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "radiobcast/fault/fault_set.h"
+#include "radiobcast/grid/metric.h"
+#include "radiobcast/grid/torus.h"
+
+namespace rbcast {
+
+enum class ProtocolKind : std::uint8_t {
+  kCrashFlood,           // Section VII
+  kCpa,                  // Section IX ([Koo04]'s simple protocol)
+  kBvTwoHop,             // Section VI-B
+  kBvIndirectFlood,      // Section VI, faithful flooding relays
+  kBvIndirectEarmarked,  // Section VI, constructive-path relays (L∞ only)
+};
+
+const char* to_string(ProtocolKind k);
+
+enum class AdversaryKind : std::uint8_t {
+  kSilent,        // crash-from-start / silent Byzantine
+  kLying,         // pushes the complement value, forges reports
+  kCrashAtRound,  // honest until crash_round, then silent (crash-stop)
+  kSpoofing,      // Section X negative control: impersonates honest nodes
+                  // (enables address spoofing in the network!)
+  kJamming,       // Section X: silent faults + bounded collision budget
+};
+
+const char* to_string(AdversaryKind k);
+
+struct SimConfig {
+  std::int32_t width = 20;
+  std::int32_t height = 20;
+  std::int32_t r = 2;
+  Metric metric = Metric::kLInf;
+  std::int64_t t = 0;  // the local fault bound the protocol assumes
+  ProtocolKind protocol = ProtocolKind::kBvTwoHop;
+  AdversaryKind adversary = AdversaryKind::kSilent;
+  std::uint8_t value = 1;  // the source's value (the adversary pushes 1-value)
+  Coord source{0, 0};
+  std::int64_t crash_round = 1;  // for kCrashAtRound
+  std::uint64_t seed = 1;
+  std::int64_t max_rounds = 0;  // 0 = automatic bound
+  /// Channel-error extension (Section II remark): per-receiver iid loss
+  /// probability, and how many times each broadcast is transmitted. The
+  /// paper's model is loss_p = 0, retransmissions = 1.
+  double loss_p = 0.0;
+  int retransmissions = 1;
+  /// For kJamming: deliveries each faulty node may destroy (-1 = unbounded).
+  std::int64_t jam_budget = 0;
+};
+
+/// Per-node outcome for visualization: the source and honest committed nodes
+/// carry their value; faulty and undecided nodes are flagged.
+enum class NodeOutcome : std::int8_t {
+  kUndecided,
+  kCommitted0,
+  kCommitted1,
+  kFaulty,
+  kSource,
+};
+
+struct SimResult {
+  std::int64_t honest_nodes = 0;  // excluding the source
+  std::int64_t correct_commits = 0;
+  std::int64_t wrong_commits = 0;
+  std::int64_t undecided = 0;
+  std::int64_t rounds = 0;
+  bool reached_quiescence = false;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t payload_units = 0;  // see TrafficStats::payload_units
+  std::vector<NodeOutcome> outcomes;  // by torus node index
+  /// Round in which each node committed (-1 = never / faulty). The source
+  /// has round 0. Feeds the propagation-stage analyses (Figs 9-10, 14-19).
+  std::vector<std::int64_t> commit_rounds;
+
+  /// Number of honest nodes (plus the source) committed by the end of each
+  /// round: commits_by_round()[k] counts nodes with commit round <= k.
+  std::vector<std::int64_t> commits_by_round() const;
+
+  /// Fraction of honest non-source nodes that committed to the correct value.
+  double coverage() const {
+    return honest_nodes == 0
+               ? 1.0
+               : static_cast<double>(correct_commits) /
+                     static_cast<double>(honest_nodes);
+  }
+
+  /// Reliable broadcast achieved: full coverage and no wrong commits.
+  bool success() const {
+    return wrong_commits == 0 && correct_commits == honest_nodes;
+  }
+};
+
+/// Runs one simulation. Throws std::invalid_argument if the fault set
+/// contains the source, or if the torus is too small for unambiguous
+/// wrap-around geometry (min side 4r+2; protocols reasoning across 2r-balls
+/// get sides of at least 8r+4 in the provided experiment configs).
+SimResult run_simulation(const SimConfig& config, const FaultSet& faults);
+
+}  // namespace rbcast

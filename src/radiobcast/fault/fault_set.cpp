@@ -1,0 +1,55 @@
+#include "radiobcast/fault/fault_set.h"
+
+#include <algorithm>
+
+#include "radiobcast/grid/neighborhood.h"
+
+namespace rbcast {
+
+FaultSet::FaultSet(const Torus& torus, std::vector<Coord> faults) {
+  for (const Coord c : faults) add(torus, c);
+}
+
+bool FaultSet::add(const Torus& torus, Coord c) {
+  return set_.insert(torus.wrap(c)).second;
+}
+
+bool FaultSet::remove(const Torus& torus, Coord c) {
+  return set_.erase(torus.wrap(c)) > 0;
+}
+
+std::vector<Coord> FaultSet::sorted() const {
+  std::vector<Coord> out(set_.begin(), set_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::int64_t max_closed_nbd_faults(const Torus& torus, const FaultSet& faults,
+                                   std::int32_t r, Metric m) {
+  // Only centers within r of some fault can have a non-zero count, so scan
+  // the union of balls around faults rather than the whole torus.
+  const auto& table = NeighborhoodTable::get(r, m);
+  std::unordered_set<Coord> candidate_centers;
+  for (const Coord f : faults.sorted()) {
+    candidate_centers.insert(f);
+    for (const Offset o : table.offsets()) {
+      candidate_centers.insert(torus.wrap(f + o));
+    }
+  }
+  std::int64_t best = 0;
+  for (const Coord c : candidate_centers) {
+    std::int64_t count = faults.contains(c) ? 1 : 0;
+    for (const Offset o : table.offsets()) {
+      if (faults.contains(torus.wrap(c + o))) ++count;
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+bool satisfies_local_bound(const Torus& torus, const FaultSet& faults,
+                           std::int32_t r, Metric m, std::int64_t t) {
+  return max_closed_nbd_faults(torus, faults, r, m) <= t;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,54 @@
+#pragma once
+// Fault sets under the paper's locally bounded adversary (Section II).
+//
+// The adversary may choose any set of faulty nodes subject to: no single
+// neighborhood contains more than t faults. Because "a correct node may have
+// up to t faulty neighbors, while a faulty node may have up to (t-1) faulty
+// neighbors", the constraint is equivalently: for every node c, the *closed*
+// neighborhood nbd(c) ∪ {c} contains at most t faults. That closed-ball
+// formulation is what the validator checks.
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "radiobcast/grid/coord.h"
+#include "radiobcast/grid/metric.h"
+#include "radiobcast/grid/torus.h"
+
+namespace rbcast {
+
+/// A set of faulty node positions (canonical torus coordinates).
+class FaultSet {
+ public:
+  FaultSet() = default;
+  explicit FaultSet(const Torus& torus, std::vector<Coord> faults);
+
+  /// Inserts (canonicalizing); returns false if already present.
+  bool add(const Torus& torus, Coord c);
+
+  /// Removes (canonicalizing); returns false if absent.
+  bool remove(const Torus& torus, Coord c);
+
+  bool contains(Coord canonical) const { return set_.count(canonical) > 0; }
+
+  std::size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+
+  /// Faulty coordinates in deterministic (sorted) order.
+  std::vector<Coord> sorted() const;
+
+ private:
+  std::unordered_set<Coord> set_;
+};
+
+/// Largest number of faults in any closed neighborhood nbd(c) ∪ {c}, over all
+/// centers c of the torus.
+std::int64_t max_closed_nbd_faults(const Torus& torus, const FaultSet& faults,
+                                   std::int32_t r, Metric m);
+
+/// True iff `faults` is a legal placement for local bound t.
+bool satisfies_local_bound(const Torus& torus, const FaultSet& faults,
+                           std::int32_t r, Metric m, std::int64_t t);
+
+}  // namespace rbcast

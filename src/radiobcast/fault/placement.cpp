@@ -1,0 +1,156 @@
+#include "radiobcast/fault/placement.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "radiobcast/grid/neighborhood.h"
+
+namespace rbcast {
+
+namespace {
+
+void check_strip(const Torus& torus, std::int32_t width) {
+  if (width < 1 || width >= torus.width()) {
+    throw std::invalid_argument("strip width must be in [1, torus width)");
+  }
+}
+
+}  // namespace
+
+FaultSet full_strip(const Torus& torus, std::int32_t x_lo, std::int32_t width,
+                    Coord exclude) {
+  check_strip(torus, width);
+  FaultSet out;
+  const Coord excl = torus.wrap(exclude);
+  for (std::int32_t dx = 0; dx < width; ++dx) {
+    for (std::int32_t y = 0; y < torus.height(); ++y) {
+      const Coord c = torus.wrap({x_lo + dx, y});
+      if (c == excl) continue;
+      out.add(torus, c);
+    }
+  }
+  return out;
+}
+
+FaultSet punctured_strip(const Torus& torus, std::int32_t x_lo,
+                         std::int32_t width, std::int32_t period,
+                         Coord exclude) {
+  if (period < 1) throw std::invalid_argument("puncture period must be >= 1");
+  FaultSet out = full_strip(torus, x_lo, width, exclude);
+  for (std::int32_t y = 0; y < torus.height(); y += period) {
+    out.remove(torus, {x_lo, y});
+  }
+  return out;
+}
+
+FaultSet checkerboard_strip(const Torus& torus, std::int32_t x_lo,
+                            std::int32_t width, std::int32_t parity,
+                            Coord exclude) {
+  check_strip(torus, width);
+  FaultSet out;
+  const Coord excl = torus.wrap(exclude);
+  for (std::int32_t dx = 0; dx < width; ++dx) {
+    for (std::int32_t y = 0; y < torus.height(); ++y) {
+      const Coord c = torus.wrap({x_lo + dx, y});
+      if (c == excl) continue;
+      if (((c.x + c.y) % 2 + 2) % 2 != parity) continue;
+      out.add(torus, c);
+    }
+  }
+  return out;
+}
+
+FaultSet random_bounded(const Torus& torus, std::int32_t r, Metric m,
+                        std::int64_t t, std::int64_t target,
+                        std::int64_t attempts, Rng& rng, Coord exclude) {
+  FaultSet out;
+  const Coord excl = torus.wrap(exclude);
+  const auto& table = NeighborhoodTable::get(r, m);
+  // Incremental closed-neighborhood counts: counts[c] = number of faults in
+  // nbd(c) ∪ {c}.
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(torus.node_count()), 0);
+  auto can_add = [&](Coord f) {
+    if (counts[static_cast<std::size_t>(torus.index(f))] + 1 > t) return false;
+    for (const Offset o : table.offsets()) {
+      const Coord c = torus.wrap(f + o);
+      if (counts[static_cast<std::size_t>(torus.index(c))] + 1 > t) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto apply_add = [&](Coord f) {
+    counts[static_cast<std::size_t>(torus.index(f))] += 1;
+    for (const Offset o : table.offsets()) {
+      counts[static_cast<std::size_t>(torus.index(torus.wrap(f + o)))] += 1;
+    }
+  };
+  for (std::int64_t i = 0;
+       i < attempts && static_cast<std::int64_t>(out.size()) < target; ++i) {
+    const auto idx =
+        static_cast<std::int32_t>(rng.below(
+            static_cast<std::uint64_t>(torus.node_count())));
+    const Coord c = torus.coord(idx);
+    if (c == excl || out.contains(c)) continue;
+    if (!can_add(c)) continue;
+    out.add(torus, c);
+    apply_add(c);
+  }
+  return out;
+}
+
+FaultSet iid_faults(const Torus& torus, double p_f, Rng& rng, Coord exclude) {
+  FaultSet out;
+  const Coord excl = torus.wrap(exclude);
+  for (const Coord c : torus.all_coords()) {
+    if (c == excl) continue;
+    if (rng.chance(p_f)) out.add(torus, c);
+  }
+  return out;
+}
+
+void trim_to_budget(FaultSet& faults, const Torus& torus, std::int32_t r,
+                    Metric m, std::int64_t t) {
+  const auto& table = NeighborhoodTable::get(r, m);
+  while (true) {
+    // Find the worst closed neighborhood (first center in row-major order).
+    std::int64_t worst_count = t;
+    Coord worst_center{};
+    bool found = false;
+    for (const Coord c : torus.all_coords()) {
+      std::int64_t count = faults.contains(c) ? 1 : 0;
+      for (const Offset o : table.offsets()) {
+        if (faults.contains(torus.wrap(c + o))) ++count;
+      }
+      if (count > worst_count) {
+        worst_count = count;
+        worst_center = c;
+        found = true;
+      }
+    }
+    if (!found) return;
+    // Remove the first fault (row-major) from that neighborhood.
+    Coord victim{};
+    bool have_victim = false;
+    if (faults.contains(worst_center)) {
+      victim = worst_center;
+      have_victim = true;
+    } else {
+      std::vector<Coord> members;
+      for (const Offset o : table.offsets()) {
+        const Coord c = torus.wrap(worst_center + o);
+        if (faults.contains(c)) members.push_back(c);
+      }
+      std::sort(members.begin(), members.end());
+      if (!members.empty()) {
+        victim = members.front();
+        have_victim = true;
+      }
+    }
+    if (!have_victim) return;  // defensive; cannot happen
+    faults.remove(torus, victim);
+  }
+}
+
+}  // namespace rbcast

@@ -1,0 +1,211 @@
+#include "radiobcast/graph/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+
+#include "radiobcast/grid/neighborhood.h"
+#include "radiobcast/grid/torus.h"
+
+namespace rbcast {
+
+RadioGraph::RadioGraph(std::int32_t node_count)
+    : adjacency_(static_cast<std::size_t>(node_count)) {
+  if (node_count < 1) throw std::invalid_argument("graph needs >= 1 node");
+}
+
+void RadioGraph::add_edge(NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("self-loops are not allowed");
+  if (a < 0 || b < 0 || a >= node_count() || b >= node_count()) {
+    throw std::invalid_argument("edge endpoint out of range");
+  }
+  auto& na = adjacency_[static_cast<std::size_t>(a)];
+  if (std::find(na.begin(), na.end(), b) != na.end()) return;  // idempotent
+  na.insert(std::upper_bound(na.begin(), na.end(), b), b);
+  auto& nb = adjacency_[static_cast<std::size_t>(b)];
+  nb.insert(std::upper_bound(nb.begin(), nb.end(), a), a);
+}
+
+bool RadioGraph::adjacent(NodeId a, NodeId b) const {
+  const auto& na = adjacency_[static_cast<std::size_t>(a)];
+  return std::binary_search(na.begin(), na.end(), b);
+}
+
+const std::vector<NodeId>& RadioGraph::neighbors(NodeId v) const {
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+std::int64_t RadioGraph::edge_count() const {
+  std::int64_t twice = 0;
+  for (const auto& adj : adjacency_) {
+    twice += static_cast<std::int64_t>(adj.size());
+  }
+  return twice / 2;
+}
+
+bool RadioGraph::connected() const {
+  std::vector<bool> seen(static_cast<std::size_t>(node_count()), false);
+  std::deque<NodeId> queue{0};
+  seen[0] = true;
+  std::int32_t reached = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const NodeId w : neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        ++reached;
+        queue.push_back(w);
+      }
+    }
+  }
+  return reached == node_count();
+}
+
+std::int64_t closed_nbd_faults(const RadioGraph& graph,
+                               const GraphFaultSet& faults, NodeId v) {
+  std::int64_t count = faults[static_cast<std::size_t>(v)] ? 1 : 0;
+  for (const NodeId w : graph.neighbors(v)) {
+    if (faults[static_cast<std::size_t>(w)]) ++count;
+  }
+  return count;
+}
+
+bool satisfies_local_bound(const RadioGraph& graph, const GraphFaultSet& faults,
+                           std::int64_t t) {
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    if (closed_nbd_faults(graph, faults, v) > t) return false;
+  }
+  return true;
+}
+
+std::vector<GraphFaultSet> enumerate_legal_placements(const RadioGraph& graph,
+                                                      std::int64_t t,
+                                                      NodeId protected_node) {
+  const std::int32_t n = graph.node_count();
+  if (n > 24) {
+    throw std::invalid_argument(
+        "enumerate_legal_placements is exponential; use graphs with <= 24 "
+        "nodes");
+  }
+  std::vector<GraphFaultSet> out;
+  // Depth-first inclusion/exclusion with incremental bound checking prunes
+  // most of the 2^n space for small t.
+  GraphFaultSet current(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> order;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != protected_node) order.push_back(v);
+  }
+  auto can_add = [&](NodeId v) {
+    if (closed_nbd_faults(graph, current, v) + 1 > t) return false;
+    for (const NodeId w : graph.neighbors(v)) {
+      if (closed_nbd_faults(graph, current, w) + 1 > t) return false;
+    }
+    return true;
+  };
+  // Iterative stack of (position, include?) decisions via recursion.
+  std::function<void(std::size_t)> recurse = [&](std::size_t pos) {
+    if (pos == order.size()) {
+      out.push_back(current);
+      return;
+    }
+    const NodeId v = order[pos];
+    recurse(pos + 1);  // exclude
+    if (can_add(v)) {
+      current[static_cast<std::size_t>(v)] = true;
+      recurse(pos + 1);  // include
+      current[static_cast<std::size_t>(v)] = false;
+    }
+  };
+  recurse(0);
+  return out;
+}
+
+std::int64_t max_legal_faults_within(const RadioGraph& graph,
+                                     const std::vector<NodeId>& subset,
+                                     std::int64_t t) {
+  GraphFaultSet current(static_cast<std::size_t>(graph.node_count()), false);
+  auto can_add = [&](NodeId v) {
+    if (closed_nbd_faults(graph, current, v) + 1 > t) return false;
+    for (const NodeId w : graph.neighbors(v)) {
+      if (closed_nbd_faults(graph, current, w) + 1 > t) return false;
+    }
+    return true;
+  };
+  std::int64_t best = 0;
+  std::function<void(std::size_t, std::int64_t)> recurse =
+      [&](std::size_t pos, std::int64_t placed) {
+        best = std::max(best, placed);
+        if (pos == subset.size()) return;
+        if (placed + static_cast<std::int64_t>(subset.size() - pos) <= best) {
+          return;  // bound
+        }
+        const NodeId v = subset[pos];
+        if (can_add(v)) {
+          current[static_cast<std::size_t>(v)] = true;
+          recurse(pos + 1, placed + 1);
+          current[static_cast<std::size_t>(v)] = false;
+        }
+        recurse(pos + 1, placed);
+      };
+  recurse(0, 0);
+  return best;
+}
+
+RadioGraph make_torus_graph(std::int32_t width, std::int32_t height,
+                            std::int32_t r, bool l2_metric) {
+  const Torus torus(width, height);
+  const Metric metric = l2_metric ? Metric::kL2 : Metric::kLInf;
+  const auto& table = NeighborhoodTable::get(r, metric);
+  RadioGraph graph(static_cast<std::int32_t>(torus.node_count()));
+  for (const Coord c : torus.all_coords()) {
+    for (const Offset o : table.offsets()) {
+      const Coord d = torus.wrap(c + o);
+      if (torus.index(c) < torus.index(d)) {
+        graph.add_edge(torus.index(c), torus.index(d));
+      }
+    }
+  }
+  return graph;
+}
+
+RadioGraph make_separation_graph() {
+  RadioGraph g(14);
+  const NodeId s = 0;
+  const NodeId a[3] = {1, 2, 3};
+  const NodeId u = 13;
+  auto w = [](int branch, int j) { return static_cast<NodeId>(4 + 3 * branch + j); };
+  for (int i = 0; i < 3; ++i) {
+    g.add_edge(s, a[i]);
+    for (int j = 0; j < 3; ++j) {
+      g.add_edge(a[i], w(i, j));
+      g.add_edge(u, w(i, j));
+    }
+  }
+  // Cross edges between branches: two disjoint routes (avoiding u) from each
+  // middleman to each far branch's a.
+  for (int i = 0; i < 3; ++i) {
+    for (int k = i + 1; k < 3; ++k) {
+      for (int j = 0; j < 3; ++j) {
+        g.add_edge(w(i, j), w(k, j));
+        g.add_edge(w(i, j), w(k, (j + 1) % 3));
+      }
+    }
+  }
+  return g;
+}
+
+std::string separation_node_name(NodeId v) {
+  if (v == 0) return "s";
+  if (v >= 1 && v <= 3) return "a" + std::to_string(v);
+  if (v >= 4 && v <= 12) {
+    const int branch = (v - 4) / 3 + 1;
+    const int j = (v - 4) % 3 + 1;
+    return "w" + std::to_string(branch) + std::to_string(j);
+  }
+  if (v == 13) return "u";
+  return "n" + std::to_string(v);
+}
+
+}  // namespace rbcast

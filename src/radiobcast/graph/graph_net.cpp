@@ -1,0 +1,79 @@
+#include "radiobcast/graph/graph_net.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rbcast {
+
+const RadioGraph& GraphNodeContext::graph() const { return net_->graph(); }
+std::int64_t GraphNodeContext::round() const { return net_->round(); }
+
+void GraphNodeContext::broadcast(GraphMessage msg) {
+  net_->queue_broadcast(self_, std::move(msg));
+}
+
+GraphNetwork::GraphNetwork(RadioGraph graph)
+    : graph_(std::move(graph)),
+      behaviors_(static_cast<std::size_t>(graph_.node_count())) {}
+
+void GraphNetwork::set_behavior(NodeId v,
+                                std::unique_ptr<GraphBehavior> behavior) {
+  behaviors_[static_cast<std::size_t>(v)] = std::move(behavior);
+}
+
+GraphBehavior* GraphNetwork::behavior(NodeId v) {
+  return behaviors_[static_cast<std::size_t>(v)].get();
+}
+
+const GraphBehavior* GraphNetwork::behavior(NodeId v) const {
+  return behaviors_[static_cast<std::size_t>(v)].get();
+}
+
+void GraphNetwork::queue_broadcast(NodeId sender, GraphMessage msg) {
+  outbox_.push_back(GraphEnvelope{sender, std::move(msg)});
+}
+
+void GraphNetwork::start() {
+  if (started_) throw std::logic_error("GraphNetwork::start called twice");
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    if (behaviors_[static_cast<std::size_t>(v)] == nullptr) {
+      throw std::logic_error("node " + std::to_string(v) + " has no behavior");
+    }
+    GraphNodeContext ctx(*this, v);
+    behaviors_[static_cast<std::size_t>(v)]->on_start(ctx);
+  }
+  started_ = true;
+  pending_ = std::move(outbox_);
+  outbox_.clear();
+}
+
+void GraphNetwork::run_round() {
+  if (!started_) throw std::logic_error("GraphNetwork::run_round before start");
+  ++round_;
+  for (const GraphEnvelope& env : pending_) {
+    transmissions_ += 1;
+    for (const NodeId receiver : graph_.neighbors(env.sender)) {
+      GraphNodeContext ctx(*this, receiver);
+      behaviors_[static_cast<std::size_t>(receiver)]->on_receive(ctx, env);
+    }
+  }
+  pending_.clear();
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    GraphNodeContext ctx(*this, v);
+    behaviors_[static_cast<std::size_t>(v)]->on_round_end(ctx);
+  }
+  pending_ = std::move(outbox_);
+  outbox_.clear();
+}
+
+std::int64_t GraphNetwork::run_until_quiescent(std::int64_t max_rounds) {
+  std::int64_t rounds = 0;
+  while (!quiescent() && rounds < max_rounds) {
+    run_round();
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,90 @@
+#pragma once
+// Synchronous radio round engine over an arbitrary RadioGraph — the same
+// reliable-local-broadcast semantics as net/network.h (every graph neighbor
+// hears every transmission, true transmitter identity, per-sender FIFO),
+// with node ids instead of grid coordinates.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "radiobcast/graph/graph.h"
+
+namespace rbcast {
+
+/// A protocol message on a graph: COMMITTED(origin, v) when relayers is
+/// empty, otherwise HEARD(relayers..., origin, v) with the last relayer
+/// being the transmitter.
+struct GraphMessage {
+  std::uint8_t value = 0;
+  NodeId origin = 0;
+  std::vector<NodeId> relayers;
+
+  friend bool operator==(const GraphMessage&, const GraphMessage&) = default;
+};
+
+struct GraphEnvelope {
+  NodeId sender = 0;
+  GraphMessage msg;
+};
+
+class GraphNetwork;
+
+class GraphNodeContext {
+ public:
+  GraphNodeContext(GraphNetwork& net, NodeId self) : net_(&net), self_(self) {}
+
+  NodeId self() const { return self_; }
+  const RadioGraph& graph() const;
+  std::int64_t round() const;
+  void broadcast(GraphMessage msg);
+
+ private:
+  GraphNetwork* net_;
+  NodeId self_;
+};
+
+class GraphBehavior {
+ public:
+  virtual ~GraphBehavior() = default;
+  virtual void on_start(GraphNodeContext& /*ctx*/) {}
+  virtual void on_receive(GraphNodeContext& ctx, const GraphEnvelope& env) = 0;
+  virtual void on_round_end(GraphNodeContext& /*ctx*/) {}
+  virtual std::optional<std::uint8_t> committed_value() const {
+    return std::nullopt;
+  }
+};
+
+class GraphNetwork {
+ public:
+  explicit GraphNetwork(RadioGraph graph);
+
+  const RadioGraph& graph() const { return graph_; }
+  std::int64_t round() const { return round_; }
+
+  void set_behavior(NodeId v, std::unique_ptr<GraphBehavior> behavior);
+  GraphBehavior* behavior(NodeId v);
+  const GraphBehavior* behavior(NodeId v) const;
+
+  void start();
+  void run_round();
+  bool quiescent() const { return pending_.empty(); }
+  std::int64_t run_until_quiescent(std::int64_t max_rounds);
+
+  std::uint64_t transmissions() const { return transmissions_; }
+
+ private:
+  friend class GraphNodeContext;
+  void queue_broadcast(NodeId sender, GraphMessage msg);
+
+  RadioGraph graph_;
+  std::int64_t round_ = 0;
+  bool started_ = false;
+  std::vector<std::unique_ptr<GraphBehavior>> behaviors_;
+  std::vector<GraphEnvelope> pending_;
+  std::vector<GraphEnvelope> outbox_;
+  std::uint64_t transmissions_ = 0;
+};
+
+}  // namespace rbcast

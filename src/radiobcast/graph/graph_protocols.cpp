@@ -1,0 +1,265 @@
+#include "radiobcast/graph/graph_protocols.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rbcast {
+
+// ---------------------------------------------------------------------------
+// Source
+// ---------------------------------------------------------------------------
+
+void GraphSourceBehavior::on_start(GraphNodeContext& ctx) {
+  ctx.broadcast(GraphMessage{value_, ctx.self(), {}});
+}
+
+// ---------------------------------------------------------------------------
+// CPA
+// ---------------------------------------------------------------------------
+
+void GraphCpaBehavior::commit(GraphNodeContext& ctx, std::uint8_t value) {
+  committed_ = value;
+  ctx.broadcast(GraphMessage{value, ctx.self(), {}});
+}
+
+void GraphCpaBehavior::on_receive(GraphNodeContext& ctx,
+                                  const GraphEnvelope& env) {
+  if (committed_.has_value()) return;
+  if (!env.msg.relayers.empty()) return;  // CPA ignores HEARD traffic
+  if (env.msg.origin != env.sender) return;  // no spoofing
+  if (env.sender == source_) {
+    commit(ctx, env.msg.value);
+    return;
+  }
+  const auto [it, inserted] = first_claim_.emplace(env.sender, env.msg.value);
+  if (!inserted) return;
+  claims_[env.msg.value & 1] += 1;
+  if (claims_[env.msg.value & 1] >= t_ + 1) commit(ctx, env.msg.value);
+}
+
+// ---------------------------------------------------------------------------
+// RPA
+// ---------------------------------------------------------------------------
+
+GraphRpaBehavior::GraphRpaBehavior(std::int64_t t, NodeId source,
+                                   int max_relay_depth)
+    : t_(t), source_(source), max_relay_depth_(max_relay_depth) {}
+
+void GraphRpaBehavior::commit(GraphNodeContext& ctx, std::uint8_t value) {
+  if (committed_.has_value()) return;
+  committed_ = value;
+  ctx.broadcast(GraphMessage{value, ctx.self(), {}});
+}
+
+void GraphRpaBehavior::determine(GraphNodeContext& ctx, NodeId origin,
+                                 std::uint8_t value) {
+  if (!determined_.insert({origin, value}).second) return;
+  evidence_.erase({origin, value});
+  // Commit once t+1 determined committers of one value share a neighborhood:
+  // bump the counter of every node whose neighborhood contains `origin`.
+  const RadioGraph& graph = ctx.graph();
+  for (const NodeId c : graph.neighbors(origin)) {
+    auto& count = center_counts_[{c, value}];
+    count += 1;
+    if (count >= t_ + 1) commit(ctx, value);
+  }
+}
+
+void GraphRpaBehavior::on_receive(GraphNodeContext& ctx,
+                                  const GraphEnvelope& env) {
+  if (env.msg.relayers.empty()) {
+    handle_committed(ctx, env);
+  } else {
+    handle_heard(ctx, env);
+  }
+}
+
+void GraphRpaBehavior::handle_committed(GraphNodeContext& ctx,
+                                        const GraphEnvelope& env) {
+  if (env.msg.origin != env.sender) return;  // no spoofing
+  const auto [it, inserted] = first_committed_.emplace(env.sender,
+                                                       env.msg.value);
+  if (!inserted) return;
+  const std::uint8_t v = it->second;
+  ctx.broadcast(GraphMessage{v, env.sender, {ctx.self()}});
+  if (env.sender == source_) commit(ctx, v);
+  determine(ctx, env.sender, v);
+}
+
+void GraphRpaBehavior::handle_heard(GraphNodeContext& ctx,
+                                    const GraphEnvelope& env) {
+  const RadioGraph& graph = ctx.graph();
+  const GraphMessage& msg = env.msg;
+  if (static_cast<int>(msg.relayers.size()) > max_relay_depth_) return;
+  if (msg.relayers.back() != env.sender) return;  // no spoofing
+  const NodeId self = ctx.self();
+  const NodeId origin = msg.origin;
+  if (origin == self) return;
+  // Chain plausibility: consecutive adjacency, all distinct, avoids us.
+  NodeId prev = origin;
+  for (const NodeId relayer : msg.relayers) {
+    if (relayer == origin || relayer == self) return;
+    if (std::count(msg.relayers.begin(), msg.relayers.end(), relayer) != 1) {
+      return;
+    }
+    if (!graph.adjacent(prev, relayer)) return;
+    prev = relayer;
+  }
+
+  const std::uint8_t v = msg.value & 1;
+  if (!determined_.count({origin, v})) {
+    Evidence& ev = evidence_[{origin, v}];
+    if (ev.reports.size() < kMaxReports &&
+        ev.dedup.insert(msg.relayers).second) {
+      ev.reports.push_back(msg.relayers);
+      dirty_.insert({origin, v});
+    }
+  }
+
+  if (static_cast<int>(msg.relayers.size()) < max_relay_depth_) {
+    std::vector<NodeId> extended = msg.relayers;
+    extended.push_back(self);
+    ctx.broadcast(GraphMessage{v, origin, std::move(extended)});
+  }
+}
+
+bool GraphRpaBehavior::satisfies_section_v(const RadioGraph& graph,
+                                           const Evidence& evidence) const {
+  const auto& reports = evidence.reports;
+  const auto n = reports.size();
+  if (n == 0) return false;
+  // Pairwise conflicts (shared relayers).
+  std::vector<std::uint32_t> conflicts(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      bool share = false;
+      for (const NodeId a : reports[i]) {
+        if (std::find(reports[j].begin(), reports[j].end(), a) !=
+            reports[j].end()) {
+          share = true;
+          break;
+        }
+      }
+      if (share) {
+        conflicts[i] |= (1u << j);
+        conflicts[j] |= (1u << i);
+      }
+    }
+  }
+  // Enumerate disjoint subfamilies; accept if some family of k reports has a
+  // relayer union S with max_legal_faults_within(S) <= k-1.
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    bool disjoint_family = true;
+    int k = 0;
+    for (std::size_t i = 0; i < n && disjoint_family; ++i) {
+      if (!(mask & (1u << i))) continue;
+      ++k;
+      if (conflicts[i] & mask) disjoint_family = false;
+    }
+    if (!disjoint_family) continue;
+    std::vector<NodeId> union_s;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(mask & (1u << i))) continue;
+      union_s.insert(union_s.end(), reports[i].begin(), reports[i].end());
+    }
+    std::sort(union_s.begin(), union_s.end());
+    union_s.erase(std::unique(union_s.begin(), union_s.end()), union_s.end());
+    // Keep the exponential f(S) search tiny; a union this large would need
+    // an equally large disjoint family to pass anyway.
+    if (union_s.size() > 14) continue;
+    if (max_legal_faults_within(graph, union_s, t_) + 1 <= k) return true;
+  }
+  return false;
+}
+
+void GraphRpaBehavior::on_round_end(GraphNodeContext& ctx) {
+  if (dirty_.empty()) return;
+  const auto keys = std::vector<std::pair<NodeId, std::uint8_t>>(
+      dirty_.begin(), dirty_.end());
+  dirty_.clear();
+  for (const auto& key : keys) {
+    const auto it = evidence_.find(key);
+    if (it == evidence_.end()) continue;
+    Evidence& ev = it->second;
+    if (ev.reports.size() == ev.evaluated_at) continue;
+    ev.evaluated_at = ev.reports.size();
+    if (satisfies_section_v(ctx.graph(), ev)) {
+      determine(ctx, key.first, key.second);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adversaries
+// ---------------------------------------------------------------------------
+
+void GraphLyingBehavior::on_start(GraphNodeContext& ctx) {
+  ctx.broadcast(GraphMessage{wrong_value_, ctx.self(), {}});
+}
+
+void GraphLyingBehavior::on_receive(GraphNodeContext& ctx,
+                                    const GraphEnvelope& env) {
+  GraphMessage lie;
+  if (env.msg.relayers.empty()) {
+    lie = GraphMessage{wrong_value_, env.sender, {ctx.self()}};
+  } else {
+    if (static_cast<int>(env.msg.relayers.size()) >= max_relay_depth_) return;
+    std::vector<NodeId> chain = env.msg.relayers;
+    chain.push_back(ctx.self());
+    lie = GraphMessage{wrong_value_, env.msg.origin, std::move(chain)};
+  }
+  if (sent_.insert({lie.origin, lie.relayers}).second) {
+    ctx.broadcast(std::move(lie));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+GraphSimResult run_graph_simulation(const RadioGraph& graph, NodeId source,
+                                    std::int64_t t, GraphProtocol protocol,
+                                    GraphAdversary adversary,
+                                    const GraphFaultSet& faults,
+                                    std::uint8_t value,
+                                    std::int64_t max_rounds) {
+  if (faults[static_cast<std::size_t>(source)]) {
+    throw std::invalid_argument("the designated source must be correct");
+  }
+  GraphNetwork net(graph);
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    if (v == source) {
+      net.set_behavior(v, std::make_unique<GraphSourceBehavior>(value));
+    } else if (faults[static_cast<std::size_t>(v)]) {
+      if (adversary == GraphAdversary::kSilent) {
+        net.set_behavior(v, std::make_unique<GraphSilentBehavior>());
+      } else {
+        net.set_behavior(v, std::make_unique<GraphLyingBehavior>(
+                                static_cast<std::uint8_t>(1 - (value & 1))));
+      }
+    } else if (protocol == GraphProtocol::kCpa) {
+      net.set_behavior(v, std::make_unique<GraphCpaBehavior>(t, source));
+    } else {
+      net.set_behavior(v, std::make_unique<GraphRpaBehavior>(t, source));
+    }
+  }
+  net.start();
+  GraphSimResult result;
+  result.rounds = net.run_until_quiescent(max_rounds);
+  result.transmissions = net.transmissions();
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    if (v == source || faults[static_cast<std::size_t>(v)]) continue;
+    result.honest_nodes += 1;
+    const auto committed = net.behavior(v)->committed_value();
+    if (!committed.has_value()) {
+      result.undecided += 1;
+    } else if (*committed == value) {
+      result.correct_commits += 1;
+    } else {
+      result.wrong_commits += 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,155 @@
+#pragma once
+// Broadcast protocols on arbitrary radio graphs (Sections III and V).
+//
+//  * GraphCpa — the Certified Propagation Algorithm: source neighbors commit
+//    directly; everyone else commits on hearing the same value from t+1
+//    distinct neighbors; one re-broadcast. (The simple protocol of [Koo04],
+//    called CPA by [Pelc-Peleg05].)
+//
+//  * GraphRpa — the Relaxed Propagation Algorithm: additionally circulates
+//    HEARD reports (up to a configurable relay depth) and applies the
+//    Section V sufficient condition with full topology knowledge: a decider
+//    reliably determines (origin, v) once it holds a node-disjoint family of
+//    k reported paths whose relayer union S admits at most f(S) <= k-1 legal
+//    faults (max_legal_faults_within), so that at least one report is relayed
+//    by honest nodes only. Commits once t+1 determined committers of v lie
+//    in one neighborhood.
+//
+// [Pelc-Peleg05] show RPA is strictly more powerful than CPA on some graphs;
+// bench_cpa_rpa_separation verifies that on make_separation_graph(): CPA
+// stalls even fault-free while RPA completes under EVERY legal placement.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "radiobcast/graph/graph_net.h"
+
+namespace rbcast {
+
+/// The designated (correct) source.
+class GraphSourceBehavior final : public GraphBehavior {
+ public:
+  explicit GraphSourceBehavior(std::uint8_t value) : value_(value) {}
+  void on_start(GraphNodeContext& ctx) override;
+  void on_receive(GraphNodeContext&, const GraphEnvelope&) override {}
+  std::optional<std::uint8_t> committed_value() const override {
+    return value_;
+  }
+
+ private:
+  std::uint8_t value_;
+};
+
+class GraphCpaBehavior final : public GraphBehavior {
+ public:
+  GraphCpaBehavior(std::int64_t t, NodeId source) : t_(t), source_(source) {}
+  void on_receive(GraphNodeContext& ctx, const GraphEnvelope& env) override;
+  std::optional<std::uint8_t> committed_value() const override {
+    return committed_;
+  }
+
+ private:
+  void commit(GraphNodeContext& ctx, std::uint8_t value);
+
+  std::int64_t t_;
+  NodeId source_;
+  std::optional<std::uint8_t> committed_;
+  std::map<NodeId, std::uint8_t> first_claim_;
+  std::int64_t claims_[2] = {0, 0};
+};
+
+class GraphRpaBehavior final : public GraphBehavior {
+ public:
+  GraphRpaBehavior(std::int64_t t, NodeId source, int max_relay_depth = 3);
+
+  void on_receive(GraphNodeContext& ctx, const GraphEnvelope& env) override;
+  void on_round_end(GraphNodeContext& ctx) override;
+  std::optional<std::uint8_t> committed_value() const override {
+    return committed_;
+  }
+
+  std::int64_t determinations() const {
+    return static_cast<std::int64_t>(determined_.size());
+  }
+
+ private:
+  struct Evidence {
+    std::vector<std::vector<NodeId>> reports;  // relayer chains, deduped
+    std::set<std::vector<NodeId>> dedup;
+    std::size_t evaluated_at = 0;
+  };
+
+  void handle_committed(GraphNodeContext& ctx, const GraphEnvelope& env);
+  void handle_heard(GraphNodeContext& ctx, const GraphEnvelope& env);
+  void determine(GraphNodeContext& ctx, NodeId origin, std::uint8_t value);
+  void commit(GraphNodeContext& ctx, std::uint8_t value);
+  bool satisfies_section_v(const RadioGraph& graph,
+                           const Evidence& evidence) const;
+
+  std::int64_t t_;
+  NodeId source_;
+  int max_relay_depth_;
+  /// Evidence kept per (origin, value); bounded to keep the exponential
+  /// disjoint-subfamily search tiny (sound: dropping reports only delays).
+  static constexpr std::size_t kMaxReports = 12;
+  std::optional<std::uint8_t> committed_;
+  std::map<NodeId, std::uint8_t> first_committed_;
+  std::set<std::pair<NodeId, std::uint8_t>> determined_;
+  std::map<std::pair<NodeId, std::uint8_t>, Evidence> evidence_;
+  std::set<std::pair<NodeId, std::uint8_t>> dirty_;
+  std::map<std::pair<NodeId, std::uint8_t>, std::int64_t> center_counts_;
+};
+
+/// Silent (crashed-from-start) faulty node.
+class GraphSilentBehavior final : public GraphBehavior {
+ public:
+  void on_receive(GraphNodeContext&, const GraphEnvelope&) override {}
+};
+
+/// Byzantine liar: announces the wrong value and flips every report.
+class GraphLyingBehavior final : public GraphBehavior {
+ public:
+  explicit GraphLyingBehavior(std::uint8_t wrong_value, int max_relay_depth = 3)
+      : wrong_value_(wrong_value), max_relay_depth_(max_relay_depth) {}
+  void on_start(GraphNodeContext& ctx) override;
+  void on_receive(GraphNodeContext& ctx, const GraphEnvelope& env) override;
+
+ private:
+  std::uint8_t wrong_value_;
+  int max_relay_depth_;
+  std::set<std::pair<NodeId, std::vector<NodeId>>> sent_;
+};
+
+// ---------------------------------------------------------------------------
+// Whole-run driver
+// ---------------------------------------------------------------------------
+
+enum class GraphProtocol : std::uint8_t { kCpa, kRpa };
+enum class GraphAdversary : std::uint8_t { kSilent, kLying };
+
+struct GraphSimResult {
+  std::int64_t honest_nodes = 0;
+  std::int64_t correct_commits = 0;
+  std::int64_t wrong_commits = 0;
+  std::int64_t undecided = 0;
+  std::int64_t rounds = 0;
+  std::uint64_t transmissions = 0;
+
+  bool success() const {
+    return wrong_commits == 0 && correct_commits == honest_nodes;
+  }
+};
+
+/// Runs one broadcast on `graph` from `source` with the given protocol and
+/// fault placement. Throws if the source is faulty.
+GraphSimResult run_graph_simulation(const RadioGraph& graph, NodeId source,
+                                    std::int64_t t, GraphProtocol protocol,
+                                    GraphAdversary adversary,
+                                    const GraphFaultSet& faults,
+                                    std::uint8_t value = 1,
+                                    std::int64_t max_rounds = 200);
+
+}  // namespace rbcast

@@ -1,0 +1,59 @@
+#pragma once
+// Grid coordinates and displacement vectors.
+//
+// The paper places nodes on the integer grid and identifies a node by its
+// location (x, y). We keep that identification: a Coord *is* a node identity.
+// On the torus (see torus.h) coordinates are canonicalized to
+// [0, width) x [0, height); Offset is a displacement between two coordinates
+// and is what all distance computations operate on.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace rbcast {
+
+struct Offset {
+  std::int32_t dx = 0;
+  std::int32_t dy = 0;
+
+  friend constexpr bool operator==(Offset, Offset) = default;
+  constexpr Offset operator-() const { return {-dx, -dy}; }
+  constexpr Offset operator+(Offset o) const { return {dx + o.dx, dy + o.dy}; }
+  constexpr Offset operator-(Offset o) const { return {dx - o.dx, dy - o.dy}; }
+};
+
+struct Coord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr bool operator==(Coord, Coord) = default;
+  friend constexpr auto operator<=>(Coord, Coord) = default;
+
+  constexpr Coord operator+(Offset o) const { return {x + o.dx, y + o.dy}; }
+  constexpr Coord operator-(Offset o) const { return {x - o.dx, y - o.dy}; }
+  /// Plain (non-torus) displacement from other to *this.
+  constexpr Offset operator-(Coord o) const { return {x - o.x, y - o.y}; }
+};
+
+std::string to_string(Coord c);
+std::string to_string(Offset o);
+std::ostream& operator<<(std::ostream& os, Coord c);
+std::ostream& operator<<(std::ostream& os, Offset o);
+
+}  // namespace rbcast
+
+template <>
+struct std::hash<rbcast::Coord> {
+  std::size_t operator()(rbcast::Coord c) const noexcept {
+    // Coordinates are small; pack and mix.
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x)) << 32) |
+        static_cast<std::uint32_t>(c.y);
+    std::uint64_t z = packed + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

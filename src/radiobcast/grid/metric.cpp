@@ -1,0 +1,53 @@
+#include "radiobcast/grid/metric.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace rbcast {
+
+const char* to_string(Metric m) {
+  return m == Metric::kLInf ? "Linf" : "L2";
+}
+
+std::int64_t neighborhood_size(std::int32_t r, Metric m) {
+  if (r < 0) return 0;
+  if (m == Metric::kLInf) {
+    const std::int64_t side = 2 * static_cast<std::int64_t>(r) + 1;
+    return side * side - 1;
+  }
+  // Gauss circle: count lattice points with dx^2 + dy^2 <= r^2, minus center.
+  const std::int64_t r2 = static_cast<std::int64_t>(r) * r;
+  std::int64_t count = 0;
+  for (std::int32_t dx = -r; dx <= r; ++dx) {
+    for (std::int32_t dy = -r; dy <= r; ++dy) {
+      if (static_cast<std::int64_t>(dx) * dx +
+              static_cast<std::int64_t>(dy) * dy <=
+          r2) {
+        ++count;
+      }
+    }
+  }
+  return count - 1;
+}
+
+std::string to_string(Coord c) {
+  std::ostringstream os;
+  os << '(' << c.x << ',' << c.y << ')';
+  return os.str();
+}
+
+std::string to_string(Offset o) {
+  std::ostringstream os;
+  os << '<' << o.dx << ',' << o.dy << '>';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Coord c) {
+  return os << to_string(c);
+}
+
+std::ostream& operator<<(std::ostream& os, Offset o) {
+  return os << to_string(o);
+}
+
+}  // namespace rbcast

@@ -1,0 +1,49 @@
+#pragma once
+// The two distance metrics of the paper (Section II).
+//
+//   L∞ : dist((x1,y1),(x2,y2)) = max(|x1-x2|, |y1-y2|); nbd is a (2r+1)^2
+//        square minus the center, i.e. (2r+1)^2 - 1 = 4r^2 + 4r nodes.
+//   L2 : Euclidean distance; nbd is the set of lattice points inside (or on)
+//        the circle of radius r, minus the center (Gauss circle count - 1).
+//
+// All comparisons against the radius use exact integer arithmetic: for L2 we
+// compare squared distances, so no floating point enters any reachability or
+// containment decision.
+
+#include <cstdint>
+
+#include "radiobcast/grid/coord.h"
+
+namespace rbcast {
+
+enum class Metric : std::uint8_t { kLInf, kL2 };
+
+const char* to_string(Metric m);
+
+/// Chebyshev length of a displacement (the L∞ norm).
+constexpr std::int32_t linf_norm(Offset o) {
+  const std::int32_t ax = o.dx < 0 ? -o.dx : o.dx;
+  const std::int32_t ay = o.dy < 0 ? -o.dy : o.dy;
+  return ax > ay ? ax : ay;
+}
+
+/// Squared Euclidean length of a displacement.
+constexpr std::int64_t l2_norm_sq(Offset o) {
+  return static_cast<std::int64_t>(o.dx) * o.dx +
+         static_cast<std::int64_t>(o.dy) * o.dy;
+}
+
+/// True iff a displacement of this size is within transmission radius r
+/// under the given metric. Distance exactly r counts as within (the paper's
+/// "within distance r").
+constexpr bool within_radius(Offset o, std::int32_t r, Metric m) {
+  if (m == Metric::kLInf) return linf_norm(o) <= r;
+  return l2_norm_sq(o) <= static_cast<std::int64_t>(r) * r;
+}
+
+/// Number of nodes in a neighborhood (excluding the center) under metric m.
+/// For L∞ this is (2r+1)^2 - 1 in closed form; for L2 it is the Gauss circle
+/// lattice count minus one, computed exactly.
+std::int64_t neighborhood_size(std::int32_t r, Metric m);
+
+}  // namespace rbcast

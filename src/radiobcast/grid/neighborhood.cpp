@@ -1,0 +1,65 @@
+#include "radiobcast/grid/neighborhood.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace rbcast {
+
+NeighborhoodTable::NeighborhoodTable(std::int32_t r, Metric m) : r_(r), m_(m) {
+  for (std::int32_t dy = -r; dy <= r; ++dy) {
+    for (std::int32_t dx = -r; dx <= r; ++dx) {
+      const Offset o{dx, dy};
+      if (o == Offset{0, 0}) continue;
+      if (within_radius(o, r, m)) offsets_.push_back(o);
+    }
+  }
+}
+
+const NeighborhoodTable& NeighborhoodTable::get(std::int32_t r, Metric m) {
+  // Keyed cache; entries are immutable once constructed. unique_ptr keeps
+  // addresses stable across map growth.
+  static std::map<std::pair<std::int32_t, int>,
+                  std::unique_ptr<NeighborhoodTable>>
+      cache;
+  const auto key = std::make_pair(r, static_cast<int>(m));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::unique_ptr<NeighborhoodTable>(
+                                new NeighborhoodTable(r, m)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<Coord> NeighborhoodTable::neighbors(const Torus& torus,
+                                                Coord center) const {
+  std::vector<Coord> out;
+  out.reserve(offsets_.size());
+  for (const Offset o : offsets_) out.push_back(torus.wrap(center + o));
+  return out;
+}
+
+std::vector<Coord> NeighborhoodTable::closed_neighbors(const Torus& torus,
+                                                       Coord center) const {
+  std::vector<Coord> out = neighbors(torus, center);
+  out.push_back(torus.wrap(center));
+  return out;
+}
+
+std::vector<Coord> perturbed_neighborhood(const Torus& torus, Coord center,
+                                          std::int32_t r, Metric m) {
+  const auto& table = NeighborhoodTable::get(r, m);
+  std::vector<Coord> out;
+  const Offset shifts[4] = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+  for (const Offset s : shifts) {
+    auto part = table.neighbors(torus, torus.wrap(center + s));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,21 @@
+#include "radiobcast/grid/region.h"
+
+namespace rbcast {
+
+std::vector<Coord> Rect::cells() const {
+  std::vector<Coord> out;
+  if (empty()) return out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for (std::int32_t y = y_lo; y <= y_hi; ++y) {
+    for (std::int32_t x = x_lo; x <= x_hi; ++x) out.push_back({x, y});
+  }
+  return out;
+}
+
+bool contained_in(const Rect& a, const Rect& b) {
+  if (a.empty()) return true;
+  return a.x_lo >= b.x_lo && a.x_hi <= b.x_hi && a.y_lo >= b.y_lo &&
+         a.y_hi <= b.y_hi;
+}
+
+}  // namespace rbcast

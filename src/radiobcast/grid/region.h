@@ -1,0 +1,70 @@
+#pragma once
+// Axis-aligned inclusive rectangles on the (unwrapped) integer grid.
+//
+// The proofs of Theorems 3, 5 and 6 reason about rectangular regions of grid
+// nodes (Table I, regions A, B1, B2, ..., K2, strips, half-squares). Rect is
+// the exact-arithmetic counterpart used by paths/construction.h and by fault
+// placement. Rectangles live in infinite-grid coordinates; callers wrap onto
+// a torus at the boundary of the geometry layer.
+
+#include <cstdint>
+#include <vector>
+
+#include "radiobcast/grid/coord.h"
+
+namespace rbcast {
+
+/// Inclusive rectangle [x_lo, x_hi] x [y_lo, y_hi]. An empty rectangle has
+/// x_lo > x_hi or y_lo > y_hi.
+struct Rect {
+  std::int32_t x_lo = 0;
+  std::int32_t x_hi = -1;
+  std::int32_t y_lo = 0;
+  std::int32_t y_hi = -1;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  constexpr bool empty() const { return x_lo > x_hi || y_lo > y_hi; }
+
+  /// Number of lattice points contained (0 if empty).
+  constexpr std::int64_t count() const {
+    if (empty()) return 0;
+    return static_cast<std::int64_t>(x_hi - x_lo + 1) *
+           static_cast<std::int64_t>(y_hi - y_lo + 1);
+  }
+
+  constexpr bool contains(Coord c) const {
+    return !empty() && c.x >= x_lo && c.x <= x_hi && c.y >= y_lo && c.y <= y_hi;
+  }
+
+  /// Intersection (possibly empty).
+  constexpr Rect intersect(const Rect& o) const {
+    return {x_lo > o.x_lo ? x_lo : o.x_lo, x_hi < o.x_hi ? x_hi : o.x_hi,
+            y_lo > o.y_lo ? y_lo : o.y_lo, y_hi < o.y_hi ? y_hi : o.y_hi};
+  }
+
+  /// Translation by an offset.
+  constexpr Rect translate(Offset o) const {
+    if (empty()) return *this;
+    return {x_lo + o.dx, x_hi + o.dx, y_lo + o.dy, y_hi + o.dy};
+  }
+
+  /// All contained lattice points, row-major.
+  std::vector<Coord> cells() const;
+};
+
+/// Closed L∞ ball of radius r around c as a Rect (nbd(c) ∪ {c} in the L∞
+/// metric).
+constexpr Rect linf_ball(Coord c, std::int32_t r) {
+  return {c.x - r, c.x + r, c.y - r, c.y + r};
+}
+
+/// True iff rectangles a and b are disjoint.
+constexpr bool disjoint(const Rect& a, const Rect& b) {
+  return a.intersect(b).empty();
+}
+
+/// True iff every point of a lies in b.
+bool contained_in(const Rect& a, const Rect& b);
+
+}  // namespace rbcast

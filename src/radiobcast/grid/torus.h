@@ -1,0 +1,57 @@
+#pragma once
+// Finite toroidal grid (Section II: "The results also hold for a finite
+// toroidal network, as boundary anomalies are eliminated").
+//
+// The torus canonicalizes coordinates into [0,width) x [0,height) and defines
+// the displacement between two nodes as the *minimal* wrap-around
+// displacement. For that displacement to be unique for every pair of nodes
+// that a protocol ever compares (distances up to a few multiples of r), the
+// simulation layer enforces width,height >= 8r+4; the Torus itself only
+// requires positive dimensions.
+
+#include <cstdint>
+#include <vector>
+
+#include "radiobcast/grid/coord.h"
+#include "radiobcast/grid/metric.h"
+
+namespace rbcast {
+
+class Torus {
+ public:
+  Torus(std::int32_t width, std::int32_t height);
+
+  std::int32_t width() const { return width_; }
+  std::int32_t height() const { return height_; }
+  std::int64_t node_count() const {
+    return static_cast<std::int64_t>(width_) * height_;
+  }
+
+  /// Canonical representative of a (possibly negative / out-of-range) coord.
+  Coord wrap(Coord c) const;
+
+  /// Dense index of a canonical coordinate, in [0, node_count()).
+  std::int32_t index(Coord c) const;
+
+  /// Inverse of index().
+  Coord coord(std::int32_t idx) const;
+
+  /// Minimal wrap-around displacement taking `from` to `to`; each component
+  /// is in (-dim/2, dim/2].
+  Offset delta(Coord from, Coord to) const;
+
+  /// Distance-r containment test under the torus metric.
+  bool within(Coord a, Coord b, std::int32_t r, Metric m) const {
+    return within_radius(delta(a, b), r, m);
+  }
+
+  /// All canonical coordinates, row-major (y outer, x inner), matching
+  /// index() order.
+  std::vector<Coord> all_coords() const;
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,57 @@
+#pragma once
+// Channel models.
+//
+// The paper's results assume the reliable local broadcast primitive
+// (Section II) but note that it "does not hold per se in real wireless
+// networks" and might be implemented as a *probabilistic* primitive on top
+// of lossy transmissions; accidental collisions "may be handled to some
+// extent ... as they can be treated akin to transmission errors". This
+// module provides that lossy substrate: a ChannelModel decides, per
+// (transmission, receiver), whether the receiver hears it. Combined with the
+// network-level retransmission knob (RadioNetwork::set_retransmissions) it
+// yields the probabilistic local-broadcast primitive the paper gestures at.
+//
+// Note the semantics under loss: different neighbors may hear different
+// subsets of a node's transmissions, so the no-duplicity property of
+// Section V is no longer automatic. The protocols' safety argument survives
+// regardless (commits still require t+1 node-disjoint confirmations within a
+// t-bounded neighborhood); only liveness degrades, which retransmissions
+// repair with high probability — exactly the trade the paper sketches.
+
+#include "radiobcast/grid/coord.h"
+#include "radiobcast/util/rng.h"
+
+namespace rbcast {
+
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  /// True iff `receiver` hears this transmission from `sender`. Called once
+  /// per (transmission, receiver); implementations may consume randomness.
+  virtual bool delivers(Coord sender, Coord receiver, Rng& rng) = 0;
+};
+
+/// The paper's idealized reliable channel: every neighbor hears everything.
+class PerfectChannel final : public ChannelModel {
+ public:
+  bool delivers(Coord, Coord, Rng&) override { return true; }
+};
+
+/// Independent per-receiver loss with probability p_loss — transmission
+/// errors / accidental collisions as in the Section II remark.
+class IidLossChannel final : public ChannelModel {
+ public:
+  explicit IidLossChannel(double p_loss) : p_loss_(p_loss) {}
+
+  bool delivers(Coord, Coord, Rng& rng) override {
+    return !rng.chance(p_loss_);
+  }
+
+  double loss_probability() const { return p_loss_; }
+
+ private:
+  double p_loss_;
+};
+
+}  // namespace rbcast

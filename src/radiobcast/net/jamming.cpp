@@ -1,0 +1,42 @@
+#include "radiobcast/net/jamming.h"
+
+#include <algorithm>
+
+namespace rbcast {
+
+JammingChannel::JammingChannel(const Torus& torus, std::int32_t r, Metric m,
+                               std::vector<Coord> jammers,
+                               std::int64_t budget_per_jammer)
+    : torus_(torus), r_(r), m_(m), unbounded_(budget_per_jammer < 0) {
+  jammers_.reserve(jammers.size());
+  for (const Coord j : jammers) {
+    const Coord canon = torus.wrap(j);
+    jammers_.push_back(canon);
+    budget_[canon] = budget_per_jammer;
+  }
+  std::sort(jammers_.begin(), jammers_.end());
+  jammers_.erase(std::unique(jammers_.begin(), jammers_.end()),
+                 jammers_.end());
+}
+
+bool JammingChannel::delivers(Coord sender, Coord receiver, Rng&) {
+  // Jammers never destroy their own (i.e., any faulty) transmissions; the
+  // adversary coordinates.
+  if (budget_.count(torus_.wrap(sender)) > 0) return true;
+  for (const Coord jammer : jammers_) {
+    if (!torus_.within(jammer, receiver, r_, m_)) continue;
+    if (unbounded_) {
+      ++jammed_;
+      return false;
+    }
+    auto& remaining = budget_[jammer];
+    if (remaining > 0) {
+      --remaining;
+      ++jammed_;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rbcast

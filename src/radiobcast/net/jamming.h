@@ -1,0 +1,52 @@
+#pragma once
+// Adversarial collisions with a bounded budget (Section X).
+//
+// "Reliable broadcast is rendered impossible if the adversary can cause an
+// unbounded number of collisions, since a faulty node can cause collision
+// with any transmission made by a good node in its vicinity. When the number
+// of collisions is bounded, it may be possible to come up with protocols
+// that achieve reliable broadcast. If the adversary uses collisions to
+// merely disrupt communication, the problem is trivially solved by
+// re-transmitting messages a sufficient number of times."
+//
+// JammingChannel models exactly that disruption adversary: every faulty
+// "jammer" can destroy deliveries to receivers in its vicinity (within the
+// transmission radius), consuming one unit of its collision budget per
+// destroyed delivery, greedily (it jams everything it can until exhausted —
+// the most disruptive schedule for a front-loaded broadcast). An unbounded
+// budget blacks out every jammer's vicinity; a bounded budget loses to
+// sufficiently many retransmissions (bench_jamming).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "radiobcast/grid/metric.h"
+#include "radiobcast/grid/torus.h"
+#include "radiobcast/net/channel.h"
+
+namespace rbcast {
+
+class JammingChannel final : public ChannelModel {
+ public:
+  /// `jammers` are the faulty nodes' positions; each starts with
+  /// `budget_per_jammer` destroyable deliveries (negative = unbounded).
+  JammingChannel(const Torus& torus, std::int32_t r, Metric m,
+                 std::vector<Coord> jammers, std::int64_t budget_per_jammer);
+
+  bool delivers(Coord sender, Coord receiver, Rng& rng) override;
+
+  /// Total deliveries destroyed so far.
+  std::int64_t jammed_count() const { return jammed_; }
+
+ private:
+  Torus torus_;  // by value: avoids lifetime coupling to the caller
+  std::int32_t r_;
+  Metric m_;
+  std::vector<Coord> jammers_;                    // canonical coords
+  std::unordered_map<Coord, std::int64_t> budget_;  // remaining per jammer
+  bool unbounded_;
+  std::int64_t jammed_ = 0;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,39 @@
+#include "radiobcast/net/message.h"
+
+#include <sstream>
+
+namespace rbcast {
+
+Message make_committed(Coord origin, std::uint8_t value) {
+  Message m;
+  m.type = MsgType::kCommitted;
+  m.value = value;
+  m.origin = origin;
+  return m;
+}
+
+Message make_heard(std::vector<Coord> relayers, Coord origin,
+                   std::uint8_t value) {
+  Message m;
+  m.type = MsgType::kHeard;
+  m.value = value;
+  m.origin = origin;
+  m.relayers = std::move(relayers);
+  return m;
+}
+
+std::string to_string(const Message& m) {
+  std::ostringstream os;
+  if (m.type == MsgType::kCommitted) {
+    os << "COMMITTED(" << to_string(m.origin) << ", " << int(m.value) << ")";
+  } else {
+    os << "HEARD(";
+    for (auto it = m.relayers.rbegin(); it != m.relayers.rend(); ++it) {
+      os << to_string(*it) << ", ";
+    }
+    os << to_string(m.origin) << ", " << int(m.value) << ")";
+  }
+  return os.str();
+}
+
+}  // namespace rbcast

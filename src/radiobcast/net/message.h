@@ -1,0 +1,43 @@
+#pragma once
+// Protocol messages (Section VI).
+//
+//   COMMITTED(i, v)         — node i announces it committed to value v.
+//   HEARD(j, ..., i, v)     — relayer chain: the *last* listed relayer is the
+//                             node transmitting this copy; relayers[0] claims
+//                             to have heard COMMITTED(i, v) from i directly.
+//
+// The radio channel (net/network.h) attaches the true transmitter identity to
+// every delivery; honest nodes verify that a HEARD's outermost relayer equals
+// the transmitter, which is what makes fabricated "sent by someone else"
+// reports detectable (no address spoofing, Section II).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "radiobcast/grid/coord.h"
+
+namespace rbcast {
+
+enum class MsgType : std::uint8_t { kCommitted, kHeard };
+
+struct Message {
+  MsgType type = MsgType::kCommitted;
+  std::uint8_t value = 0;  // the binary broadcast value (0 or 1)
+  Coord origin{};          // the committer the message is about
+  // Relayer chain for kHeard, in forwarding order: relayers.front() heard the
+  // COMMITTED directly; relayers.back() is the current transmitter. Empty for
+  // kCommitted.
+  std::vector<Coord> relayers;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+Message make_committed(Coord origin, std::uint8_t value);
+Message make_heard(std::vector<Coord> relayers, Coord origin,
+                   std::uint8_t value);
+
+/// Human-readable rendering for logs and test failures.
+std::string to_string(const Message& m);
+
+}  // namespace rbcast

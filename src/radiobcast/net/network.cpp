@@ -1,0 +1,150 @@
+#include "radiobcast/net/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rbcast {
+
+const Torus& NodeContext::torus() const { return net_->torus(); }
+std::int32_t NodeContext::radius() const { return net_->radius(); }
+Metric NodeContext::metric() const { return net_->metric(); }
+std::int64_t NodeContext::round() const { return net_->round(); }
+Rng& NodeContext::rng() { return net_->rng(); }
+
+void NodeContext::broadcast(Message msg) {
+  net_->queue_broadcast(self_, std::move(msg));
+}
+
+void NodeContext::broadcast_as(Coord claimed_sender, Message msg) {
+  net_->queue_spoofed_broadcast(self_, claimed_sender, std::move(msg));
+}
+
+RadioNetwork::RadioNetwork(Torus torus, std::int32_t r, Metric metric,
+                           std::uint64_t seed)
+    : torus_(std::move(torus)),
+      r_(r),
+      metric_(metric),
+      rng_(seed),
+      channel_(std::make_unique<PerfectChannel>()),
+      behaviors_(static_cast<std::size_t>(torus_.node_count())),
+      tx_count_(static_cast<std::size_t>(torus_.node_count()), 0) {
+  if (r < 1) throw std::invalid_argument("radius must be >= 1");
+}
+
+void RadioNetwork::set_channel(std::unique_ptr<ChannelModel> channel) {
+  if (channel == nullptr) throw std::invalid_argument("null channel");
+  channel_ = std::move(channel);
+}
+
+void RadioNetwork::set_retransmissions(int count) {
+  if (count < 1) throw std::invalid_argument("retransmissions must be >= 1");
+  retransmissions_ = count;
+}
+
+void RadioNetwork::set_behavior(Coord c, std::unique_ptr<NodeBehavior> b) {
+  behaviors_[static_cast<std::size_t>(torus_.index(c))] = std::move(b);
+}
+
+NodeBehavior* RadioNetwork::behavior(Coord c) {
+  return behaviors_[static_cast<std::size_t>(torus_.index(c))].get();
+}
+
+const NodeBehavior* RadioNetwork::behavior(Coord c) const {
+  return behaviors_[static_cast<std::size_t>(torus_.index(c))].get();
+}
+
+void RadioNetwork::queue_broadcast(Coord sender, Message msg) {
+  const Coord canon = torus_.wrap(sender);
+  outbox_.push_back(Pending{Envelope{canon, std::move(msg)}, canon,
+                            retransmissions_ - 1});
+}
+
+void RadioNetwork::queue_spoofed_broadcast(Coord actual_sender,
+                                           Coord claimed_sender,
+                                           Message msg) {
+  if (!spoofing_allowed_) {
+    throw std::logic_error(
+        "address spoofing is disabled (the paper's model); call "
+        "allow_spoofing(true) to run the Section X negative control");
+  }
+  outbox_.push_back(Pending{Envelope{torus_.wrap(claimed_sender),
+                                     std::move(msg)},
+                            torus_.wrap(actual_sender),
+                            retransmissions_ - 1});
+}
+
+void RadioNetwork::start() {
+  if (started_) throw std::logic_error("RadioNetwork::start called twice");
+  for (std::int64_t i = 0; i < torus_.node_count(); ++i) {
+    NodeBehavior* b = behaviors_[static_cast<std::size_t>(i)].get();
+    if (b == nullptr) {
+      throw std::logic_error("node " + to_string(torus_.coord(
+                                 static_cast<std::int32_t>(i))) +
+                             " has no behavior");
+    }
+    NodeContext ctx(*this, torus_.coord(static_cast<std::int32_t>(i)));
+    b->on_start(ctx);
+  }
+  started_ = true;
+  pending_ = std::move(outbox_);
+  outbox_.clear();
+}
+
+void RadioNetwork::run_round() {
+  if (!started_) throw std::logic_error("RadioNetwork::run_round before start");
+  ++round_;
+  // Deliver last round's transmissions. pending_ preserves sender order
+  // (node-index-major, send-order-minor) because behaviors run in index
+  // order, which gives every receiver the same deterministic TDMA order.
+  std::vector<Pending> repeats;
+  for (const Pending& p : pending_) {
+    const Envelope& env = p.envelope;
+    const std::size_t sender_idx =
+        static_cast<std::size_t>(torus_.index(p.actual_sender));
+    tx_count_[sender_idx] += 1;
+    stats_.transmissions += 1;
+    stats_.payload_units += 2 + env.msg.relayers.size();
+    const auto& table = NeighborhoodTable::get(r_, metric_);
+    for (const Offset o : table.offsets()) {
+      // Receivers are the ACTUAL transmitter's neighbors, even when the
+      // envelope claims a spoofed identity.
+      const Coord receiver = torus_.wrap(p.actual_sender + o);
+      if (!channel_->delivers(p.actual_sender, receiver, rng_)) {
+        stats_.drops += 1;
+        continue;
+      }
+      NodeBehavior* b =
+          behaviors_[static_cast<std::size_t>(torus_.index(receiver))].get();
+      stats_.deliveries += 1;
+      NodeContext ctx(*this, receiver);
+      b->on_receive(ctx, env);
+    }
+    if (p.repeats_left > 0) {
+      repeats.push_back(Pending{env, p.actual_sender, p.repeats_left - 1});
+    }
+  }
+  pending_.clear();
+  for (std::int64_t i = 0; i < torus_.node_count(); ++i) {
+    NodeContext ctx(*this, torus_.coord(static_cast<std::int32_t>(i)));
+    behaviors_[static_cast<std::size_t>(i)]->on_round_end(ctx);
+  }
+  pending_ = std::move(outbox_);
+  outbox_.clear();
+  // Retransmission copies go after this round's fresh sends.
+  for (Pending& p : repeats) pending_.push_back(std::move(p));
+}
+
+std::int64_t RadioNetwork::run_until_quiescent(std::int64_t max_rounds) {
+  std::int64_t rounds = 0;
+  while (!quiescent() && rounds < max_rounds) {
+    run_round();
+    ++rounds;
+  }
+  return rounds;
+}
+
+std::uint64_t RadioNetwork::transmissions_of(Coord c) const {
+  return tx_count_[static_cast<std::size_t>(torus_.index(c))];
+}
+
+}  // namespace rbcast

@@ -1,0 +1,187 @@
+#pragma once
+// Synchronous radio network simulator implementing the paper's "reliable
+// local broadcast" assumption (Section II):
+//
+//  * a message broadcast by a node is heard by *all* nodes within distance r
+//    (no loss, no collisions — the model assumes a TDMA schedule);
+//  * receivers learn the true transmitter identity (no address spoofing);
+//  * per-sender FIFO order is preserved for all receivers alike.
+//
+// Time advances in rounds: everything broadcast during round k is delivered
+// to every neighbor at round k+1. Within a round, deliveries are processed
+// sender-by-sender in node-index order and, per sender, in send order — a
+// deterministic serialization of the TDMA schedule. The simulation is fully
+// deterministic given the seed.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "radiobcast/grid/metric.h"
+#include "radiobcast/grid/neighborhood.h"
+#include "radiobcast/grid/torus.h"
+#include "radiobcast/net/channel.h"
+#include "radiobcast/net/message.h"
+#include "radiobcast/util/rng.h"
+
+namespace rbcast {
+
+class RadioNetwork;
+
+/// A delivered transmission: `sender` is the true transmitter (unspoofable).
+struct Envelope {
+  Coord sender;
+  Message msg;
+};
+
+/// Capabilities handed to a behavior during its callbacks.
+class NodeContext {
+ public:
+  NodeContext(RadioNetwork& net, Coord self) : net_(&net), self_(self) {}
+
+  Coord self() const { return self_; }
+  const Torus& torus() const;
+  std::int32_t radius() const;
+  Metric metric() const;
+  std::int64_t round() const;
+  Rng& rng();
+
+  /// Queues a local broadcast; every neighbor receives it next round.
+  void broadcast(Message msg);
+
+  /// Queues a broadcast whose Envelope::sender claims to be
+  /// `claimed_sender` — address spoofing (Section X). Only legal after
+  /// RadioNetwork::allow_spoofing(true); honest behaviors never call this.
+  /// Receivers are still the *actual* transmitter's neighbors.
+  void broadcast_as(Coord claimed_sender, Message msg);
+
+ private:
+  RadioNetwork* net_;
+  Coord self_;
+};
+
+/// A node's protocol logic (honest or adversarial). Behaviors are
+/// message-driven; all callbacks receive a context bound to this node.
+class NodeBehavior {
+ public:
+  virtual ~NodeBehavior() = default;
+
+  /// Called once before the first round.
+  virtual void on_start(NodeContext& /*ctx*/) {}
+
+  /// Called for each transmission heard (deliveries of the previous round).
+  virtual void on_receive(NodeContext& ctx, const Envelope& env) = 0;
+
+  /// Called once per round after all of this round's deliveries.
+  virtual void on_round_end(NodeContext& /*ctx*/) {}
+
+  /// The value this node has committed to, if any. Adversarial behaviors may
+  /// return anything; the simulation scores only honest nodes.
+  virtual std::optional<std::uint8_t> committed_value() const {
+    return std::nullopt;
+  }
+
+  /// The round in which committed_value() became set (for propagation-stage
+  /// analyses, Figs 9-10 and 14-19). Unset iff committed_value() is unset.
+  virtual std::optional<std::int64_t> commit_round() const {
+    return std::nullopt;
+  }
+};
+
+/// Per-network traffic statistics.
+struct TrafficStats {
+  std::uint64_t transmissions = 0;  // broadcast() calls that were delivered
+  std::uint64_t deliveries = 0;     // per-receiver envelope deliveries
+  std::uint64_t drops = 0;          // deliveries suppressed by the channel
+  /// Total payload transmitted, in coordinate-sized units: a COMMITTED costs
+  /// 2 (origin + value rounded up), a HEARD costs 2 + |relayers|. Captures
+  /// the fact that indirect reports carry whole paths, so "communication
+  /// overhead" differs from the raw message count (Section VI-B).
+  std::uint64_t payload_units = 0;
+};
+
+class RadioNetwork {
+ public:
+  RadioNetwork(Torus torus, std::int32_t r, Metric metric, std::uint64_t seed);
+
+  const Torus& torus() const { return torus_; }
+  std::int32_t radius() const { return r_; }
+  Metric metric() const { return metric_; }
+  std::int64_t round() const { return round_; }
+  Rng& rng() { return rng_; }
+
+  /// Installs the behavior for a node (replacing any previous one). All nodes
+  /// must have behaviors before run() is called.
+  void set_behavior(Coord c, std::unique_ptr<NodeBehavior> behavior);
+
+  /// Replaces the channel model (default: PerfectChannel). See net/channel.h.
+  void set_channel(std::unique_ptr<ChannelModel> channel);
+
+  /// Every broadcast is transmitted `count` times, in consecutive rounds,
+  /// each with independent channel draws — the retransmission-based
+  /// probabilistic local-broadcast primitive of the Section II remark.
+  /// Precondition: count >= 1. Default 1 (the paper's model).
+  void set_retransmissions(int count);
+
+  /// Permits NodeContext::broadcast_as (Section X's address-spoofing
+  /// adversary). Off by default: the paper's model has no spoofing, and the
+  /// spoofing experiments are a negative control showing safety genuinely
+  /// depends on this assumption.
+  void allow_spoofing(bool allowed) { spoofing_allowed_ = allowed; }
+
+  NodeBehavior* behavior(Coord c);
+  const NodeBehavior* behavior(Coord c) const;
+
+  /// Calls on_start on every node (node-index order). Must be called exactly
+  /// once, before the first run_round().
+  void start();
+
+  /// Delivers everything sent in the previous round, then runs on_round_end
+  /// for every node.
+  void run_round();
+
+  /// True when no transmissions are waiting for delivery.
+  bool quiescent() const { return pending_.empty(); }
+
+  /// Runs rounds until quiescent or max_rounds is hit; returns rounds run.
+  std::int64_t run_until_quiescent(std::int64_t max_rounds);
+
+  const TrafficStats& stats() const { return stats_; }
+
+  /// Transmission count of one node (for the overhead experiments).
+  std::uint64_t transmissions_of(Coord c) const;
+
+ private:
+  friend class NodeContext;
+  void queue_broadcast(Coord sender, Message msg);
+  void queue_spoofed_broadcast(Coord actual_sender, Coord claimed_sender,
+                               Message msg);
+
+  /// A transmission awaiting delivery; `repeats_left` further copies will be
+  /// scheduled in subsequent rounds. `actual_sender` determines who hears it
+  /// (it differs from envelope.sender only for spoofed transmissions).
+  struct Pending {
+    Envelope envelope;
+    Coord actual_sender;
+    int repeats_left;
+  };
+
+  Torus torus_;
+  std::int32_t r_;
+  Metric metric_;
+  Rng rng_;
+  std::int64_t round_ = 0;
+  bool started_ = false;
+  int retransmissions_ = 1;
+  bool spoofing_allowed_ = false;
+  std::unique_ptr<ChannelModel> channel_;
+
+  std::vector<std::unique_ptr<NodeBehavior>> behaviors_;  // by node index
+  std::vector<std::uint64_t> tx_count_;                   // by node index
+  std::vector<Pending> pending_;  // sent last round, deliver this round
+  std::vector<Pending> outbox_;   // sent this round
+  TrafficStats stats_;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,24 @@
+#include "radiobcast/net/tdma.h"
+
+namespace rbcast {
+
+std::optional<TdmaViolation> find_tdma_violation(const Torus& torus,
+                                                 std::int32_t r, Metric m) {
+  // Two transmitters conflict iff within 2r (some node could be within r of
+  // both). Scan every node against same-slot nodes in its 2r-ball.
+  for (const Coord a : torus.all_coords()) {
+    const std::int32_t slot = tdma_slot(a, r);
+    for (std::int32_t dy = -2 * r; dy <= 2 * r; ++dy) {
+      for (std::int32_t dx = -2 * r; dx <= 2 * r; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        if (!within_radius({dx, dy}, 2 * r, m)) continue;
+        const Coord b = torus.wrap(a + Offset{dx, dy});
+        if (b == a) continue;
+        if (tdma_slot(b, r) == slot) return TdmaViolation{a, b};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,55 @@
+#pragma once
+// TDMA schedules for the grid (Section II).
+//
+// "We assume ... there exists a pre-determined TDMA schedule that all nodes
+// follow. Such schedules are easily determined for the grid network under
+// consideration (so long as time-optimality is not a concern)."
+//
+// This module constructs that schedule explicitly and proves (in the tests)
+// that it is collision-free. Two transmitters conflict iff some node is
+// within radius r of both, i.e. iff they are within distance 2r of each
+// other; coloring grid points by (x mod 2r+1, y mod 2r+1) separates any two
+// same-slot nodes by at least 2r+1 in x or y, so the (2r+1)^2-slot schedule
+// is always valid on the infinite grid, and valid on a torus whose sides are
+// multiples of 2r+1.
+
+#include <cstdint>
+#include <optional>
+
+#include "radiobcast/grid/coord.h"
+#include "radiobcast/grid/metric.h"
+#include "radiobcast/grid/torus.h"
+
+namespace rbcast {
+
+/// Number of slots in the canonical grid schedule: (2r+1)^2.
+constexpr std::int32_t tdma_slot_count(std::int32_t r) {
+  return (2 * r + 1) * (2 * r + 1);
+}
+
+/// Slot of a node in the canonical schedule.
+constexpr std::int32_t tdma_slot(Coord c, std::int32_t r) {
+  const std::int32_t period = 2 * r + 1;
+  const std::int32_t sx = ((c.x % period) + period) % period;
+  const std::int32_t sy = ((c.y % period) + period) % period;
+  return sy * period + sx;
+}
+
+/// True iff the torus dimensions make the canonical schedule seam-safe
+/// (both sides multiples of 2r+1).
+inline bool tdma_compatible(const Torus& torus, std::int32_t r) {
+  const std::int32_t period = 2 * r + 1;
+  return torus.width() % period == 0 && torus.height() % period == 0;
+}
+
+/// Exhaustively verifies that no two distinct same-slot nodes of the torus
+/// share a potential receiver (i.e. are within 2r of each other) under the
+/// given metric. Returns a violating pair if any.
+struct TdmaViolation {
+  Coord a;
+  Coord b;
+};
+std::optional<TdmaViolation> find_tdma_violation(const Torus& torus,
+                                                 std::int32_t r, Metric m);
+
+}  // namespace rbcast

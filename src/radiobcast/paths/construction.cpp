@@ -1,0 +1,239 @@
+#include "radiobcast/paths/construction.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace rbcast {
+
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+/// One of the 8 grid symmetries (the dihedral group of the square), as an
+/// orthogonal integer matrix [[a b],[c d]].
+struct Sym {
+  std::int32_t a, b, c, d;
+
+  constexpr Offset apply(Offset o) const {
+    return {a * o.dx + b * o.dy, c * o.dx + d * o.dy};
+  }
+  /// Inverse of an orthogonal matrix is its transpose.
+  constexpr Sym inverse() const { return {a, c, b, d}; }
+};
+
+constexpr std::array<Sym, 8> kSymmetries = {{
+    {1, 0, 0, 1},
+    {-1, 0, 0, 1},
+    {1, 0, 0, -1},
+    {-1, 0, 0, -1},
+    {0, 1, 1, 0},
+    {0, -1, 1, 0},
+    {0, 1, -1, 0},
+    {0, -1, -1, 0},
+}};
+
+std::int32_t l1_norm(Offset o) {
+  return (o.dx < 0 ? -o.dx : o.dx) + (o.dy < 0 ? -o.dy : o.dy);
+}
+
+/// Appends path {n, mid..., p} for every cell of `via` (single-intermediate
+/// family N -> via -> P).
+void add_one_hop_family(DisjointPathSet& out, const Rect& via) {
+  for (const Coord m : via.cells()) {
+    out.paths.push_back(GridPath{{out.origin, m, out.dest}});
+  }
+}
+
+/// Two-intermediate family N -> r1 -> r1+shift -> P (the paper's translation
+/// pairing between corresponding cells).
+void add_two_hop_family(DisjointPathSet& out, const Rect& first,
+                        Offset shift) {
+  for (const Coord m : first.cells()) {
+    out.paths.push_back(GridPath{{out.origin, m, m + shift, out.dest}});
+  }
+}
+
+}  // namespace
+
+const char* to_string(FamilyKind k) {
+  switch (k) {
+    case FamilyKind::kDirect: return "direct";
+    case FamilyKind::kU: return "U";
+    case FamilyKind::kS1: return "S1";
+    case FamilyKind::kS2: return "S2";
+  }
+  return "?";
+}
+
+Table1Regions table1_regions(std::int32_t r, std::int32_t p, std::int32_t q) {
+  require(r >= 1, "table1_regions: r >= 1");
+  require(q > p && p >= 1 && q <= r, "table1_regions: need r >= q > p >= 1");
+  Table1Regions t;
+  t.A = {p - r, 0, 1, q + r};
+  t.B1 = {1, p - 1, 1, q + r};
+  t.B2 = t.B1.translate({-r, 0});
+  t.C1 = {p + 1, r, q + 1, r + 1};
+  t.C2 = t.C1.translate({-r, r});
+  t.D1 = {p, p + r - q, r + q - p + 1, r + q};
+  t.D2 = {1, p, 1 + r + q, 1 + 2 * r};
+  t.D3 = t.D2.translate({-r, 0});
+  return t;
+}
+
+std::vector<Coord> region_M(std::int32_t r) {
+  std::vector<Coord> out;
+  for (std::int32_t q = 1; q <= 2 * r; ++q) {
+    for (std::int32_t p = 0; p < q; ++p) {
+      out.push_back({-r + p, -r + q});
+    }
+  }
+  return out;
+}
+
+S1Regions s1_regions(std::int32_t r, std::int32_t p) {
+  require(r >= 1, "s1_regions: r >= 1");
+  require(p >= 0 && p <= r - 1, "s1_regions: need 0 <= p <= r-1");
+  S1Regions s;
+  s.J = {-2 * r, 0, 1, r - p};
+  s.K1 = {-2 * r, 0, -p + 1, 0};
+  s.K2 = s.K1.translate({0, r});
+  return s;
+}
+
+DisjointPathSet family_for_U(std::int32_t r, std::int32_t p, std::int32_t q) {
+  const Table1Regions t = table1_regions(r, p, q);
+  DisjointPathSet out{{p, q}, corner_P(r), center_for_U(r), {}};
+  add_one_hop_family(out, t.A);
+  add_two_hop_family(out, t.B1, {-r, 0});
+  add_two_hop_family(out, t.C1, {-r, r});
+  // D family: three intermediates. D1 and D2 are fully cross-adjacent (every
+  // D2 node neighbors every D1 node), so the row-major pairing is valid;
+  // D2 -> D3 is the translation by (-r, 0).
+  const auto d1 = t.D1.cells();
+  const auto d2 = t.D2.cells();
+  require(d1.size() == d2.size(), "family_for_U: |D1| == |D2|");
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    out.paths.push_back(
+        GridPath{{out.origin, d1[i], d2[i], d2[i] + Offset{-r, 0}, out.dest}});
+  }
+  return out;
+}
+
+DisjointPathSet family_for_S1(std::int32_t r, std::int32_t p) {
+  const S1Regions s = s1_regions(r, p);
+  DisjointPathSet out{{-r, -p}, corner_P(r), center_for_S1(r), {}};
+  add_one_hop_family(out, s.J);
+  add_two_hop_family(out, s.K1, {0, r});
+  return out;
+}
+
+DisjointPathSet family_for_S2(std::int32_t r, std::int32_t q, std::int32_t p) {
+  require(q > p && p >= 0 && q <= r - 1, "family_for_S2: need r-1 >= q > p >= 0");
+  // σ(x,y) = (1-y, 1-x): the reflection about the axis OO' through P that
+  // maps U onto S2 (and fixes P). Apply it to the U-family of (p+1, q+1).
+  const DisjointPathSet u = family_for_U(r, p + 1, q + 1);
+  auto sigma = [](Coord c) { return Coord{1 - c.y, 1 - c.x}; };
+  DisjointPathSet out{sigma(u.origin), sigma(u.dest), sigma(u.center), {}};
+  for (const GridPath& path : u.paths) {
+    GridPath mapped;
+    mapped.nodes.reserve(path.nodes.size());
+    for (const Coord c : path.nodes) mapped.nodes.push_back(sigma(c));
+    out.paths.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+FamilyKind classify_canonical(std::int32_t r, Offset d) {
+  require(d.dx <= 0 && d.dy >= 1, "classify_canonical: displacement not canonical");
+  require(l1_norm(d) <= 2 * r, "classify_canonical: |d|_1 > 2r");
+  if (d.dx >= -r && d.dy <= r) return FamilyKind::kDirect;
+  if (d.dy >= r + 1) return d.dx == 0 ? FamilyKind::kS1 : FamilyKind::kS2;
+  return FamilyKind::kU;
+}
+
+DisjointPathSet construction_paths(std::int32_t r, Coord origin, Coord dest) {
+  const Offset d = dest - origin;
+  const std::int32_t l1 = l1_norm(d);
+  require(l1 >= 1 && l1 <= 2 * r,
+          "construction_paths: need 1 <= |dest-origin|_1 <= 2r");
+
+  // Map the displacement onto the canonical class (dx <= 0, dy >= 1).
+  const Sym* sym = nullptr;
+  Offset dc{};
+  for (const Sym& s : kSymmetries) {
+    const Offset cand = s.apply(d);
+    if (cand.dx <= 0 && cand.dy >= 1) {
+      sym = &s;
+      dc = cand;
+      break;
+    }
+  }
+  require(sym != nullptr, "construction_paths: no canonicalizing symmetry");
+
+  const FamilyKind kind = classify_canonical(r, dc);
+  DisjointPathSet canonical;
+  switch (kind) {
+    case FamilyKind::kDirect: {
+      const Coord n = corner_P(r) - dc;
+      canonical = DisjointPathSet{n, corner_P(r), corner_P(r), {}};
+      canonical.paths.push_back(GridPath{{n, corner_P(r)}});
+      break;
+    }
+    case FamilyKind::kU:
+      canonical = family_for_U(r, -r - dc.dx, r + 1 - dc.dy);
+      break;
+    case FamilyKind::kS1:
+      canonical = family_for_S1(r, dc.dy - r - 1);
+      break;
+    case FamilyKind::kS2:
+      canonical = family_for_S2(r, dc.dx + r, dc.dy - r - 1);
+      break;
+  }
+
+  // Pull back: actual = origin + sym^{-1}(z - N_canonical).
+  const Sym inv = sym->inverse();
+  auto pull = [&](Coord z) {
+    return origin + inv.apply(z - canonical.origin);
+  };
+  DisjointPathSet out{pull(canonical.origin), pull(canonical.dest),
+                      pull(canonical.center), {}};
+  for (const GridPath& path : canonical.paths) {
+    GridPath mapped;
+    mapped.nodes.reserve(path.nodes.size());
+    for (const Coord c : path.nodes) mapped.nodes.push_back(pull(c));
+    out.paths.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+std::int64_t arbitrary_p_connected_count(std::int32_t r, std::int32_t l) {
+  require(r >= 1 && l >= 0 && l <= r, "arbitrary_p_connected_count: 0 <= l <= r");
+  // P = (-r+l, r+1). Collect, inside nbd(0,0) (the closed L∞ ball minus the
+  // center), the direct region of P plus the translated U, S1, S2 regions.
+  std::unordered_set<Coord> connected;
+  const Coord p_node{-r + l, r + 1};
+  const Rect nbd = linf_ball({0, 0}, r);
+  auto add_if_in_nbd = [&](Coord c) {
+    if (nbd.contains(c) && !(c == Coord{0, 0})) connected.insert(c);
+  };
+  // Direct region: nodes of nbd(0,0) within r of P.
+  for (const Coord c : nbd.cells()) {
+    if (linf_norm(c - p_node) <= r) add_if_in_nbd(c);
+  }
+  // Translated constructive regions.
+  const Offset shift{l, 0};
+  for (std::int32_t q = 1; q <= r; ++q) {
+    for (std::int32_t p = 1; p < q; ++p) add_if_in_nbd(Coord{p, q} + shift);  // U
+  }
+  for (std::int32_t p = 0; p <= r - 1; ++p) add_if_in_nbd(Coord{-r, -p} + shift);  // S1
+  for (std::int32_t q = 1; q <= r - 1; ++q) {
+    for (std::int32_t p = 0; p < q; ++p) add_if_in_nbd(Coord{-q, -p} + shift);  // S2
+  }
+  return static_cast<std::int64_t>(connected.size());
+}
+
+}  // namespace rbcast

@@ -1,0 +1,107 @@
+#pragma once
+// The paper's explicit node-disjoint path construction (Section VI, Theorem 3,
+// Figs 1-7, Table I) for the L∞ metric.
+//
+// Canonical frame: the neighborhood under consideration is nbd(0,0) (the
+// paper's nbd(a,b) with a=b=0) and the deciding node P sits at the worst-case
+// pnbd corner (-r, r+1). The proof shows P can reliably determine the values
+// committed by the r(2r+1) nodes of region
+//
+//   M = { (-r+p, -r+q) | 2r >= q > p >= 0 }          (Fig 1)
+//
+// by splitting M into:
+//   R  = [-r,0] x [1,r]            — heard directly            (Fig 2)
+//   U  = { (p,q) | r >= q > p >= 1 }                           (Fig 3)
+//   S1 = { (-r,-p) | 0 <= p <= r-1 }
+//   S2 = { (-q,-p) | r-1 >= q > p >= 0 }
+//
+// and exhibiting, for each N in U/S1/S2, exactly r(2r+1) node-disjoint radio
+// paths N -> ... -> P with <= 3 intermediates, all lying inside one single
+// neighborhood (center (0, r+1) for U, (-r, 1) for S1/S2). The intermediate
+// regions are those of Table I; S2 is obtained from U by the reflection
+// σ(x,y) = (1-y, 1-x) about the axis OO' through P (Section VI, Fig 7).
+//
+// Everything here is exact integer geometry; the test-suite and the
+// bench_table1_regions harness verify all counts, disjointness, containment
+// and adjacency claims computationally.
+
+#include <cstdint>
+#include <vector>
+
+#include "radiobcast/grid/coord.h"
+#include "radiobcast/grid/region.h"
+#include "radiobcast/paths/disjoint.h"
+
+namespace rbcast {
+
+/// Decider position in the canonical frame.
+constexpr Coord corner_P(std::int32_t r) { return {-r, r + 1}; }
+
+/// Center of the single neighborhood containing the U-family paths.
+constexpr Coord center_for_U(std::int32_t r) { return {0, r + 1}; }
+
+/// Center of the single neighborhood containing the S1/S2-family paths.
+constexpr Coord center_for_S1(std::int32_t r) { return {-r, 1}; }
+
+/// The Table I intermediate regions for N = (p,q) in U (canonical frame,
+/// a = b = 0). Paths: N->A->P, N->B1->B2->P, N->C1->C2->P, N->D1->D2->D3->P.
+struct Table1Regions {
+  Rect A;
+  Rect B1, B2;
+  Rect C1, C2;
+  Rect D1, D2, D3;
+};
+
+/// Computes the Table I regions. Preconditions: r >= 1, r >= q > p >= 1.
+Table1Regions table1_regions(std::int32_t r, std::int32_t p, std::int32_t q);
+
+/// Region R of Fig 2 — the nodes P hears directly.
+constexpr Rect region_R(std::int32_t r) { return {-r, 0, 1, r}; }
+
+/// Region M of Fig 1 — the r(2r+1) nodes of nbd(0,0) whose committed values
+/// P can reliably determine (the half-square strictly above the diagonal).
+std::vector<Coord> region_M(std::int32_t r);
+
+/// Regions J/K1/K2 of Fig 6 for N = (-r, -p) in S1. Paths: N->J->P and
+/// N->K1->K2->P, all within nbd(center_for_S1(r)).
+struct S1Regions {
+  Rect J;
+  Rect K1, K2;
+};
+S1Regions s1_regions(std::int32_t r, std::int32_t p);
+
+/// The full path family for N = (p,q) in U. Exactly r(2r+1) node-disjoint
+/// paths with <= 3 intermediates inside nbd(center_for_U(r)).
+DisjointPathSet family_for_U(std::int32_t r, std::int32_t p, std::int32_t q);
+
+/// The full path family for N = (-r, -p) in S1 (0 <= p <= r-1).
+DisjointPathSet family_for_S1(std::int32_t r, std::int32_t p);
+
+/// The full path family for N = (-q, -p) in S2 (r-1 >= q > p >= 0); obtained
+/// from family_for_U(r, p+1, q+1) by the reflection σ(x,y) = (1-y, 1-x).
+DisjointPathSet family_for_S2(std::int32_t r, std::int32_t q, std::int32_t p);
+
+/// Which of the four cases of the construction a canonical displacement
+/// d = P - N falls into.
+enum class FamilyKind : std::uint8_t { kDirect, kU, kS1, kS2 };
+
+const char* to_string(FamilyKind k);
+
+/// Classifies a canonical displacement (dx <= 0, dy >= 1, 1 <= |d|_1 <= 2r).
+FamilyKind classify_canonical(std::int32_t r, Offset d);
+
+/// General entry point: the construction's path family from `origin` (the
+/// committed node N) to `dest` (the decider P) for arbitrary positions with
+/// 1 <= |dest-origin|_1 <= 2r, obtained by mapping the displacement onto the
+/// canonical frame with one of the 8 grid symmetries. For kDirect
+/// displacements the family is the single trivial path {origin, dest}.
+/// Throws std::invalid_argument outside the covered displacement class.
+DisjointPathSet construction_paths(std::int32_t r, Coord origin, Coord dest);
+
+/// Section VI-A ("Arbitrary position of P"): number of nodes of nbd(0,0) to
+/// which P = (-r+l, r+1) is connected directly or via the (translated)
+/// construction, i.e. |R_l| + |nbd ∩ (U+l)| + |nbd ∩ (S1+l)| + |nbd ∩ (S2+l)|.
+/// The paper claims this is >= r(2r+1) for 0 <= l <= r.
+std::int64_t arbitrary_p_connected_count(std::int32_t r, std::int32_t l);
+
+}  // namespace rbcast

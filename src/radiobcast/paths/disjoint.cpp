@@ -1,0 +1,141 @@
+#include "radiobcast/paths/disjoint.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "radiobcast/grid/neighborhood.h"
+#include "radiobcast/paths/flow.h"
+
+namespace rbcast {
+
+bool is_radio_path(const GridPath& path, std::int32_t r, Metric m) {
+  if (path.nodes.size() < 2) return false;
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    if (!within_radius(path.nodes[i + 1] - path.nodes[i], r, m)) return false;
+  }
+  return true;
+}
+
+bool validate(const DisjointPathSet& set, std::int32_t r, Metric m) {
+  std::unordered_set<Coord> interior_seen;
+  for (const GridPath& p : set.paths) {
+    if (p.nodes.empty() || p.nodes.front() != set.origin ||
+        p.nodes.back() != set.dest) {
+      return false;
+    }
+    if (!is_radio_path(p, r, m)) return false;
+    for (const Coord c : p.nodes) {
+      if (!within_radius(c - set.center, r, m)) return false;
+    }
+    for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i) {
+      const Coord c = p.nodes[i];
+      if (c == set.origin || c == set.dest) return false;
+      if (!interior_seen.insert(c).second) return false;  // shared interior
+    }
+  }
+  return true;
+}
+
+DisjointPathSet max_disjoint_paths_in_nbd(Coord origin, Coord dest,
+                                          Coord center, std::int32_t r,
+                                          Metric m) {
+  if (!within_radius(origin - center, r, m) ||
+      !within_radius(dest - center, r, m)) {
+    throw std::invalid_argument(
+        "max_disjoint_paths_in_nbd: endpoints must lie in nbd(center)");
+  }
+  DisjointPathSet result{origin, dest, center, {}};
+  if (origin == dest) return result;
+
+  // Collect the patch: all nodes within r of center.
+  std::vector<Coord> patch;
+  for (std::int32_t dy = -r; dy <= r; ++dy) {
+    for (std::int32_t dx = -r; dx <= r; ++dx) {
+      const Offset o{dx, dy};
+      if (within_radius(o, r, m)) patch.push_back(center + o);
+    }
+  }
+  std::unordered_map<Coord, int> id;
+  id.reserve(patch.size());
+  for (const Coord c : patch) id.emplace(c, static_cast<int>(id.size()));
+
+  // Vertex split: node k -> in=2k, out=2k+1. Interior capacity 1; endpoints
+  // effectively unbounded.
+  const int n = static_cast<int>(patch.size());
+  MaxFlow flow(2 * n);
+  const std::int64_t big = 4LL * n;
+  for (int k = 0; k < n; ++k) {
+    const Coord c = patch[static_cast<std::size_t>(k)];
+    const std::int64_t cap = (c == origin || c == dest) ? big : 1;
+    flow.add_edge(2 * k, 2 * k + 1, cap);
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (within_radius(patch[static_cast<std::size_t>(b)] -
+                            patch[static_cast<std::size_t>(a)],
+                        r, m)) {
+        flow.add_edge(2 * a + 1, 2 * b, 1);
+      }
+    }
+  }
+  const int s = 2 * id.at(origin) + 1;  // origin_out
+  const int t = 2 * id.at(dest);        // dest_in
+  flow.solve(s, t);
+
+  for (const auto& vertex_path : flow.decompose_unit_paths(s, t)) {
+    GridPath gp;
+    gp.nodes.push_back(origin);
+    for (const int v : vertex_path) {
+      if (v == s || v == t) continue;
+      if (v % 2 == 0) {  // "in" copy marks arrival at a grid node
+        gp.nodes.push_back(patch[static_cast<std::size_t>(v / 2)]);
+      }
+    }
+    gp.nodes.push_back(dest);
+    result.paths.push_back(std::move(gp));
+  }
+  return result;
+}
+
+std::optional<DisjointPathSet> best_disjoint_paths(Coord origin, Coord dest,
+                                                   std::int32_t r, Metric m) {
+  std::optional<DisjointPathSet> best;
+  // c must satisfy dist(c, origin) <= r and dist(c, dest) <= r; scan the
+  // bounding box of the two balls.
+  for (std::int32_t cy = origin.y - r; cy <= origin.y + r; ++cy) {
+    for (std::int32_t cx = origin.x - r; cx <= origin.x + r; ++cx) {
+      const Coord c{cx, cy};
+      if (!within_radius(origin - c, r, m) || !within_radius(dest - c, r, m)) {
+        continue;
+      }
+      auto candidate = max_disjoint_paths_in_nbd(origin, dest, c, r, m);
+      if (!best || candidate.paths.size() > best->paths.size()) {
+        best = std::move(candidate);
+      }
+    }
+  }
+  return best;
+}
+
+GridPath shortcut(const GridPath& path, std::int32_t r, Metric m) {
+  GridPath out;
+  if (path.nodes.empty()) return out;
+  std::size_t i = 0;
+  out.nodes.push_back(path.nodes[0]);
+  while (i + 1 < path.nodes.size()) {
+    std::size_t next = i + 1;
+    for (std::size_t j = path.nodes.size() - 1; j > i; --j) {
+      if (within_radius(path.nodes[j] - path.nodes[i], r, m)) {
+        next = j;
+        break;
+      }
+    }
+    out.nodes.push_back(path.nodes[next]);
+    i = next;
+  }
+  return out;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,66 @@
+#pragma once
+// Node-disjoint radio paths between two grid nodes, confined to a single
+// neighborhood.
+//
+// The protocols and proofs of the paper hinge on the existence of many
+// node-disjoint paths between a committed node N and a deciding node P such
+// that every node of every path lies in one neighborhood nbd(c) (Theorem 3).
+// This module computes maximum families of such paths by max-flow with vertex
+// splitting (Menger), working in plain (unwrapped) grid coordinates: callers
+// on a torus pass displacement-relative coordinates.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "radiobcast/grid/coord.h"
+#include "radiobcast/grid/metric.h"
+
+namespace rbcast {
+
+/// A radio path: consecutive nodes are within transmission radius of each
+/// other. Stored committer-first, decider-last, endpoints included.
+struct GridPath {
+  std::vector<Coord> nodes;
+
+  std::size_t intermediates() const {
+    return nodes.size() >= 2 ? nodes.size() - 2 : 0;
+  }
+};
+
+/// True iff consecutive nodes of `path` are within radius r under metric m.
+bool is_radio_path(const GridPath& path, std::int32_t r, Metric m);
+
+/// A family of paths from origin to dest whose nodes all lie in the closed
+/// L∞/L2 ball of radius r around `center`, pairwise node-disjoint except for
+/// the shared endpoints.
+struct DisjointPathSet {
+  Coord origin;
+  Coord dest;
+  Coord center;
+  std::vector<GridPath> paths;
+};
+
+/// Verifies the DisjointPathSet invariants (radio hops, containment in
+/// nbd(center) including endpoints, pairwise interior disjointness).
+bool validate(const DisjointPathSet& set, std::int32_t r, Metric m);
+
+/// Maximum family of node-disjoint origin->dest radio paths with every node
+/// within distance r of `center`. Precondition: origin and dest are within r
+/// of center. Runs Dinic on the vertex-split patch graph.
+DisjointPathSet max_disjoint_paths_in_nbd(Coord origin, Coord dest,
+                                          Coord center, std::int32_t r,
+                                          Metric m);
+
+/// Tries every candidate center c (with origin, dest in nbd(c)) and returns
+/// the family with the most paths; ties broken by row-major center order.
+/// Returns nullopt when no common neighborhood exists.
+std::optional<DisjointPathSet> best_disjoint_paths(Coord origin, Coord dest,
+                                                   std::int32_t r, Metric m);
+
+/// Greedy shortcut of a radio path: repeatedly jump to the farthest
+/// downstream node within radius. The result uses a subset of the input's
+/// nodes (so disjointness of a family is preserved) and is never longer.
+GridPath shortcut(const GridPath& path, std::int32_t r, Metric m);
+
+}  // namespace rbcast

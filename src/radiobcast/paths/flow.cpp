@@ -1,0 +1,116 @@
+#include "radiobcast/paths/flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace rbcast {
+
+MaxFlow::MaxFlow(int vertex_count) : adj_(static_cast<std::size_t>(vertex_count)) {
+  if (vertex_count < 0) throw std::invalid_argument("negative vertex count");
+}
+
+int MaxFlow::add_edge(int u, int v, std::int64_t capacity) {
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back({v, capacity, capacity});
+  edges_.push_back({u, 0, 0});
+  adj_[static_cast<std::size_t>(u)].push_back(id);
+  adj_[static_cast<std::size_t>(v)].push_back(id + 1);
+  return id;
+}
+
+bool MaxFlow::bfs(int s, int t) {
+  level_.assign(adj_.size(), -1);
+  std::deque<int> queue{s};
+  level_[static_cast<std::size_t>(s)] = 0;
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    for (const int id : adj_[static_cast<std::size_t>(v)]) {
+      const Edge& e = edges_[static_cast<std::size_t>(id)];
+      if (e.cap > 0 && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+std::int64_t MaxFlow::dfs(int v, int t, std::int64_t pushed) {
+  if (v == t) return pushed;
+  auto& it = iter_[static_cast<std::size_t>(v)];
+  for (; it < adj_[static_cast<std::size_t>(v)].size(); ++it) {
+    const int id = adj_[static_cast<std::size_t>(v)][it];
+    Edge& e = edges_[static_cast<std::size_t>(id)];
+    if (e.cap <= 0 ||
+        level_[static_cast<std::size_t>(e.to)] !=
+            level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const std::int64_t got = dfs(e.to, t, std::min(pushed, e.cap));
+    if (got > 0) {
+      e.cap -= got;
+      edges_[static_cast<std::size_t>(id ^ 1)].cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::solve(int s, int t) {
+  if (s == t) return 0;
+  std::int64_t total = 0;
+  while (bfs(s, t)) {
+    iter_.assign(adj_.size(), 0);
+    while (true) {
+      const std::int64_t got =
+          dfs(s, t, std::numeric_limits<std::int64_t>::max());
+      if (got == 0) break;
+      total += got;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlow::flow_on(int edge_id) const {
+  const Edge& e = edges_[static_cast<std::size_t>(edge_id)];
+  return e.orig - e.cap;
+}
+
+std::vector<std::vector<int>> MaxFlow::decompose_unit_paths(int s, int t) const {
+  // Remaining unconsumed flow per forward edge.
+  std::vector<std::int64_t> remaining(edges_.size() / 2);
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    remaining[i] = flow_on(static_cast<int>(2 * i));
+  }
+  std::vector<std::vector<int>> paths;
+  // Walks cannot exceed the number of forward edges; the cap guards against
+  // pathological flow cycles (which Dinic does not produce, but cheap to be
+  // safe).
+  const std::size_t max_steps = remaining.size() + 2;
+  while (true) {
+    std::vector<int> path{s};
+    int v = s;
+    bool advanced = true;
+    while (v != t && advanced && path.size() <= max_steps) {
+      advanced = false;
+      for (const int id : adj_[static_cast<std::size_t>(v)]) {
+        if (id % 2 != 0) continue;  // reverse edge
+        if (remaining[static_cast<std::size_t>(id / 2)] <= 0) continue;
+        remaining[static_cast<std::size_t>(id / 2)] -= 1;
+        v = edges_[static_cast<std::size_t>(id)].to;
+        path.push_back(v);
+        advanced = true;
+        break;
+      }
+    }
+    if (v != t) break;  // no more s->t flow to consume
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace rbcast

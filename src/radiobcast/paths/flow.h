@@ -1,0 +1,54 @@
+#pragma once
+// Dinic max-flow on small integer-capacity graphs.
+//
+// Used to (a) count node-disjoint paths between two grid nodes inside a
+// single neighborhood (Menger's theorem via vertex splitting) and (b)
+// evaluate the protocols' commit rules on evidence graphs. Graphs here have
+// at most a few hundred vertices, so the implementation favors clarity; Dinic
+// is nonetheless O(E sqrt(V)) on unit-capacity graphs, which is what we run.
+
+#include <cstdint>
+#include <vector>
+
+namespace rbcast {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(int vertex_count);
+
+  int vertex_count() const { return static_cast<int>(adj_.size()); }
+
+  /// Adds a directed edge u -> v with the given capacity. Returns an edge id
+  /// usable with flow_on(). A reverse edge of capacity 0 is added internally.
+  int add_edge(int u, int v, std::int64_t capacity);
+
+  /// Computes the max flow from s to t. May be called once per instance.
+  std::int64_t solve(int s, int t);
+
+  /// Flow pushed across edge `edge_id` (as returned by add_edge); valid after
+  /// solve().
+  std::int64_t flow_on(int edge_id) const;
+
+  /// For unit-capacity flows: decomposes the computed flow into s->t vertex
+  /// sequences by walking saturated edges. Each edge is consumed at most
+  /// once; the number of returned paths equals the flow value when all edge
+  /// capacities are 1 on the paths' edges.
+  std::vector<std::vector<int>> decompose_unit_paths(int s, int t) const;
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t cap;   // residual capacity
+    std::int64_t orig;  // original capacity
+  };
+
+  bool bfs(int s, int t);
+  std::int64_t dfs(int v, int t, std::int64_t pushed);
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adj_;  // vertex -> edge ids
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,109 @@
+#include "radiobcast/paths/packing.h"
+
+#include <algorithm>
+
+namespace rbcast {
+
+namespace {
+
+struct Searcher {
+  const std::vector<NodeMask>* masks;
+  const std::vector<int>* order;  // indices of non-empty masks, sorted
+  int target;                     // stop once best >= target (0 = exact)
+  std::int64_t budget;            // remaining search nodes
+  int best = 0;
+  std::vector<int> best_chosen;
+  std::vector<int> current;
+
+  bool done() const {
+    return (target > 0 && best >= target) || budget <= 0;
+  }
+
+  void record_current() {
+    if (static_cast<int>(current.size()) > best) {
+      best = static_cast<int>(current.size());
+      best_chosen = current;
+    }
+  }
+
+  void search(std::size_t pos, const NodeMask& used) {
+    if (done()) return;
+    --budget;
+    const int remaining = static_cast<int>(order->size() - pos);
+    if (static_cast<int>(current.size()) + remaining <= best) return;  // bound
+    if (pos == order->size()) {
+      record_current();
+      return;
+    }
+    const int idx = (*order)[pos];
+    const NodeMask& m = (*masks)[static_cast<std::size_t>(idx)];
+    // Branch 1: take it if compatible.
+    if ((m & used).none()) {
+      current.push_back(idx);
+      record_current();  // keep partial results in case the budget runs out
+      search(pos + 1, used | m);
+      current.pop_back();
+      if (done()) return;
+    }
+    // Branch 2: skip it.
+    search(pos + 1, used);
+  }
+};
+
+}  // namespace
+
+PackingResult max_disjoint_packing(const std::vector<NodeMask>& masks,
+                                   int target, std::int64_t node_budget) {
+  PackingResult result;
+  // Empty interiors (e.g. direct single-hop chains with no intermediate)
+  // conflict with nothing; take them all unconditionally.
+  std::vector<int> order;
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    if (masks[i].none()) {
+      result.chosen.push_back(static_cast<int>(i));
+    } else {
+      order.push_back(static_cast<int>(i));
+    }
+  }
+  result.count = static_cast<int>(result.chosen.size());
+  if (target > 0 && result.count >= target) return result;
+
+  // Heuristic order: fewer interior nodes first (more likely to pack).
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto ca = masks[static_cast<std::size_t>(a)].count();
+    const auto cb = masks[static_cast<std::size_t>(b)].count();
+    return ca != cb ? ca < cb : a < b;
+  });
+
+  Searcher searcher;
+  searcher.masks = &masks;
+  searcher.order = &order;
+  searcher.target = target > 0 ? target - result.count : 0;
+  searcher.budget = node_budget;
+
+  // Seed with the greedy packing along the heuristic order so that a
+  // truncated search still returns a sensible answer.
+  {
+    NodeMask used;
+    std::vector<int> greedy;
+    for (const int idx : order) {
+      const NodeMask& m = masks[static_cast<std::size_t>(idx)];
+      if ((m & used).none()) {
+        greedy.push_back(idx);
+        used |= m;
+      }
+    }
+    searcher.best = static_cast<int>(greedy.size());
+    searcher.best_chosen = std::move(greedy);
+  }
+
+  if (searcher.target == 0 || searcher.best < searcher.target) {
+    searcher.search(0, NodeMask{});
+  }
+
+  result.count += searcher.best;
+  for (const int i : searcher.best_chosen) result.chosen.push_back(i);
+  return result;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,46 @@
+#pragma once
+// Exact maximum node-disjoint packing of evidence reports.
+//
+// A decider in the Byzantine protocol (Section VI) holds a set of reported
+// paths for a given (origin, value) and must decide whether t+1 of them are
+// pairwise node-disjoint (sharing only the origin/decider endpoints). Reports
+// are atomic units of trust — a path is sound iff *all* of its relayers are
+// honest — so disjointness must be evaluated over whole reports, never by
+// recombining hops of different reports. That makes this a set-packing
+// (equivalently, max independent set in the conflict graph) problem. The
+// instances are tiny (reports confined to one neighborhood, interiors of
+// size <= 3), so an exact branch-and-bound with an early exit at the target
+// is both correct and fast.
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+namespace rbcast {
+
+/// Node-id bitmask of a report's interior. Relayers of accepted reports lie
+/// within 2r of the committer, so a (4r+1)^2 id space suffices; 1024 bits
+/// cover r <= 7.
+using NodeMask = std::bitset<1024>;
+
+struct PackingResult {
+  int count = 0;             // size of the best packing found
+  std::vector<int> chosen;   // indices into the input vector
+};
+
+/// Maximum subfamily of pairwise-disjoint masks (empty masks are always
+/// compatible and are all taken). If target > 0, returns as soon as a packing
+/// of size >= target is found (count may then understate the true maximum,
+/// but chosen is still a valid packing).
+///
+/// The branch-and-bound explores at most `node_budget` search nodes; on
+/// exhaustion it returns the best packing found so far (seeded with a greedy
+/// solution). A truncated search can only *under*-count — callers treating
+/// the result as a disjointness certificate stay sound; an adversary flooding
+/// a decider with junk reports can at worst delay determination, never forge
+/// one.
+PackingResult max_disjoint_packing(const std::vector<NodeMask>& masks,
+                                   int target = 0,
+                                   std::int64_t node_budget = 20000);
+
+}  // namespace rbcast

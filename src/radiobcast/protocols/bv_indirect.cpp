@@ -1,0 +1,247 @@
+#include "radiobcast/protocols/bv_indirect.h"
+
+#include <algorithm>
+
+#include "radiobcast/grid/neighborhood.h"
+#include "radiobcast/protocols/earmark.h"
+
+namespace rbcast {
+
+namespace {
+
+/// Binary encoding of a report (relayer chain) for deduplication.
+std::string encode_report(const std::vector<Coord>& relayers) {
+  std::string out;
+  out.reserve(relayers.size() * 8);
+  for (const Coord c : relayers) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      out.push_back(static_cast<char>(
+          (static_cast<std::uint32_t>(c.x) >> shift) & 0xFF));
+    }
+    for (int shift = 0; shift < 32; shift += 8) {
+      out.push_back(static_cast<char>(
+          (static_cast<std::uint32_t>(c.y) >> shift) & 0xFF));
+    }
+  }
+  return out;
+}
+
+constexpr std::size_t kMaxRelayers = 3;  // "up to three intermediate nodes"
+
+}  // namespace
+
+BvIndirectBehavior::BvIndirectBehavior(const ProtocolParams& params,
+                                       const Torus& torus, std::int32_t r,
+                                       Metric m, RelayMode mode)
+    : params_(params),
+      r_(r),
+      m_(m),
+      mode_(mode),
+      counter_(torus, r, m, params.t) {}
+
+void BvIndirectBehavior::commit(NodeContext& ctx, std::uint8_t value) {
+  if (committed_.has_value()) return;
+  committed_ = value;
+  commit_round_ = ctx.round();
+  ctx.broadcast(make_committed(ctx.self(), value));
+}
+
+void BvIndirectBehavior::determine(NodeContext& ctx, Coord origin,
+                                   std::uint8_t value) {
+  if (const auto fired = counter_.record(origin, value)) commit(ctx, *fired);
+  // Evidence for a determined pair is no longer needed.
+  evidence_.erase(origin_value_key(ctx.torus().wrap(origin), value));
+}
+
+void BvIndirectBehavior::on_receive(NodeContext& ctx, const Envelope& env) {
+  switch (env.msg.type) {
+    case MsgType::kCommitted:
+      handle_committed(ctx, env);
+      break;
+    case MsgType::kHeard:
+      handle_heard(ctx, env);
+      break;
+  }
+}
+
+void BvIndirectBehavior::handle_committed(NodeContext& ctx,
+                                          const Envelope& env) {
+  const Torus& torus = ctx.torus();
+  if (torus.wrap(env.msg.origin) != env.sender) return;
+  const auto [it, inserted] =
+      first_committed_.emplace(env.sender, env.msg.value);
+  if (!inserted) return;
+  const std::uint8_t v = it->second;
+
+  // First-hop relay duty: report the commit to our own neighborhood.
+  ctx.broadcast(make_heard({ctx.self()}, env.sender, v));
+
+  if (env.sender == torus.wrap(params_.source)) commit(ctx, v);
+  determine(ctx, env.sender, v);
+}
+
+void BvIndirectBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
+  const Torus& torus = ctx.torus();
+  const Message& msg = env.msg;
+  if (msg.relayers.empty() || msg.relayers.size() > kMaxRelayers) return;
+  // The outermost relayer must be the actual transmitter (no spoofing).
+  if (torus.wrap(msg.relayers.back()) != env.sender) return;
+
+  const Coord origin = torus.wrap(msg.origin);
+  const Coord self = ctx.self();
+  if (origin == self) return;
+
+  // Plausibility of the claimed chain: consecutive hops within radius,
+  // all nodes distinct, and the chain does not pass through us.
+  std::vector<Coord> chain;
+  chain.reserve(msg.relayers.size());
+  Coord prev = origin;
+  for (const Coord raw : msg.relayers) {
+    const Coord c = torus.wrap(raw);
+    if (c == origin || c == self) return;
+    if (std::find(chain.begin(), chain.end(), c) != chain.end()) return;
+    if (!torus.within(prev, c, r_, m_)) return;
+    chain.push_back(c);
+    prev = c;
+  }
+
+  const std::uint8_t v = msg.value & 1;
+  const std::uint64_t key = origin_value_key(origin, v);
+  // Evidence only feeds our own commit decision; relay duty (below) is what
+  // others rely on, so post-commit we stop recording but keep relaying
+  // (unless full tracking is requested).
+  if ((!committed_.has_value() || params_.track_after_commit) &&
+      !counter_.is_determined(origin, v)) {
+    Evidence& ev = evidence_[key];
+    ev.origin = origin;
+    auto& per_first = ev.per_first_relayer[chain.front()];
+    if (per_first < kReportsPerFirstRelayer &&
+        ev.dedup.insert(encode_report(chain)).second) {
+      ++per_first;
+      Evidence::Report report;
+      report.relayers = chain;
+      bool mask_ok = true;
+      for (const Coord c : chain) {
+        auto bit = ev.node_bits.find(c);
+        if (bit == ev.node_bits.end()) {
+          bit = ev.node_bits.emplace(c, static_cast<int>(ev.bit_coords.size()))
+                    .first;
+          ev.bit_coords.push_back(c);
+        }
+        if (bit->second >= static_cast<int>(report.mask.size())) {
+          // Id space exhausted (cannot happen for r <= 7). Dropping the
+          // report is conservative: it can only delay determination, never
+          // let conflicting reports pass as disjoint.
+          mask_ok = false;
+          break;
+        }
+        report.mask.set(static_cast<std::size_t>(bit->second));
+      }
+      if (mask_ok) {
+        ev.reports.push_back(std::move(report));
+        dirty_.insert(key);
+      }
+    }
+  }
+
+  // Relay with ourselves appended, if depth allows and the extended chain is
+  // still potentially useful.
+  if (chain.size() >= kMaxRelayers) return;
+  std::vector<Coord> extended = chain;
+  extended.push_back(self);
+  if (mode_ == RelayMode::kEarmarked) {
+    std::vector<Offset> rel;
+    rel.reserve(extended.size());
+    for (const Coord c : extended) rel.push_back(torus.delta(origin, c));
+    if (!EarmarkPlan::get(r_).allows(rel)) return;
+  } else {
+    // Usefulness filter: a decider only ever accepts a chain whose nodes plus
+    // the committer fit in one neighborhood, so drop extensions that already
+    // cannot.
+    bool fits = false;
+    const auto& table = NeighborhoodTable::get(r_, m_);
+    for (const Offset off : table.offsets()) {
+      const Coord c = torus.wrap(origin + off);
+      bool all_in = true;
+      for (const Coord node : extended) {
+        if (node == c || !torus.within(c, node, r_, m_)) {
+          all_in = false;
+          break;
+        }
+      }
+      if (all_in) {
+        fits = true;
+        break;
+      }
+    }
+    if (!fits) return;
+  }
+  ctx.broadcast(make_heard(std::move(extended), origin, v));
+}
+
+bool BvIndirectBehavior::try_determine_from_reports(const Torus& torus,
+                                                    Coord origin,
+                                                    const Evidence& ev) const {
+  if (static_cast<std::int64_t>(ev.reports.size()) < params_.t + 1) {
+    return false;
+  }
+  const auto& table = NeighborhoodTable::get(r_, m_);
+  for (const Offset off : table.offsets()) {
+    const Coord c = torus.wrap(origin + off);  // candidate center: origin in nbd(c)
+    // Masks of the reports fully contained in nbd(c).
+    std::vector<NodeMask> masks;
+    masks.reserve(ev.reports.size());
+    std::unordered_set<Coord> first_relayers;
+    for (const auto& report : ev.reports) {
+      bool inside = true;
+      for (const Coord node : report.relayers) {
+        if (node == c || !torus.within(c, node, r_, m_)) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) {
+        masks.push_back(report.mask);
+        first_relayers.insert(report.relayers.front());
+      }
+    }
+    // Disjoint reports need distinct first relayers: a cheap upper bound
+    // that skips hopeless (and potentially expensive) packing calls.
+    if (static_cast<std::int64_t>(first_relayers.size()) < params_.t + 1) {
+      continue;
+    }
+    const PackingResult packing = max_disjoint_packing(
+        masks, static_cast<int>(params_.t + 1));
+    if (packing.count >= params_.t + 1) return true;
+  }
+  return false;
+}
+
+void BvIndirectBehavior::on_round_end(NodeContext& ctx) {
+  if (committed_.has_value() && !params_.track_after_commit) {
+    // Dead state after committing; reclaim it.
+    dirty_.clear();
+    evidence_.clear();
+    return;
+  }
+  if (dirty_.empty()) return;
+  const Torus& torus = ctx.torus();
+  // Move out: determine() mutates evidence_ and new dirt belongs to the next
+  // round anyway.
+  std::vector<std::uint64_t> keys(dirty_.begin(), dirty_.end());
+  std::sort(keys.begin(), keys.end());  // deterministic evaluation order
+  dirty_.clear();
+  for (const std::uint64_t key : keys) {
+    const auto it = evidence_.find(key);
+    if (it == evidence_.end()) continue;  // already determined
+    const std::uint8_t v = static_cast<std::uint8_t>(key & 1);
+    Evidence& ev = it->second;
+    if (ev.reports.empty() || ev.reports.size() == ev.evaluated_at) continue;
+    ev.evaluated_at = ev.reports.size();
+    if (try_determine_from_reports(torus, ev.origin, ev)) {
+      determine(ctx, ev.origin, v);
+    }
+  }
+}
+
+}  // namespace rbcast

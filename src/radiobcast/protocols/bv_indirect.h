@@ -1,0 +1,114 @@
+#pragma once
+// The full Bhandari–Vaidya Byzantine broadcast protocol (Section VI):
+// COMMITTED announcements plus HEARD reports relayed through up to three
+// intermediate nodes (four hops from the committer). Achieves the exact
+// threshold t < r(2r+1)/2 in L∞ (Theorems 1-3).
+//
+// Reliable determination of (origin, v):
+//   - heard COMMITTED(origin, v) from origin directly (first value per
+//     sender), or
+//   - holds t+1 *node-disjoint* reported paths origin -> relayers... whose
+//     nodes (origin and every relayer) all lie in nbd(c) for a single center
+//     c. Reports are atomic trust units (a report is truthful iff all its
+//     relayers are honest), so disjointness is computed by exact set packing
+//     over whole reports (paths/packing.h), never by recombining hops.
+//
+// Commit rule: t+1 determined committers of v within one neighborhood
+// (NeighborhoodCommitCounter), as in the two-hop variant.
+//
+// Relay modes:
+//   kFlood     — faithful protocol: relay every plausible, potentially useful
+//                HEARD (the chain plus the relayer must still fit in a single
+//                neighborhood with the committer, otherwise no decider could
+//                ever accept an extension of it).
+//   kEarmarked — relay only along the constructive path families of Theorem 3
+//                (protocols/earmark.h); same commit outcomes, far less
+//                traffic. L∞ only.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "radiobcast/net/network.h"
+#include "radiobcast/paths/packing.h"
+#include "radiobcast/protocols/common.h"
+
+namespace rbcast {
+
+enum class RelayMode : std::uint8_t { kFlood, kEarmarked };
+
+class BvIndirectBehavior final : public NodeBehavior {
+ public:
+  BvIndirectBehavior(const ProtocolParams& params, const Torus& torus,
+                     std::int32_t r, Metric m, RelayMode mode);
+
+  void on_receive(NodeContext& ctx, const Envelope& env) override;
+  void on_round_end(NodeContext& ctx) override;
+
+  std::optional<std::uint8_t> committed_value() const override {
+    return committed_;
+  }
+
+  std::optional<std::int64_t> commit_round() const override {
+    return commit_round_;
+  }
+
+  std::int64_t determinations() const { return counter_.determined_count(); }
+
+  /// True iff this node has reliably determined that `origin` committed
+  /// `value` (exposed for the Fig 1 region-M fidelity tests).
+  bool has_determined(Coord origin, std::uint8_t value) const {
+    return counter_.is_determined(origin, value);
+  }
+
+ private:
+  /// Evidence about one (origin, value) pair.
+  ///
+  /// Growth is bounded against report-flooding adversaries: at most
+  /// kReportsPerFirstRelayer reports are kept per first relayer (the first
+  /// relayer must be a plausible direct neighbor of the committer, so there
+  /// are at most |nbd| of them). Honest constructive families use distinct
+  /// first relayers, so the cap never starves an honest determination; junk
+  /// beyond the cap is dropped, which can only delay liveness, never break
+  /// safety.
+  struct Evidence {
+    Coord origin{};  // cached (keys are one-way hashes of the pair)
+    // Bit index per relayer coordinate seen in reports for this key.
+    std::unordered_map<Coord, int> node_bits;
+    std::vector<Coord> bit_coords;  // inverse of node_bits
+    struct Report {
+      std::vector<Coord> relayers;
+      NodeMask mask;
+    };
+    std::vector<Report> reports;
+    std::unordered_set<std::string> dedup;
+    std::unordered_map<Coord, int> per_first_relayer;
+    // Re-evaluation memo: reports.size() at the last on_round_end check.
+    std::size_t evaluated_at = 0;
+  };
+
+  static constexpr int kReportsPerFirstRelayer = 8;
+
+  void handle_committed(NodeContext& ctx, const Envelope& env);
+  void handle_heard(NodeContext& ctx, const Envelope& env);
+  void determine(NodeContext& ctx, Coord origin, std::uint8_t value);
+  void commit(NodeContext& ctx, std::uint8_t value);
+  bool try_determine_from_reports(const Torus& torus, Coord origin,
+                                  const Evidence& ev) const;
+
+  ProtocolParams params_;
+  std::int32_t r_;
+  Metric m_;
+  RelayMode mode_;
+  std::optional<std::uint8_t> committed_;
+  std::optional<std::int64_t> commit_round_;
+  NeighborhoodCommitCounter counter_;
+  std::unordered_map<Coord, std::uint8_t> first_committed_;
+  std::unordered_map<std::uint64_t, Evidence> evidence_;  // by (origin,value)
+  std::unordered_set<std::uint64_t> dirty_;               // keys to re-check
+};
+
+}  // namespace rbcast

@@ -1,0 +1,106 @@
+#include "radiobcast/protocols/bv_two_hop.h"
+
+#include "radiobcast/grid/neighborhood.h"
+
+namespace rbcast {
+
+namespace {
+
+std::uint64_t pair_key(std::int32_t a, std::int32_t b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+BvTwoHopBehavior::BvTwoHopBehavior(const ProtocolParams& params,
+                                   const Torus& torus, std::int32_t r,
+                                   Metric m)
+    : params_(params), r_(r), m_(m), counter_(torus, r, m, params.t) {}
+
+void BvTwoHopBehavior::commit(NodeContext& ctx, std::uint8_t value) {
+  if (committed_.has_value()) return;
+  committed_ = value;
+  commit_round_ = ctx.round();
+  ctx.broadcast(make_committed(ctx.self(), value));
+}
+
+void BvTwoHopBehavior::determine(NodeContext& ctx, Coord origin,
+                                 std::uint8_t value) {
+  if (const auto fired = counter_.record(origin, value)) commit(ctx, *fired);
+}
+
+void BvTwoHopBehavior::on_receive(NodeContext& ctx, const Envelope& env) {
+  switch (env.msg.type) {
+    case MsgType::kCommitted:
+      handle_committed(ctx, env);
+      break;
+    case MsgType::kHeard:
+      handle_heard(ctx, env);
+      break;
+  }
+}
+
+void BvTwoHopBehavior::handle_committed(NodeContext& ctx,
+                                        const Envelope& env) {
+  const Torus& torus = ctx.torus();
+  // A COMMITTED's origin must be the transmitter itself.
+  if (torus.wrap(env.msg.origin) != env.sender) return;
+  const auto [it, inserted] = first_committed_.emplace(env.sender, env.msg.value);
+  if (!inserted) return;  // no-duplicity: only the first message counts
+  const std::uint8_t v = it->second;
+
+  // Relay duty: immediate neighbors of a committer report the commit once.
+  ctx.broadcast(make_heard({ctx.self()}, env.sender, v));
+
+  // Direct reliable determination; neighbors of the source commit instantly.
+  if (env.sender == torus.wrap(params_.source)) commit(ctx, v);
+  // Post-commit, further determinations are dead state (unless tracked).
+  if (!committed_.has_value() || params_.track_after_commit) {
+    determine(ctx, env.sender, v);
+  }
+}
+
+void BvTwoHopBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
+  // The two-hop protocol has no relay duty for HEARD messages, and evidence
+  // only feeds our own commit decision: once committed, skip everything
+  // (unless full tracking is requested).
+  if (committed_.has_value() && !params_.track_after_commit) return;
+  const Torus& torus = ctx.torus();
+  const Message& msg = env.msg;
+  // Two-hop protocol: exactly one relayer, and it must be the transmitter.
+  if (msg.relayers.size() != 1) return;
+  const Coord reporter = env.sender;
+  if (torus.wrap(msg.relayers[0]) != reporter) return;
+  const Coord origin = torus.wrap(msg.origin);
+  // The reporter must plausibly have heard the committer directly.
+  if (origin == reporter || !torus.within(origin, reporter, r_, m_)) return;
+  if (origin == ctx.self()) return;  // reports about myself carry no news
+  // First HEARD per (reporter, origin) only.
+  if (!heard_consumed_
+           .insert(pair_key(torus.index(reporter), torus.index(origin)))
+           .second) {
+    return;
+  }
+  const std::uint8_t v = msg.value & 1;
+  if (counter_.is_determined(origin, v)) return;
+
+  // Count this reporter toward every candidate center c whose neighborhood
+  // contains both the committer and the reporter (c itself excluded from
+  // nbd(c)). t+1 distinct reporters under one center are t+1 node-disjoint
+  // evidence chains confined to that neighborhood.
+  auto& centers = reporter_counts_[origin_value_key(origin, v)];
+  const auto& table = NeighborhoodTable::get(r_, m_);
+  bool determined = false;
+  for (const Offset off : table.offsets()) {
+    const Coord c = torus.wrap(origin + off);
+    if (c == reporter) continue;           // reporter must lie in nbd(c)
+    if (!torus.within(c, reporter, r_, m_)) continue;
+    auto& count = centers[c];
+    count += 1;
+    if (count >= params_.t + 1) determined = true;
+  }
+  if (determined) determine(ctx, origin, v);
+}
+
+}  // namespace rbcast

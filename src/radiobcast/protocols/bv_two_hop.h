@@ -1,0 +1,76 @@
+#pragma once
+// The simplified Bhandari–Vaidya protocol (Section VI-B, and the companion
+// report [10]): only the *immediate neighbors* of a node that sent a
+// COMMITTED message send a HEARD message reporting it, so information about
+// a commit travels at most two hops. This achieves the same exact threshold
+// t < r(2r+1)/2 as the full protocol in L∞, with far less traffic.
+//
+// Commit rule implemented (a localized instance of Section V's sufficient
+// condition):
+//  * reliable determination of (i, v):
+//      - heard COMMITTED(i, v) from i directly (first value per sender), or
+//      - heard HEARD(k, i, v) from t+1 distinct reporters k such that, for
+//        some single center c, i and all t+1 reporters lie in nbd(c). Since
+//        each such evidence chain has exactly one intermediate and the
+//        reporters are distinct, the chains are automatically node-disjoint;
+//        at most t of them can be faulty, so one is honest and truthful.
+//  * commit to v once t+1 determined committers of v lie in one neighborhood
+//    (NeighborhoodCommitCounter).
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "radiobcast/net/network.h"
+#include "radiobcast/protocols/common.h"
+
+namespace rbcast {
+
+class BvTwoHopBehavior final : public NodeBehavior {
+ public:
+  BvTwoHopBehavior(const ProtocolParams& params, const Torus& torus,
+                   std::int32_t r, Metric m);
+
+  void on_receive(NodeContext& ctx, const Envelope& env) override;
+
+  std::optional<std::uint8_t> committed_value() const override {
+    return committed_;
+  }
+
+  std::optional<std::int64_t> commit_round() const override {
+    return commit_round_;
+  }
+
+  /// Number of (origin, value) pairs this node has reliably determined
+  /// (exposed for tests and the overhead experiments).
+  std::int64_t determinations() const { return counter_.determined_count(); }
+
+  /// True iff this node has reliably determined that `origin` committed
+  /// `value`.
+  bool has_determined(Coord origin, std::uint8_t value) const {
+    return counter_.is_determined(origin, value);
+  }
+
+ private:
+  void handle_committed(NodeContext& ctx, const Envelope& env);
+  void handle_heard(NodeContext& ctx, const Envelope& env);
+  void determine(NodeContext& ctx, Coord origin, std::uint8_t value);
+  void commit(NodeContext& ctx, std::uint8_t value);
+
+  ProtocolParams params_;
+  std::int32_t r_;
+  Metric m_;
+  std::optional<std::uint8_t> committed_;
+  std::optional<std::int64_t> commit_round_;
+  NeighborhoodCommitCounter counter_;
+  // First COMMITTED value per sender (no-duplicity rule).
+  std::unordered_map<Coord, std::uint8_t> first_committed_;
+  // (reporter, origin) pairs whose first HEARD has been consumed.
+  std::unordered_set<std::uint64_t> heard_consumed_;
+  // Per (origin, value): count of accepted reporters per candidate center.
+  std::unordered_map<std::uint64_t, std::unordered_map<Coord, std::int32_t>>
+      reporter_counts_;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,81 @@
+#include "radiobcast/protocols/byzantine.h"
+
+#include "radiobcast/grid/neighborhood.h"
+
+#include <utility>
+#include <vector>
+
+namespace rbcast {
+
+namespace {
+
+std::string fingerprint(const Message& m) {
+  std::string out;
+  out.push_back(static_cast<char>(m.type));
+  out.push_back(static_cast<char>(m.value));
+  auto push_coord = [&out](Coord c) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      out.push_back(static_cast<char>(
+          (static_cast<std::uint32_t>(c.x) >> shift) & 0xFF));
+      out.push_back(static_cast<char>(
+          (static_cast<std::uint32_t>(c.y) >> shift) & 0xFF));
+    }
+  };
+  push_coord(m.origin);
+  for (const Coord c : m.relayers) push_coord(c);
+  return out;
+}
+
+}  // namespace
+
+void LyingBehavior::on_start(NodeContext& ctx) {
+  ctx.broadcast(make_committed(ctx.self(), wrong_value_));
+}
+
+void LyingBehavior::on_receive(NodeContext& ctx, const Envelope& env) {
+  const std::uint8_t flipped = wrong_value_;
+  Message lie;
+  if (env.msg.type == MsgType::kCommitted) {
+    // Claim the committer committed the wrong value.
+    lie = make_heard({ctx.self()}, env.sender, flipped);
+  } else {
+    if (env.msg.relayers.size() >= 3) return;  // depth cap keeps volume finite
+    std::vector<Coord> chain = env.msg.relayers;
+    chain.push_back(ctx.self());
+    lie = make_heard(std::move(chain), env.msg.origin, flipped);
+  }
+  if (sent_.insert(fingerprint(lie)).second) ctx.broadcast(std::move(lie));
+}
+
+void SpoofingBehavior::on_start(NodeContext& ctx) {
+  ctx.broadcast(make_committed(ctx.self(), wrong_value_));
+  // Immediately impersonate every neighbor, claiming each committed to the
+  // wrong value. The forged claims land before the honest wave arrives and,
+  // absent authentication, are indistinguishable from genuine COMMITTED
+  // broadcasts — the first-value rule then locks the lies in.
+  const auto& table = NeighborhoodTable::get(r_, m_);
+  for (const Offset o : table.offsets()) {
+    const Coord victim = ctx.torus().wrap(ctx.self() + o);
+    ctx.broadcast_as(victim, make_committed(victim, wrong_value_));
+  }
+}
+
+void SpoofingBehavior::on_receive(NodeContext&, const Envelope&) {}
+
+bool CrashAtRoundBehavior::alive(const NodeContext& ctx) const {
+  return ctx.round() < crash_round_;
+}
+
+void CrashAtRoundBehavior::on_start(NodeContext& ctx) {
+  if (crash_round_ > 0) inner_->on_start(ctx);
+}
+
+void CrashAtRoundBehavior::on_receive(NodeContext& ctx, const Envelope& env) {
+  if (alive(ctx)) inner_->on_receive(ctx, env);
+}
+
+void CrashAtRoundBehavior::on_round_end(NodeContext& ctx) {
+  if (alive(ctx)) inner_->on_round_end(ctx);
+}
+
+}  // namespace rbcast

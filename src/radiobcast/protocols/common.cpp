@@ -1,0 +1,45 @@
+#include "radiobcast/protocols/common.h"
+
+#include "radiobcast/grid/neighborhood.h"
+
+namespace rbcast {
+
+std::uint64_t origin_value_key(Coord origin, std::uint8_t value) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(origin.x))
+          << 33) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(origin.y))
+          << 1) ^
+         (value & 1);
+}
+
+NeighborhoodCommitCounter::NeighborhoodCommitCounter(const Torus& torus,
+                                                     std::int32_t r, Metric m,
+                                                     std::int64_t t)
+    : torus_(torus), r_(r), m_(m), t_(t) {}
+
+bool NeighborhoodCommitCounter::is_determined(Coord origin,
+                                              std::uint8_t value) const {
+  return determined_.count(origin_value_key(torus_.wrap(origin), value)) > 0;
+}
+
+std::optional<std::uint8_t> NeighborhoodCommitCounter::record(
+    Coord origin, std::uint8_t value) {
+  const Coord o = torus_.wrap(origin);
+  if (!determined_.insert(origin_value_key(o, value)).second) {
+    return std::nullopt;
+  }
+  // origin lies in nbd(c) exactly for the centers c within distance r of it
+  // (centers are nodes; origin itself is not a center of a neighborhood that
+  // contains it, since nbd(c) excludes c).
+  std::optional<std::uint8_t> fired;
+  const auto& table = NeighborhoodTable::get(r_, m_);
+  for (const Offset off : table.offsets()) {
+    const Coord c = torus_.wrap(o + off);
+    auto& counts = center_counts_[c];
+    counts[value & 1] += 1;
+    if (counts[value & 1] >= t_ + 1 && !fired) fired = value;
+  }
+  return fired;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,30 @@
+#include "radiobcast/protocols/cpa.h"
+
+namespace rbcast {
+
+void CpaBehavior::commit(NodeContext& ctx, std::uint8_t value) {
+  committed_ = value;
+  commit_round_ = ctx.round();
+  ctx.broadcast(make_committed(ctx.self(), value));
+}
+
+void CpaBehavior::on_receive(NodeContext& ctx, const Envelope& env) {
+  if (committed_.has_value()) return;  // terminated
+  if (env.msg.type != MsgType::kCommitted) return;
+  // A COMMITTED's origin must be its transmitter; anything else is a faulty
+  // fabrication and is discarded (no spoofing, Section II).
+  if (ctx.torus().wrap(env.msg.origin) != env.sender) return;
+
+  if (env.sender == ctx.torus().wrap(params_.source)) {
+    commit(ctx, env.msg.value);  // direct neighbors trust the source
+    return;
+  }
+  const auto [it, inserted] = first_claim_.emplace(env.sender, env.msg.value);
+  if (!inserted) return;  // only the first claim per neighbor counts
+  claims_[env.msg.value & 1] += 1;
+  if (claims_[env.msg.value & 1] >= params_.t + 1) {
+    commit(ctx, env.msg.value);
+  }
+}
+
+}  // namespace rbcast

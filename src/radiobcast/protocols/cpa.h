@@ -1,0 +1,45 @@
+#pragma once
+// The Certified Propagation Algorithm — the "extremely simple protocol" of
+// [Koo04], analyzed in Section IX.
+//
+// The source's direct neighbors commit on hearing the source. Every other
+// node commits once it has heard the same value in COMMITTED broadcasts from
+// t+1 distinct neighbors, then re-broadcasts the committed value once and
+// terminates. No node ever commits wrongly (at most t of the t+1 reporters
+// can be faulty); liveness holds for t <= 2r^2/3 in L∞ (Theorem 6).
+
+#include <optional>
+#include <unordered_map>
+
+#include "radiobcast/net/network.h"
+#include "radiobcast/protocols/common.h"
+
+namespace rbcast {
+
+class CpaBehavior final : public NodeBehavior {
+ public:
+  explicit CpaBehavior(const ProtocolParams& params) : params_(params) {}
+
+  void on_receive(NodeContext& ctx, const Envelope& env) override;
+
+  std::optional<std::uint8_t> committed_value() const override {
+    return committed_;
+  }
+
+  std::optional<std::int64_t> commit_round() const override {
+    return commit_round_;
+  }
+
+ private:
+  void commit(NodeContext& ctx, std::uint8_t value);
+
+  ProtocolParams params_;
+  std::optional<std::uint8_t> committed_;
+  std::optional<std::int64_t> commit_round_;
+  // First COMMITTED value heard per neighbor (later contradictions from the
+  // same node are ignored, per the no-duplicity rule of Section V).
+  std::unordered_map<Coord, std::uint8_t> first_claim_;
+  std::int64_t claims_[2] = {0, 0};
+};
+
+}  // namespace rbcast

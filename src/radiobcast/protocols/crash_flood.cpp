@@ -1,0 +1,13 @@
+#include "radiobcast/protocols/crash_flood.h"
+
+namespace rbcast {
+
+void CrashFloodBehavior::on_receive(NodeContext& ctx, const Envelope& env) {
+  if (committed_.has_value()) return;  // terminated
+  if (env.msg.type != MsgType::kCommitted) return;
+  committed_ = env.msg.value;
+  commit_round_ = ctx.round();
+  ctx.broadcast(make_committed(ctx.self(), env.msg.value));
+}
+
+}  // namespace rbcast

@@ -1,0 +1,36 @@
+#pragma once
+// Crash-stop broadcast (Section VII).
+//
+// "When only crash-stop failures are admissible, no special protocol is
+// required. Each node that receives a value commits to it, re-broadcasts it
+// once for the benefit of others, and then may terminate." Achievability is
+// pure reachability; Theorems 4 and 5 pin the threshold at t = r(2r+1) in L∞.
+
+#include <optional>
+
+#include "radiobcast/net/network.h"
+#include "radiobcast/protocols/common.h"
+
+namespace rbcast {
+
+class CrashFloodBehavior final : public NodeBehavior {
+ public:
+  explicit CrashFloodBehavior(const ProtocolParams& params) : params_(params) {}
+
+  void on_receive(NodeContext& ctx, const Envelope& env) override;
+
+  std::optional<std::uint8_t> committed_value() const override {
+    return committed_;
+  }
+
+  std::optional<std::int64_t> commit_round() const override {
+    return commit_round_;
+  }
+
+ private:
+  ProtocolParams params_;
+  std::optional<std::uint8_t> committed_;
+  std::optional<std::int64_t> commit_round_;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,64 @@
+#include "radiobcast/protocols/earmark.h"
+
+#include <map>
+#include <memory>
+
+#include "radiobcast/grid/metric.h"
+#include "radiobcast/paths/construction.h"
+
+namespace rbcast {
+
+std::string EarmarkPlan::encode(const std::vector<Offset>& offsets) {
+  std::string out;
+  out.reserve(offsets.size() * 8);
+  for (const Offset o : offsets) {
+    const std::uint32_t ux = static_cast<std::uint32_t>(o.dx);
+    const std::uint32_t uy = static_cast<std::uint32_t>(o.dy);
+    for (int shift = 0; shift < 32; shift += 8) {
+      out.push_back(static_cast<char>((ux >> shift) & 0xFF));
+    }
+    for (int shift = 0; shift < 32; shift += 8) {
+      out.push_back(static_cast<char>((uy >> shift) & 0xFF));
+    }
+  }
+  return out;
+}
+
+EarmarkPlan::EarmarkPlan(std::int32_t r) {
+  const Coord origin{0, 0};
+  for (std::int32_t dx = -2 * r; dx <= 2 * r; ++dx) {
+    for (std::int32_t dy = -2 * r; dy <= 2 * r; ++dy) {
+      const Offset d{dx, dy};
+      const std::int32_t l1 = (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+      if (l1 < 1 || l1 > 2 * r) continue;
+      if (linf_norm(d) <= r) continue;  // direct neighbors: no relays needed
+      const DisjointPathSet family = construction_paths(r, origin, origin + d);
+      for (const GridPath& path : family.paths) {
+        // path.nodes = {committer, m1, ..., mk, decider}; designate every
+        // non-empty prefix of the intermediate chain.
+        std::vector<Offset> prefix;
+        for (std::size_t i = 1; i + 1 < path.nodes.size(); ++i) {
+          prefix.push_back(path.nodes[i] - origin);
+          prefixes_.insert(encode(prefix));
+        }
+      }
+    }
+  }
+}
+
+const EarmarkPlan& EarmarkPlan::get(std::int32_t r) {
+  static std::map<std::int32_t, std::unique_ptr<EarmarkPlan>> cache;
+  auto it = cache.find(r);
+  if (it == cache.end()) {
+    it = cache.emplace(r, std::unique_ptr<EarmarkPlan>(new EarmarkPlan(r)))
+             .first;
+  }
+  return *it->second;
+}
+
+bool EarmarkPlan::allows(
+    const std::vector<Offset>& relayers_from_origin) const {
+  return prefixes_.count(encode(relayers_from_origin)) > 0;
+}
+
+}  // namespace rbcast

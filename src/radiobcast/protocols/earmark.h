@@ -1,0 +1,45 @@
+#pragma once
+// Earmarked relay plans (Section VI: "This state may be reduced further by
+// earmarking exact messages that a node should lookout for, and this shall
+// become clear from our constructive proof").
+//
+// With known topology, the only HEARD reports a decider ever *needs* are the
+// ones traveling along the constructive node-disjoint path families of
+// Theorem 3 (Table I / Figs 4-6). The plan therefore designates, for every
+// committer→decider displacement with 1 <= |d|_1 <= 2r that is not a direct
+// neighbor pair, the full r(2r+1)-path family of construction_paths(); a
+// relayer forwards a HEARD only if the relayer chain (relative to the
+// committer, including itself) is a prefix of some designated path. This
+// collapses the O(|nbd|^3) flood to a constant number of relays per commit
+// while preserving the completeness proof verbatim. L∞ metric only.
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "radiobcast/grid/coord.h"
+
+namespace rbcast {
+
+class EarmarkPlan {
+ public:
+  /// Process-wide cached plan for radius r (L∞).
+  static const EarmarkPlan& get(std::int32_t r);
+
+  /// True iff a chain of relayers at the given offsets from the committer
+  /// (in forwarding order, the candidate relayer last) is a prefix of some
+  /// designated path.
+  bool allows(const std::vector<Offset>& relayers_from_origin) const;
+
+  std::size_t prefix_count() const { return prefixes_.size(); }
+
+ private:
+  explicit EarmarkPlan(std::int32_t r);
+
+  static std::string encode(const std::vector<Offset>& offsets);
+
+  std::unordered_set<std::string> prefixes_;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,68 @@
+#include "radiobcast/util/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rbcast {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& known_flags) {
+  auto known = [&](const std::string& name) {
+    return std::find(known_flags.begin(), known_flags.end(), name) !=
+           known_flags.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";
+    }
+    if (!known(name)) {
+      error_ = "unknown flag: --" + name;
+      return;
+    }
+    values_[name] = std::move(value);
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace rbcast

@@ -1,0 +1,40 @@
+#pragma once
+// A tiny command-line flag parser for the example programs and benchmark
+// harnesses. Flags look like --name=value or --name value; bare --name sets a
+// boolean. Unknown flags are reported as errors so typos do not silently run
+// a default experiment.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rbcast {
+
+class CliArgs {
+ public:
+  /// Parses argv. On error (unknown flag, missing value) records a message
+  /// retrievable via error().
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& known_flags);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// All experiments in this library are seeded; given the same seed the entire
+// simulation (fault placement, adversary choices, tie-breaking) is bit-for-bit
+// reproducible. We use xoshiro256** (Blackman & Vigna), which is fast, has a
+// 256-bit state, and passes BigCrush.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace rbcast {
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator so it
+/// can be plugged into <random> distributions, though the member helpers below
+/// are preferred (they are deterministic across standard-library versions).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state from a single 64-bit seed via splitmix64 so that
+  /// low-entropy seeds (0, 1, 2, ...) still yield well-mixed states.
+  explicit Rng(std::uint64_t seed = 0xB7E151628AED2A6BULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Deterministic Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-node adversary state)
+  /// without correlating with this generator's future outputs.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// splitmix64 step; exposed because it is handy for hashing seeds together.
+std::uint64_t splitmix64(std::uint64_t& x);
+
+/// Combines two seeds into one (order-sensitive), for deriving per-run seeds
+/// from (experiment seed, parameter index) pairs.
+std::uint64_t hash_seeds(std::uint64_t a, std::uint64_t b);
+
+}  // namespace rbcast

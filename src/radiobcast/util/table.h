@@ -1,0 +1,47 @@
+#pragma once
+// Minimal console table rendering used by the benchmark harnesses to print
+// paper-style result tables ("paper claims X, we measured Y").
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rbcast {
+
+/// A simple left/right-aligned text table. Cells are strings; numeric
+/// convenience overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent cell() calls append to it.
+  Table& row();
+
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(bool value);  // renders "yes"/"no"
+
+  /// Number of data rows added so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column widths fitted to content. Numeric-looking cells are
+  /// right-aligned, text cells left-aligned.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no alignment, comma-separated, minimal quoting).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming trailing zeros.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace rbcast

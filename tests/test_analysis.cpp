@@ -1,0 +1,189 @@
+#include "radiobcast/core/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast {
+namespace {
+
+TEST(Analysis, NeighborhoodSizeLinf) {
+  EXPECT_EQ(linf_nbd_size(1), 8);
+  EXPECT_EQ(linf_nbd_size(2), 24);
+  EXPECT_EQ(linf_nbd_size(3), 48);
+}
+
+TEST(Analysis, RTimes2RPlus1) {
+  EXPECT_EQ(r_2r_plus_1(1), 3);
+  EXPECT_EQ(r_2r_plus_1(2), 10);
+  EXPECT_EQ(r_2r_plus_1(3), 21);
+  EXPECT_EQ(r_2r_plus_1(10), 210);
+}
+
+TEST(Analysis, ByzantineThresholdIsExact) {
+  // Achievable max and impossible min are adjacent for every r: the paper
+  // establishes an exact threshold.
+  for (std::int32_t r = 1; r <= 20; ++r) {
+    EXPECT_EQ(byz_linf_achievable_max(r) + 1, byz_linf_impossible_min(r));
+  }
+}
+
+TEST(Analysis, ByzantineKnownValues) {
+  // r=1: n=3, t < 1.5 -> t_max = 1, impossible at 2.
+  EXPECT_EQ(byz_linf_achievable_max(1), 1);
+  EXPECT_EQ(byz_linf_impossible_min(1), 2);
+  // r=2: n=10, t < 5 -> t_max = 4, impossible at 5.
+  EXPECT_EQ(byz_linf_achievable_max(2), 4);
+  EXPECT_EQ(byz_linf_impossible_min(2), 5);
+  // r=3: n=21, t < 10.5 -> t_max = 10, impossible at 11.
+  EXPECT_EQ(byz_linf_achievable_max(3), 10);
+  EXPECT_EQ(byz_linf_impossible_min(3), 11);
+}
+
+TEST(Analysis, ByzantineIsAboutAQuarterOfTheNeighborhood) {
+  // "slightly less than one-fourth fraction of nodes in any neighborhood":
+  // the fraction approaches 1/4 from below as r grows.
+  double prev = 0.0;
+  for (std::int32_t r = 2; r <= 40; ++r) {
+    const double frac = static_cast<double>(byz_linf_achievable_max(r)) /
+                        static_cast<double>(linf_nbd_size(r));
+    EXPECT_LT(frac, 0.25);
+    EXPECT_GE(frac, prev);  // monotone approach
+    prev = frac;
+  }
+  EXPECT_GT(prev, 0.24);  // close to 1/4 by r = 40
+}
+
+TEST(Analysis, CrashThresholdKnownValues) {
+  EXPECT_EQ(crash_linf_achievable_max(2), 9);
+  EXPECT_EQ(crash_linf_impossible_min(2), 10);
+  for (std::int32_t r = 1; r <= 20; ++r) {
+    EXPECT_EQ(crash_linf_achievable_max(r) + 1, crash_linf_impossible_min(r));
+    EXPECT_EQ(crash_linf_impossible_min(r), r_2r_plus_1(r));
+  }
+}
+
+TEST(Analysis, CrashIsAboutHalfTheNeighborhood) {
+  // "slightly less than half the nodes in any given neighborhood": the
+  // fraction approaches 1/2 from below as r grows.
+  double prev = 0.0;
+  for (std::int32_t r = 2; r <= 40; ++r) {
+    const double frac = static_cast<double>(crash_linf_achievable_max(r)) /
+                        static_cast<double>(linf_nbd_size(r));
+    EXPECT_LT(frac, 0.5);
+    EXPECT_GE(frac, prev);
+    prev = frac;
+  }
+  EXPECT_GT(prev, 0.49);
+}
+
+TEST(Analysis, CpaBoundKnownValues) {
+  EXPECT_EQ(cpa_linf_achievable_max(2), 2);   // floor(8/3)
+  EXPECT_EQ(cpa_linf_achievable_max(3), 6);   // floor(18/3)
+  EXPECT_EQ(cpa_linf_achievable_max(6), 24);  // floor(72/3)
+}
+
+TEST(Analysis, TheoremSixDominatesKooForLargeR) {
+  // 2r^2/3 > (r(r+sqrt(r/2)+1))/2 for all sufficiently large r; the paper
+  // says "asymptotically tighter". Find the crossover and check monotone
+  // dominance beyond it.
+  bool dominated_somewhere = false;
+  for (std::int32_t r = 1; r <= 100; ++r) {
+    if (static_cast<double>(cpa_linf_achievable_max(r)) >
+        koo_cpa_linf_bound(r)) {
+      dominated_somewhere = true;
+    }
+  }
+  EXPECT_TRUE(dominated_somewhere);
+  // Beyond r = 60 dominance must be strict and stay.
+  for (std::int32_t r = 60; r <= 120; r += 10) {
+    EXPECT_GT(static_cast<double>(cpa_linf_achievable_max(r)),
+              koo_cpa_linf_bound(r))
+        << "r=" << r;
+  }
+}
+
+TEST(Analysis, CpaBoundBelowBvThreshold) {
+  // CPA tolerates strictly less than the indirect-report protocol for all
+  // r >= 2 (the CPA ⊊ RPA separation).
+  for (std::int32_t r = 2; r <= 30; ++r) {
+    EXPECT_LT(cpa_linf_achievable_max(r), byz_linf_achievable_max(r));
+  }
+}
+
+TEST(Analysis, L2ApproxOrdering) {
+  for (std::int32_t r = 2; r <= 20; ++r) {
+    EXPECT_LT(l2_byz_achievable_approx(r), l2_byz_impossible_approx(r));
+    EXPECT_LT(l2_crash_achievable_approx(r), l2_crash_impossible_approx(r));
+    EXPECT_LT(l2_byz_impossible_approx(r), l2_crash_achievable_approx(r));
+    // The crash estimate is exactly twice the Byzantine one (Section VIII).
+    EXPECT_DOUBLE_EQ(l2_crash_achievable_approx(r),
+                     2.0 * l2_byz_achievable_approx(r));
+    EXPECT_DOUBLE_EQ(l2_crash_impossible_approx(r),
+                     2.0 * l2_byz_impossible_approx(r));
+  }
+}
+
+TEST(Analysis, KooL2BoundBelowLinfBound) {
+  for (std::int32_t r = 2; r <= 20; ++r) {
+    EXPECT_LT(koo_cpa_l2_bound(r), koo_cpa_linf_bound(r));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6 internal counting lemmas (Figs 14-19)
+// ---------------------------------------------------------------------------
+
+TEST(Theorem6, Stage1CountDominatesTwoTPlusOne) {
+  // "(r + 1 + r/2) r > 3/2 r^2 + r > 4/3 r^2 + 1 ... for all r > 1".
+  for (std::int32_t r = 2; r <= 200; ++r) {
+    EXPECT_TRUE(cpa_count_sufficient(cpa_stage1_committed_neighbors(r), r))
+        << "r=" << r;
+  }
+}
+
+TEST(Theorem6, RowConditionHoldsThroughGuaranteedStack) {
+  // "Given that row (i-1) has committed, row i can commit if [the count]
+  // >= 4/3 r^2 + 1. This condition holds for all i <= floor(r/sqrt(6)),
+  // when r >= 2."
+  for (std::int32_t r = 2; r <= 100; ++r) {
+    const std::int32_t depth = cpa_guaranteed_stack_rows(r);
+    for (std::int32_t i = 1; i <= depth; ++i) {
+      EXPECT_TRUE(cpa_count_sufficient(cpa_row_committed_neighbors(r, i), r))
+          << "r=" << r << " i=" << i;
+    }
+  }
+}
+
+TEST(Theorem6, GuaranteedStackReachesRThirds) {
+  // "the stack can grow to at least r/3 rows, since sqrt(6) < 3".
+  for (std::int32_t r = 3; r <= 200; ++r) {
+    EXPECT_GE(cpa_guaranteed_stack_rows(r), r / 3 - 1) << "r=" << r;
+    // And exactly floor(r/sqrt(6)):
+    const auto k = cpa_guaranteed_stack_rows(r);
+    EXPECT_LE(6 * static_cast<std::int64_t>(k) * k,
+              static_cast<std::int64_t>(r) * r);
+    EXPECT_GT(6 * static_cast<std::int64_t>(k + 1) * (k + 1),
+              static_cast<std::int64_t>(r) * r);
+  }
+}
+
+TEST(Theorem6, Stage2CountDominates) {
+  // "(r + 1 + ceil(r/2)) r + 2 ceil(r/2) floor(r/3) >= 11 r^2 / 6 >= 4r^2/3
+  // + 1 (for all r >= 2)".
+  for (std::int32_t r = 2; r <= 200; ++r) {
+    EXPECT_TRUE(cpa_count_sufficient(cpa_stage2_committed_neighbors(r), r))
+        << "r=" << r;
+  }
+}
+
+TEST(Theorem6, KnownSmallValues) {
+  // r=2: stage1 = (2+1+1)*2 = 8; 3*8 = 24 >= 4*4+3 = 19.
+  EXPECT_EQ(cpa_stage1_committed_neighbors(2), 8);
+  EXPECT_TRUE(cpa_count_sufficient(8, 2));
+  EXPECT_FALSE(cpa_count_sufficient(6, 2));  // 18 < 19
+  // r=6: floor(6/sqrt(6)) = floor(2.449) = 2.
+  EXPECT_EQ(cpa_guaranteed_stack_rows(6), 2);
+  EXPECT_EQ(cpa_guaranteed_stack_rows(10), 4);  // 10/2.449 = 4.08
+}
+
+}  // namespace
+}  // namespace rbcast

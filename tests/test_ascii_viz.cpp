@@ -1,0 +1,52 @@
+#include "radiobcast/core/ascii_viz.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rbcast {
+namespace {
+
+TEST(AsciiViz, RendersAllStates) {
+  const Torus torus(3, 2);
+  SimResult result;
+  result.outcomes.assign(6, NodeOutcome::kUndecided);
+  result.outcomes[static_cast<std::size_t>(torus.index({0, 0}))] =
+      NodeOutcome::kSource;
+  result.outcomes[static_cast<std::size_t>(torus.index({1, 0}))] =
+      NodeOutcome::kFaulty;
+  result.outcomes[static_cast<std::size_t>(torus.index({2, 0}))] =
+      NodeOutcome::kCommitted1;
+  result.outcomes[static_cast<std::size_t>(torus.index({0, 1}))] =
+      NodeOutcome::kCommitted0;
+  const std::string s = render_outcomes(torus, result, /*correct_value=*/1);
+  // Top line is y=1: committed0 (wrong since correct=1), undecided, undecided.
+  // Bottom line is y=0: source, faulty, committed1 (correct).
+  EXPECT_EQ(s, "X..\nS#+\n");
+}
+
+TEST(AsciiViz, CorrectValueZeroFlipsMarks) {
+  const Torus torus(2, 1);
+  SimResult result;
+  result.outcomes = {NodeOutcome::kCommitted0, NodeOutcome::kCommitted1};
+  EXPECT_EQ(render_outcomes(torus, result, 0), "+X\n");
+  EXPECT_EQ(render_outcomes(torus, result, 1), "X+\n");
+}
+
+TEST(AsciiViz, DimensionsMatchTorus) {
+  const Torus torus(7, 4);
+  SimResult result;
+  result.outcomes.assign(28, NodeOutcome::kUndecided);
+  const std::string s = render_outcomes(torus, result, 1);
+  std::istringstream is(s);
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.size(), 7u);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+}  // namespace
+}  // namespace rbcast

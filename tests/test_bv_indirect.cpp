@@ -1,0 +1,204 @@
+#include "radiobcast/protocols/bv_indirect.h"
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/core/experiment.h"
+#include "radiobcast/core/simulation.h"
+
+namespace rbcast {
+namespace {
+
+SimConfig base_config(std::int32_t r, ProtocolKind kind) {
+  SimConfig cfg;
+  cfg.width = cfg.height = 8 * r + 4;
+  cfg.r = r;
+  cfg.metric = Metric::kLInf;
+  cfg.protocol = kind;
+  cfg.adversary = AdversaryKind::kSilent;
+  cfg.seed = 33;
+  return cfg;
+}
+
+TEST(BvIndirect, FloodFaultFreeFullCoverage) {
+  SimConfig cfg = base_config(1, ProtocolKind::kBvIndirectFlood);
+  cfg.t = byz_linf_achievable_max(1);
+  const auto result = run_simulation(cfg, FaultSet{});
+  EXPECT_TRUE(result.success());
+}
+
+TEST(BvIndirect, EarmarkedFaultFreeFullCoverage) {
+  for (std::int32_t r = 1; r <= 2; ++r) {
+    SimConfig cfg = base_config(r, ProtocolKind::kBvIndirectEarmarked);
+    cfg.t = byz_linf_achievable_max(r);
+    const auto result = run_simulation(cfg, FaultSet{});
+    EXPECT_TRUE(result.success()) << "r=" << r;
+  }
+}
+
+TEST(BvIndirect, EarmarkedUsesFarFewerMessagesThanFlood) {
+  SimConfig flood = base_config(1, ProtocolKind::kBvIndirectFlood);
+  SimConfig earmarked = base_config(1, ProtocolKind::kBvIndirectEarmarked);
+  flood.t = earmarked.t = byz_linf_achievable_max(1);
+  const auto rf = run_simulation(flood, FaultSet{});
+  const auto re = run_simulation(earmarked, FaultSet{});
+  EXPECT_TRUE(rf.success());
+  EXPECT_TRUE(re.success());
+  EXPECT_LT(re.transmissions, rf.transmissions);
+}
+
+TEST(BvIndirect, FloodAndEarmarkedAgreeOnOutcomes) {
+  // Same faults, same seed: both relay modes must commit the same nodes.
+  SimConfig flood = base_config(1, ProtocolKind::kBvIndirectFlood);
+  SimConfig earmarked = base_config(1, ProtocolKind::kBvIndirectEarmarked);
+  flood.t = earmarked.t = byz_linf_achievable_max(1);
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kRandomBounded;
+  Torus torus(flood.width, flood.height);
+  Rng rng(77);
+  const FaultSet faults = make_faults(placement, torus, flood.r, flood.metric,
+                                      flood.t, flood.source, rng);
+  const auto rf = run_simulation(flood, faults);
+  const auto re = run_simulation(earmarked, faults);
+  EXPECT_EQ(rf.correct_commits, re.correct_commits);
+  EXPECT_EQ(rf.wrong_commits, re.wrong_commits);
+  EXPECT_EQ(rf.undecided, re.undecided);
+}
+
+TEST(BvIndirect, SurvivesTrimmedCheckerboardAtThreshold) {
+  for (std::int32_t r = 1; r <= 2; ++r) {
+    const ProtocolKind kind = r == 1 ? ProtocolKind::kBvIndirectFlood
+                                     : ProtocolKind::kBvIndirectEarmarked;
+    SimConfig cfg = base_config(r, kind);
+    cfg.t = byz_linf_achievable_max(r);
+    PlacementConfig placement;
+    placement.kind = PlacementKind::kCheckerboardStrip;
+    placement.trim = true;
+    Torus torus(cfg.width, cfg.height);
+    Rng rng(1);
+    const FaultSet faults = make_faults(placement, torus, cfg.r, cfg.metric,
+                                        cfg.t, cfg.source, rng);
+    const auto result = run_simulation(cfg, faults);
+    EXPECT_TRUE(result.success()) << "r=" << r;
+  }
+}
+
+TEST(BvIndirect, StalledAtImpossibilityBudget) {
+  SimConfig cfg = base_config(1, ProtocolKind::kBvIndirectFlood);
+  cfg.t = byz_linf_impossible_min(1);
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kCheckerboardStrip;
+  placement.trim = false;
+  Torus torus(cfg.width, cfg.height);
+  Rng rng(1);
+  const FaultSet faults = make_faults(placement, torus, cfg.r, cfg.metric,
+                                      cfg.t, cfg.source, rng);
+  ASSERT_EQ(max_closed_nbd_faults(torus, faults, cfg.r, cfg.metric), cfg.t);
+  const auto result = run_simulation(cfg, faults);
+  EXPECT_FALSE(result.success());
+  EXPECT_GT(result.undecided, 0);
+  EXPECT_EQ(result.wrong_commits, 0);
+}
+
+TEST(BvIndirect, LyingAdversaryNeverCausesWrongCommit) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::kBvIndirectFlood, ProtocolKind::kBvIndirectEarmarked}) {
+    SimConfig cfg = base_config(1, kind);
+    cfg.t = byz_linf_achievable_max(1);
+    cfg.adversary = AdversaryKind::kLying;
+    PlacementConfig placement;
+    placement.kind = PlacementKind::kRandomBounded;
+    for (int rep = 0; rep < 3; ++rep) {
+      Torus torus(cfg.width, cfg.height);
+      Rng rng(90 + static_cast<std::uint64_t>(rep));
+      const FaultSet faults = make_faults(placement, torus, cfg.r, cfg.metric,
+                                          cfg.t, cfg.source, rng);
+      const auto result = run_simulation(cfg, faults);
+      EXPECT_EQ(result.wrong_commits, 0)
+          << to_string(kind) << " rep=" << rep;
+      EXPECT_TRUE(result.success()) << to_string(kind) << " rep=" << rep;
+    }
+  }
+}
+
+TEST(BvIndirect, EarmarkedRequiresLinf) {
+  SimConfig cfg = base_config(2, ProtocolKind::kBvIndirectEarmarked);
+  cfg.metric = Metric::kL2;
+  EXPECT_THROW(run_simulation(cfg, FaultSet{}), std::invalid_argument);
+}
+
+TEST(BvIndirect, BehaviorUnitRejectsImplausibleChains) {
+  const Torus torus(20, 20);
+  RadioNetwork net(torus, 2, Metric::kLInf, 1);
+  for (const Coord c : torus.all_coords()) {
+    net.set_behavior(c, std::make_unique<BvIndirectBehavior>(
+                            ProtocolParams{1, {0, 0}}, torus, 2,
+                            Metric::kLInf, RelayMode::kFlood));
+  }
+  const Coord self{10, 10};
+  NodeContext ctx(net, self);
+  auto* b = dynamic_cast<BvIndirectBehavior*>(net.behavior(self));
+
+  // Chain with a hop longer than r: dropped.
+  b->on_receive(ctx, {{9, 9}, make_heard({{4, 4}, {9, 9}}, {0, 0}, 1)});
+  // Chain with a repeated node: dropped.
+  b->on_receive(ctx, {{9, 9}, make_heard({{9, 9}, {8, 8}, {9, 9}}, {7, 7}, 1)});
+  // Outermost relayer != transmitter: dropped.
+  b->on_receive(ctx, {{9, 9}, make_heard({{8, 8}}, {7, 7}, 1)});
+  // More than 3 relayers: dropped.
+  b->on_receive(ctx,
+                {{9, 9},
+                 make_heard({{6, 6}, {7, 7}, {8, 8}, {9, 9}}, {5, 5}, 1)});
+  b->on_round_end(ctx);
+  EXPECT_EQ(b->determinations(), 0);
+}
+
+TEST(BvIndirect, BehaviorUnitDeterminationViaDisjointChains) {
+  const Torus torus(20, 20);
+  const std::int64_t t = 1;
+  RadioNetwork net(torus, 2, Metric::kLInf, 1);
+  for (const Coord c : torus.all_coords()) {
+    net.set_behavior(c, std::make_unique<BvIndirectBehavior>(
+                            ProtocolParams{t, {0, 0}}, torus, 2,
+                            Metric::kLInf, RelayMode::kFlood));
+  }
+  const Coord self{10, 10};
+  const Coord origin{14, 10};  // 4 away: needs 2-intermediate chains
+  NodeContext ctx(net, self);
+  auto* b = dynamic_cast<BvIndirectBehavior*>(net.behavior(self));
+  // Two node-disjoint chains origin -> a -> b -> self, all inside
+  // nbd((12,10)).
+  b->on_receive(ctx,
+                {{11, 10}, make_heard({{13, 10}, {11, 10}}, origin, 1)});
+  b->on_round_end(ctx);
+  EXPECT_EQ(b->determinations(), 0);  // one chain < t+1 = 2
+  b->on_receive(ctx,
+                {{11, 11}, make_heard({{13, 11}, {11, 11}}, origin, 1)});
+  b->on_round_end(ctx);
+  EXPECT_EQ(b->determinations(), 1);
+}
+
+TEST(BvIndirect, BehaviorUnitConflictingChainsDoNotCount) {
+  const Torus torus(20, 20);
+  const std::int64_t t = 1;
+  RadioNetwork net(torus, 2, Metric::kLInf, 1);
+  for (const Coord c : torus.all_coords()) {
+    net.set_behavior(c, std::make_unique<BvIndirectBehavior>(
+                            ProtocolParams{t, {0, 0}}, torus, 2,
+                            Metric::kLInf, RelayMode::kFlood));
+  }
+  const Coord self{10, 10};
+  const Coord origin{14, 10};
+  NodeContext ctx(net, self);
+  auto* b = dynamic_cast<BvIndirectBehavior*>(net.behavior(self));
+  // Two chains sharing the intermediate (13,10): conflict, still < t+1.
+  b->on_receive(ctx,
+                {{11, 10}, make_heard({{13, 10}, {11, 10}}, origin, 1)});
+  b->on_receive(ctx,
+                {{11, 11}, make_heard({{13, 10}, {11, 11}}, origin, 1)});
+  b->on_round_end(ctx);
+  EXPECT_EQ(b->determinations(), 0);
+}
+
+}  // namespace
+}  // namespace rbcast

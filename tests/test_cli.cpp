@@ -1,0 +1,74 @@
+#include "radiobcast/util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv,
+              std::vector<std::string> known) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(Cli, EqualsForm) {
+  const auto args = parse({"--r=3", "--metric=l2"}, {"r", "metric"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.get_int("r", 0), 3);
+  EXPECT_EQ(args.get("metric", ""), "l2");
+}
+
+TEST(Cli, SpaceForm) {
+  const auto args = parse({"--r", "5"}, {"r"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.get_int("r", 0), 5);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const auto args = parse({"--verbose"}, {"verbose"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(Cli, UnknownFlagIsError) {
+  const auto args = parse({"--nope=1"}, {"r"});
+  EXPECT_FALSE(args.ok());
+  EXPECT_NE(args.error().find("nope"), std::string::npos);
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const auto args = parse({}, {"r"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.get_int("r", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.25), 0.25);
+  EXPECT_EQ(args.get("s", "dflt"), "dflt");
+  EXPECT_FALSE(args.get_bool("b", false));
+  EXPECT_FALSE(args.has("r"));
+}
+
+TEST(Cli, Positional) {
+  const auto args = parse({"one", "--r=2", "two"}, {"r"});
+  ASSERT_TRUE(args.ok());
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "one");
+  EXPECT_EQ(args.positional()[1], "two");
+}
+
+TEST(Cli, BoolSpellings) {
+  const auto args =
+      parse({"--a=true", "--b=1", "--c=yes", "--d=off"}, {"a", "b", "c", "d"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_TRUE(args.get_bool("b", false));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto args = parse({"--p=0.35"}, {"p"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0), 0.35);
+}
+
+}  // namespace
+}  // namespace rbcast

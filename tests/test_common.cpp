@@ -1,0 +1,105 @@
+#include "radiobcast/protocols/common.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast {
+namespace {
+
+TEST(OriginValueKey, DistinguishesOriginsAndValues) {
+  EXPECT_NE(origin_value_key({1, 2}, 0), origin_value_key({1, 2}, 1));
+  EXPECT_NE(origin_value_key({1, 2}, 0), origin_value_key({2, 1}, 0));
+  EXPECT_EQ(origin_value_key({3, 4}, 1), origin_value_key({3, 4}, 1));
+}
+
+TEST(CommitCounter, FiresAtExactlyTPlusOneInOneNeighborhood) {
+  const Torus torus(20, 20);
+  const std::int64_t t = 2;
+  NeighborhoodCommitCounter counter(torus, 2, Metric::kLInf, t);
+  // Three committers clustered so one center (e.g. (10,10)) covers them all.
+  EXPECT_FALSE(counter.record({9, 9}, 1).has_value());
+  EXPECT_FALSE(counter.record({11, 11}, 1).has_value());
+  const auto fired = counter.record({9, 11}, 1);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, 1);
+}
+
+TEST(CommitCounter, SpreadOutCommittersDoNotFire) {
+  const Torus torus(40, 40);
+  NeighborhoodCommitCounter counter(torus, 2, Metric::kLInf, 2);
+  // Pairwise distances > 2r: no single neighborhood holds even two of them.
+  EXPECT_FALSE(counter.record({5, 5}, 1).has_value());
+  EXPECT_FALSE(counter.record({15, 15}, 1).has_value());
+  EXPECT_FALSE(counter.record({25, 25}, 1).has_value());
+  EXPECT_FALSE(counter.record({35, 5}, 1).has_value());
+}
+
+TEST(CommitCounter, ValuesCountedSeparately) {
+  const Torus torus(20, 20);
+  NeighborhoodCommitCounter counter(torus, 2, Metric::kLInf, 1);
+  EXPECT_FALSE(counter.record({9, 9}, 1).has_value());
+  // A nearby '0' determination does not combine with the '1' above, and a
+  // far-away '0' shares no neighborhood with it.
+  EXPECT_FALSE(counter.record({10, 9}, 0).has_value());
+  EXPECT_FALSE(counter.record({2, 2}, 0).has_value());
+  // Second '1' committer in the same neighborhood fires for value 1.
+  const auto fired = counter.record({10, 10}, 1);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, 1);
+}
+
+TEST(CommitCounter, RecordIsIdempotent) {
+  const Torus torus(20, 20);
+  NeighborhoodCommitCounter counter(torus, 1, Metric::kLInf, 1);
+  EXPECT_FALSE(counter.record({5, 5}, 1).has_value());
+  // Recording the same determination again adds nothing.
+  EXPECT_FALSE(counter.record({5, 5}, 1).has_value());
+  EXPECT_FALSE(counter.record({5, 5}, 1).has_value());
+  EXPECT_EQ(counter.determined_count(), 1);
+  const auto fired = counter.record({5, 6}, 1);
+  EXPECT_TRUE(fired.has_value());
+}
+
+TEST(CommitCounter, IsDeterminedTracksPairs) {
+  const Torus torus(20, 20);
+  NeighborhoodCommitCounter counter(torus, 1, Metric::kLInf, 3);
+  EXPECT_FALSE(counter.is_determined({4, 4}, 1));
+  counter.record({4, 4}, 1);
+  EXPECT_TRUE(counter.is_determined({4, 4}, 1));
+  EXPECT_FALSE(counter.is_determined({4, 4}, 0));
+  // Canonicalization: the same node addressed through a wrap.
+  EXPECT_TRUE(counter.is_determined({24, 24}, 1));
+}
+
+TEST(CommitCounter, TZeroFiresOnFirstDetermination) {
+  const Torus torus(20, 20);
+  NeighborhoodCommitCounter counter(torus, 2, Metric::kLInf, 0);
+  const auto fired = counter.record({5, 5}, 0);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, 0);
+}
+
+TEST(CommitCounter, WrapsAcrossSeam) {
+  const Torus torus(20, 20);
+  NeighborhoodCommitCounter counter(torus, 1, Metric::kLInf, 1);
+  EXPECT_FALSE(counter.record({0, 0}, 1).has_value());
+  // (19,19) is diagonal-adjacent to (0,0) across the seam; both lie in
+  // nbd((0,19)) (and nbd((19,0))).
+  EXPECT_TRUE(counter.record({19, 19}, 1).has_value());
+}
+
+TEST(CommitCounter, L2MetricGeometry) {
+  const Torus torus(20, 20);
+  NeighborhoodCommitCounter counter(torus, 1, Metric::kL2, 1);
+  EXPECT_FALSE(counter.record({10, 10}, 1).has_value());
+  // (10,10) and (11,11) are not L2-neighbors at r=1, but the centers (10,11)
+  // and (11,10) are within distance 1 of both, so a shared neighborhood
+  // exists and the rule fires.
+  EXPECT_TRUE(counter.record({11, 11}, 1).has_value());
+  // But two nodes 3 apart never share one.
+  NeighborhoodCommitCounter far_counter(torus, 1, Metric::kL2, 1);
+  EXPECT_FALSE(far_counter.record({5, 5}, 1).has_value());
+  EXPECT_FALSE(far_counter.record({8, 5}, 1).has_value());
+}
+
+}  // namespace
+}  // namespace rbcast

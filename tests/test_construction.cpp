@@ -1,0 +1,356 @@
+#include "radiobcast/paths/construction.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <tuple>
+
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/grid/metric.h"
+
+namespace rbcast {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Region M (Fig 1) and the R/U/S1/S2 partition (Figs 2-3)
+// ---------------------------------------------------------------------------
+
+TEST(ConstructionRegions, MHasR2rPlus1Nodes) {
+  for (std::int32_t r = 1; r <= 8; ++r) {
+    EXPECT_EQ(static_cast<std::int64_t>(region_M(r).size()), r_2r_plus_1(r));
+  }
+}
+
+TEST(ConstructionRegions, MIsTheHalfSquareAboveTheDiagonal) {
+  for (std::int32_t r = 1; r <= 5; ++r) {
+    for (const Coord c : region_M(r)) {
+      EXPECT_LE(linf_norm(c - Coord{0, 0}), r);       // inside nbd(0,0)
+      EXPECT_GT(c.y, c.x);                            // strictly above diag
+    }
+  }
+}
+
+TEST(ConstructionRegions, PartitionOfM) {
+  // R ∪ U ∪ S1 ∪ S2 = M, pairwise disjoint (Fig 3).
+  for (std::int32_t r = 1; r <= 6; ++r) {
+    std::set<Coord> m;
+    for (const Coord c : region_M(r)) m.insert(c);
+
+    std::set<Coord> parts;
+    auto add_unique = [&](Coord c) {
+      EXPECT_TRUE(parts.insert(c).second) << "overlap at " << to_string(c);
+      EXPECT_TRUE(m.count(c)) << to_string(c) << " not in M";
+    };
+    for (const Coord c : region_R(r).cells()) add_unique(c);
+    for (std::int32_t q = 1; q <= r; ++q) {
+      for (std::int32_t p = 1; p < q; ++p) add_unique({p, q});  // U
+    }
+    for (std::int32_t p = 0; p <= r - 1; ++p) add_unique({-r, -p});  // S1
+    for (std::int32_t q = 1; q <= r - 1; ++q) {
+      for (std::int32_t p = 0; p < q; ++p) add_unique({-q, -p});  // S2
+    }
+    EXPECT_EQ(parts.size(), m.size()) << "r=" << r;
+  }
+}
+
+TEST(ConstructionRegions, RegionSizesMatchPaper) {
+  for (std::int32_t r = 1; r <= 8; ++r) {
+    EXPECT_EQ(region_R(r).count(), static_cast<std::int64_t>(r) * (r + 1));
+    std::int64_t u = 0, s2 = 0;
+    for (std::int32_t q = 1; q <= r; ++q) {
+      for (std::int32_t p = 1; p < q; ++p) ++u;
+    }
+    for (std::int32_t q = 1; q <= r - 1; ++q) {
+      for (std::int32_t p = 0; p < q; ++p) ++s2;
+    }
+    EXPECT_EQ(u, static_cast<std::int64_t>(r) * (r - 1) / 2);
+    EXPECT_EQ(s2, static_cast<std::int64_t>(r) * (r - 1) / 2);
+  }
+}
+
+TEST(ConstructionRegions, PHearsRDirectly) {
+  for (std::int32_t r = 1; r <= 6; ++r) {
+    const Coord p = corner_P(r);
+    for (const Coord c : region_R(r).cells()) {
+      EXPECT_LE(linf_norm(c - p), r) << "r=" << r << " " << to_string(c);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table I region cardinalities and structure
+// ---------------------------------------------------------------------------
+
+struct PQCase {
+  std::int32_t r, p, q;
+};
+
+class Table1Param : public ::testing::TestWithParam<PQCase> {};
+
+TEST_P(Table1Param, CardinalitiesMatchTheProof) {
+  const auto [r, p, q] = GetParam();
+  const Table1Regions t = table1_regions(r, p, q);
+  EXPECT_EQ(t.A.count(), static_cast<std::int64_t>(r - p + 1) * (r + q));
+  EXPECT_EQ(t.B1.count(), static_cast<std::int64_t>(p - 1) * (r + q));
+  EXPECT_EQ(t.B2.count(), t.B1.count());
+  EXPECT_EQ(t.C1.count(), static_cast<std::int64_t>(r - p) * (r - q + 1));
+  EXPECT_EQ(t.C2.count(), t.C1.count());
+  EXPECT_EQ(t.D1.count(), static_cast<std::int64_t>(p) * (r - q + 1));
+  EXPECT_EQ(t.D2.count(), t.D1.count());
+  EXPECT_EQ(t.D3.count(), t.D1.count());
+  // Total path count = r(2r+1) (Theorem 3).
+  EXPECT_EQ(t.A.count() + t.B1.count() + t.C1.count() + t.D1.count(),
+            r_2r_plus_1(r));
+}
+
+TEST_P(Table1Param, RegionsArePairwiseDisjoint) {
+  const auto [r, p, q] = GetParam();
+  const Table1Regions t = table1_regions(r, p, q);
+  const Rect all[] = {t.A, t.B1, t.B2, t.C1, t.C2, t.D1, t.D2, t.D3};
+  for (std::size_t i = 0; i < std::size(all); ++i) {
+    for (std::size_t j = i + 1; j < std::size(all); ++j) {
+      EXPECT_TRUE(disjoint(all[i], all[j]))
+          << "regions " << i << " and " << j << " overlap";
+    }
+  }
+  // Neither N nor P lies in any intermediate region.
+  const Coord n{p, q};
+  const Coord pp = corner_P(r);
+  for (const Rect& rect : all) {
+    EXPECT_FALSE(rect.contains(n));
+    EXPECT_FALSE(rect.contains(pp));
+  }
+}
+
+TEST_P(Table1Param, RegionsLieInTheSingleNeighborhood) {
+  const auto [r, p, q] = GetParam();
+  const Table1Regions t = table1_regions(r, p, q);
+  const Rect nbd = linf_ball(center_for_U(r), r);
+  for (const Rect& rect : {t.A, t.B1, t.B2, t.C1, t.C2, t.D1, t.D2, t.D3}) {
+    EXPECT_TRUE(contained_in(rect, nbd));
+  }
+  EXPECT_TRUE(nbd.contains({p, q}));
+  EXPECT_TRUE(nbd.contains(corner_P(r)));
+}
+
+TEST_P(Table1Param, AdjacencyClaims) {
+  const auto [r, p, q] = GetParam();
+  const Table1Regions t = table1_regions(r, p, q);
+  const Coord n{p, q};
+  const Coord pp = corner_P(r);
+  // A: common neighbors of N and P.
+  for (const Coord c : t.A.cells()) {
+    EXPECT_LE(linf_norm(c - n), r);
+    EXPECT_LE(linf_norm(c - pp), r);
+  }
+  // B1 ⊆ nbd(N); its translate by (-r,0) ⊆ nbd(P) and pairs are adjacent.
+  for (const Coord c : t.B1.cells()) {
+    EXPECT_LE(linf_norm(c - n), r);
+    EXPECT_LE(linf_norm((c + Offset{-r, 0}) - pp), r);
+  }
+  // C1 ⊆ nbd(N); its translate by (-r,r) ⊆ nbd(P).
+  for (const Coord c : t.C1.cells()) {
+    EXPECT_LE(linf_norm(c - n), r);
+    EXPECT_LE(linf_norm((c + Offset{-r, r}) - pp), r);
+  }
+  // D1 ⊆ nbd(N); D2 fully cross-adjacent to D1; D3 = D2 - (r,0) ⊆ nbd(P).
+  for (const Coord c : t.D1.cells()) EXPECT_LE(linf_norm(c - n), r);
+  for (const Coord c1 : t.D1.cells()) {
+    for (const Coord c2 : t.D2.cells()) {
+      EXPECT_LE(linf_norm(c2 - c1), r)
+          << to_string(c1) << " vs " << to_string(c2);
+    }
+  }
+  for (const Coord c : t.D3.cells()) EXPECT_LE(linf_norm(c - pp), r);
+}
+
+std::vector<PQCase> all_pq_cases(std::int32_t r_max) {
+  std::vector<PQCase> cases;
+  for (std::int32_t r = 2; r <= r_max; ++r) {
+    for (std::int32_t q = 2; q <= r; ++q) {
+      for (std::int32_t p = 1; p < q; ++p) cases.push_back({r, p, q});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPQ, Table1Param,
+                         ::testing::ValuesIn(all_pq_cases(7)),
+                         [](const ::testing::TestParamInfo<PQCase>& info) {
+                           return "r" + std::to_string(info.param.r) + "_p" +
+                                  std::to_string(info.param.p) + "_q" +
+                                  std::to_string(info.param.q);
+                         });
+
+TEST(Table1, RejectsInvalidPQ) {
+  EXPECT_THROW(table1_regions(3, 0, 2), std::invalid_argument);
+  EXPECT_THROW(table1_regions(3, 2, 2), std::invalid_argument);
+  EXPECT_THROW(table1_regions(3, 1, 4), std::invalid_argument);
+  EXPECT_THROW(table1_regions(0, 1, 2), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Path families (U, S1, S2): exactly r(2r+1) valid disjoint paths
+// ---------------------------------------------------------------------------
+
+void expect_family_valid(const DisjointPathSet& family, std::int32_t r) {
+  EXPECT_EQ(static_cast<std::int64_t>(family.paths.size()), r_2r_plus_1(r));
+  EXPECT_TRUE(validate(family, r, Metric::kLInf));
+  for (const GridPath& path : family.paths) {
+    EXPECT_LE(path.intermediates(), 3u);  // four hops max (Section VI)
+    EXPECT_GE(path.intermediates(), 1u);
+  }
+}
+
+TEST(PathFamilies, UFamiliesAreValid) {
+  for (std::int32_t r = 2; r <= 6; ++r) {
+    for (std::int32_t q = 2; q <= r; ++q) {
+      for (std::int32_t p = 1; p < q; ++p) {
+        SCOPED_TRACE("r=" + std::to_string(r) + " p=" + std::to_string(p) +
+                     " q=" + std::to_string(q));
+        const auto family = family_for_U(r, p, q);
+        EXPECT_EQ(family.origin, (Coord{p, q}));
+        EXPECT_EQ(family.dest, corner_P(r));
+        EXPECT_EQ(family.center, center_for_U(r));
+        expect_family_valid(family, r);
+      }
+    }
+  }
+}
+
+TEST(PathFamilies, S1FamiliesAreValid) {
+  for (std::int32_t r = 1; r <= 6; ++r) {
+    for (std::int32_t p = 0; p <= r - 1; ++p) {
+      SCOPED_TRACE("r=" + std::to_string(r) + " p=" + std::to_string(p));
+      const auto family = family_for_S1(r, p);
+      EXPECT_EQ(family.origin, (Coord{-r, -p}));
+      EXPECT_EQ(family.center, center_for_S1(r));
+      expect_family_valid(family, r);
+    }
+  }
+}
+
+TEST(PathFamilies, S2FamiliesAreValid) {
+  for (std::int32_t r = 2; r <= 6; ++r) {
+    for (std::int32_t q = 1; q <= r - 1; ++q) {
+      for (std::int32_t p = 0; p < q; ++p) {
+        SCOPED_TRACE("r=" + std::to_string(r) + " q=" + std::to_string(q) +
+                     " p=" + std::to_string(p));
+        const auto family = family_for_S2(r, q, p);
+        EXPECT_EQ(family.origin, (Coord{-q, -p}));
+        EXPECT_EQ(family.dest, corner_P(r));
+        expect_family_valid(family, r);
+      }
+    }
+  }
+}
+
+TEST(PathFamilies, S1PathCountsSplitAsJandK) {
+  // (r-p)(2r+1) one-intermediate paths via J, p(2r+1) two-intermediate via K.
+  for (std::int32_t r = 1; r <= 5; ++r) {
+    for (std::int32_t p = 0; p <= r - 1; ++p) {
+      const auto family = family_for_S1(r, p);
+      std::int64_t one_hop = 0, two_hop = 0;
+      for (const GridPath& path : family.paths) {
+        if (path.intermediates() == 1) ++one_hop;
+        if (path.intermediates() == 2) ++two_hop;
+      }
+      EXPECT_EQ(one_hop, static_cast<std::int64_t>(r - p) * (2 * r + 1));
+      EXPECT_EQ(two_hop, static_cast<std::int64_t>(p) * (2 * r + 1));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Displacement classification and the general entry point
+// ---------------------------------------------------------------------------
+
+TEST(Classify, CanonicalCases) {
+  const std::int32_t r = 3;
+  EXPECT_EQ(classify_canonical(r, {-1, 1}), FamilyKind::kDirect);
+  EXPECT_EQ(classify_canonical(r, {-r, r}), FamilyKind::kDirect);
+  EXPECT_EQ(classify_canonical(r, {0, r + 1}), FamilyKind::kS1);
+  EXPECT_EQ(classify_canonical(r, {0, 2 * r}), FamilyKind::kS1);
+  EXPECT_EQ(classify_canonical(r, {-1, r + 1}), FamilyKind::kS2);
+  EXPECT_EQ(classify_canonical(r, {-(r + 1), 1}), FamilyKind::kU);
+  EXPECT_EQ(classify_canonical(r, {-(2 * r - 1), 1}), FamilyKind::kU);
+}
+
+TEST(Classify, RejectsNonCanonical) {
+  EXPECT_THROW(classify_canonical(2, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(classify_canonical(2, {-1, 0}), std::invalid_argument);
+  EXPECT_THROW(classify_canonical(2, {-3, 2}), std::invalid_argument);  // L1=5
+}
+
+TEST(ConstructionPaths, AllCoveredDisplacementsYieldFullFamilies) {
+  // For every displacement with 1 <= |d|_1 <= 2r the construction gives
+  // r(2r+1) disjoint <= 4-hop paths in one neighborhood (direct pairs give
+  // the trivial path).
+  for (std::int32_t r = 1; r <= 4; ++r) {
+    const Coord origin{100, 200};  // arbitrary anchor, exercises translation
+    for (std::int32_t dx = -2 * r; dx <= 2 * r; ++dx) {
+      for (std::int32_t dy = -2 * r; dy <= 2 * r; ++dy) {
+        const std::int32_t l1 = std::abs(dx) + std::abs(dy);
+        if (l1 < 1 || l1 > 2 * r) continue;
+        SCOPED_TRACE("r=" + std::to_string(r) + " d=<" + std::to_string(dx) +
+                     "," + std::to_string(dy) + ">");
+        const Coord dest = origin + Offset{dx, dy};
+        const auto family = construction_paths(r, origin, dest);
+        EXPECT_EQ(family.origin, origin);
+        EXPECT_EQ(family.dest, dest);
+        if (linf_norm({dx, dy}) <= r) {
+          ASSERT_EQ(family.paths.size(), 1u);
+          EXPECT_EQ(family.paths[0].nodes.size(), 2u);
+        } else {
+          EXPECT_EQ(static_cast<std::int64_t>(family.paths.size()),
+                    r_2r_plus_1(r));
+          EXPECT_TRUE(validate(family, r, Metric::kLInf));
+          for (const GridPath& path : family.paths) {
+            EXPECT_LE(path.intermediates(), 3u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ConstructionPaths, RejectsUncoveredDisplacements) {
+  EXPECT_THROW(construction_paths(2, {0, 0}, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(construction_paths(2, {0, 0}, {3, 3}), std::invalid_argument);
+  EXPECT_THROW(construction_paths(2, {0, 0}, {5, 0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Section VI-A: arbitrary position of P
+// ---------------------------------------------------------------------------
+
+TEST(ArbitraryP, ConnectedCountAtLeastR2rPlus1) {
+  for (std::int32_t r = 1; r <= 8; ++r) {
+    for (std::int32_t l = 0; l <= r; ++l) {
+      EXPECT_GE(arbitrary_p_connected_count(r, l), r_2r_plus_1(r))
+          << "r=" << r << " l=" << l;
+    }
+  }
+}
+
+TEST(ArbitraryP, WorstCaseEqualsR2rPlus1) {
+  for (std::int32_t r = 1; r <= 8; ++r) {
+    EXPECT_EQ(arbitrary_p_connected_count(r, 0), r_2r_plus_1(r));
+  }
+}
+
+TEST(ArbitraryP, RejectsOutOfRange) {
+  EXPECT_THROW(arbitrary_p_connected_count(3, -1), std::invalid_argument);
+  EXPECT_THROW(arbitrary_p_connected_count(3, 4), std::invalid_argument);
+}
+
+TEST(FamilyKindNames, ToString) {
+  EXPECT_STREQ(to_string(FamilyKind::kDirect), "direct");
+  EXPECT_STREQ(to_string(FamilyKind::kU), "U");
+  EXPECT_STREQ(to_string(FamilyKind::kS1), "S1");
+  EXPECT_STREQ(to_string(FamilyKind::kS2), "S2");
+}
+
+}  // namespace
+}  // namespace rbcast

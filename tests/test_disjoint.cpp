@@ -1,0 +1,141 @@
+#include "radiobcast/paths/disjoint.h"
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/core/analysis.h"
+
+namespace rbcast {
+namespace {
+
+TEST(GridPath, IsRadioPath) {
+  EXPECT_TRUE(is_radio_path(GridPath{{{0, 0}, {1, 1}}}, 1, Metric::kLInf));
+  EXPECT_FALSE(is_radio_path(GridPath{{{0, 0}, {1, 1}}}, 1, Metric::kL2));
+  EXPECT_TRUE(is_radio_path(GridPath{{{0, 0}, {2, 0}, {4, 0}}}, 2,
+                            Metric::kLInf));
+  EXPECT_FALSE(is_radio_path(GridPath{{{0, 0}, {3, 0}}}, 2, Metric::kLInf));
+  EXPECT_FALSE(is_radio_path(GridPath{{{0, 0}}}, 2, Metric::kLInf));
+}
+
+TEST(GridPath, Intermediates) {
+  EXPECT_EQ((GridPath{{{0, 0}, {1, 0}}}).intermediates(), 0u);
+  EXPECT_EQ((GridPath{{{0, 0}, {1, 0}, {2, 0}}}).intermediates(), 1u);
+  EXPECT_EQ((GridPath{{}}).intermediates(), 0u);
+}
+
+TEST(Disjoint, AdjacentNodesManyPaths) {
+  // origin and dest adjacent, both in nbd(center): flow includes the direct
+  // path plus one per common neighbor with spare capacity... at minimum the
+  // direct path exists.
+  const auto set =
+      max_disjoint_paths_in_nbd({0, 0}, {1, 0}, {0, 0}, 2, Metric::kLInf);
+  EXPECT_TRUE(validate(set, 2, Metric::kLInf));
+  EXPECT_GE(set.paths.size(), 1u);
+}
+
+TEST(Disjoint, ValidateCatchesSharedInteriors) {
+  DisjointPathSet bad{{0, 0}, {4, 0}, {2, 0}, {}};
+  bad.paths.push_back(GridPath{{{0, 0}, {2, 0}, {4, 0}}});
+  bad.paths.push_back(GridPath{{{0, 0}, {2, 0}, {4, 0}}});
+  EXPECT_FALSE(validate(bad, 2, Metric::kLInf));
+}
+
+TEST(Disjoint, ValidateCatchesOutOfNeighborhood) {
+  DisjointPathSet bad{{0, 0}, {2, 0}, {0, 0}, {}};
+  bad.paths.push_back(GridPath{{{0, 0}, {1, 2}, {2, 0}}});
+  // (1,2) is within r=2 of center (0,0) in L∞ but not in L2 (1+4=5 > 4).
+  EXPECT_TRUE(validate(bad, 2, Metric::kLInf));
+  EXPECT_FALSE(validate(bad, 2, Metric::kL2));
+}
+
+TEST(Disjoint, ValidateCatchesWrongEndpoints) {
+  DisjointPathSet bad{{0, 0}, {2, 0}, {1, 0}, {}};
+  bad.paths.push_back(GridPath{{{0, 0}, {1, 0}}});  // ends at wrong dest
+  EXPECT_FALSE(validate(bad, 2, Metric::kLInf));
+}
+
+TEST(Disjoint, EndpointsMustBeInNeighborhood) {
+  EXPECT_THROW(
+      max_disjoint_paths_in_nbd({0, 0}, {5, 0}, {0, 0}, 2, Metric::kLInf),
+      std::invalid_argument);
+}
+
+TEST(Disjoint, SameOriginAndDestIsEmpty) {
+  const auto set =
+      max_disjoint_paths_in_nbd({0, 0}, {0, 0}, {0, 0}, 2, Metric::kLInf);
+  EXPECT_TRUE(set.paths.empty());
+}
+
+TEST(Disjoint, WorstCaseDisplacementMatchesTheorem) {
+  // The paper's key quantity: for the worst-case committer/decider pairs used
+  // in Theorem 3 (L1 displacement exactly 2r), some single-neighborhood
+  // family has at least r(2r+1) node-disjoint paths.
+  for (std::int32_t r = 1; r <= 3; ++r) {
+    // Canonical worst pair: N = (0,0), P = (-r, r) has |d|_1 = 2r.
+    const auto best =
+        best_disjoint_paths({0, 0}, {-r, r}, r, Metric::kLInf);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_GE(static_cast<std::int64_t>(best->paths.size()), r_2r_plus_1(r))
+        << "r=" << r;
+    EXPECT_TRUE(validate(*best, r, Metric::kLInf));
+  }
+}
+
+TEST(Disjoint, NoCommonNeighborhoodReturnsNullopt) {
+  EXPECT_FALSE(
+      best_disjoint_paths({0, 0}, {5, 0}, 1, Metric::kLInf).has_value());
+}
+
+TEST(Disjoint, CornerToCornerHasFewerPaths) {
+  // Diagonal displacement (2r, 2r): a common neighborhood exists but supports
+  // far fewer disjoint paths than r(2r+1) (the protocol never needs these).
+  const std::int32_t r = 2;
+  const auto best = best_disjoint_paths({0, 0}, {2 * r, 2 * r}, r,
+                                        Metric::kLInf);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GT(best->paths.size(), 0u);
+  EXPECT_LT(static_cast<std::int64_t>(best->paths.size()), r_2r_plus_1(r));
+}
+
+TEST(Disjoint, L2PathsValidate) {
+  const auto best = best_disjoint_paths({0, 0}, {0, 3}, 3, Metric::kL2);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GE(best->paths.size(), 1u);
+  EXPECT_TRUE(validate(*best, 3, Metric::kL2));
+}
+
+TEST(Shortcut, ReducesHopsUsingOwnNodes) {
+  // A needlessly long path along a line: shortcut should jump r at a time.
+  GridPath p{{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}}};
+  const GridPath s = shortcut(p, 2, Metric::kLInf);
+  ASSERT_EQ(s.nodes.size(), 3u);
+  EXPECT_EQ(s.nodes[0], (Coord{0, 0}));
+  EXPECT_EQ(s.nodes[1], (Coord{2, 0}));
+  EXPECT_EQ(s.nodes[2], (Coord{4, 0}));
+  EXPECT_TRUE(is_radio_path(s, 2, Metric::kLInf));
+}
+
+TEST(Shortcut, AlreadyMinimalUnchanged) {
+  GridPath p{{{0, 0}, {2, 0}, {4, 0}}};
+  const GridPath s = shortcut(p, 2, Metric::kLInf);
+  EXPECT_EQ(s.nodes, p.nodes);
+}
+
+TEST(Shortcut, DirectNeighborsCollapse) {
+  GridPath p{{{0, 0}, {1, 0}, {1, 1}, {2, 1}}};
+  const GridPath s = shortcut(p, 2, Metric::kLInf);
+  ASSERT_EQ(s.nodes.size(), 2u);
+}
+
+TEST(Disjoint, FlowPathsShortcutToFourHops) {
+  // After shortcutting, every flow-found path for a covered displacement has
+  // at most 3 intermediates — matching what the 4-hop protocol can carry.
+  const std::int32_t r = 2;
+  const auto best = best_disjoint_paths({0, 0}, {-r, r}, r, Metric::kLInf);
+  ASSERT_TRUE(best.has_value());
+  for (const GridPath& p : best->paths) {
+    EXPECT_LE(shortcut(p, r, Metric::kLInf).intermediates(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,63 @@
+#include "radiobcast/protocols/earmark.h"
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/grid/metric.h"
+#include "radiobcast/paths/construction.h"
+
+namespace rbcast {
+namespace {
+
+TEST(Earmark, PlanIsCachedPerRadius) {
+  const auto& a = EarmarkPlan::get(2);
+  const auto& b = EarmarkPlan::get(2);
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &EarmarkPlan::get(1));
+}
+
+TEST(Earmark, PlanIsNonEmpty) {
+  for (std::int32_t r = 1; r <= 3; ++r) {
+    EXPECT_GT(EarmarkPlan::get(r).prefix_count(), 0u) << "r=" << r;
+  }
+}
+
+TEST(Earmark, AllowsEveryPrefixOfEveryConstructionPath) {
+  const std::int32_t r = 2;
+  const auto& plan = EarmarkPlan::get(r);
+  const Coord origin{0, 0};
+  for (std::int32_t dx = -2 * r; dx <= 2 * r; ++dx) {
+    for (std::int32_t dy = -2 * r; dy <= 2 * r; ++dy) {
+      const Offset d{dx, dy};
+      const std::int32_t l1 = std::abs(dx) + std::abs(dy);
+      if (l1 < 1 || l1 > 2 * r) continue;
+      if (linf_norm(d) <= r) continue;
+      const auto family = construction_paths(r, origin, origin + d);
+      for (const GridPath& path : family.paths) {
+        std::vector<Offset> prefix;
+        for (std::size_t i = 1; i + 1 < path.nodes.size(); ++i) {
+          prefix.push_back(path.nodes[i] - origin);
+          EXPECT_TRUE(plan.allows(prefix));
+        }
+      }
+    }
+  }
+}
+
+TEST(Earmark, RejectsUnrelatedChains) {
+  const auto& plan = EarmarkPlan::get(2);
+  // A chain wandering away from any committer is never designated.
+  EXPECT_FALSE(plan.allows({{7, 7}}));
+  EXPECT_FALSE(plan.allows({{1, 0}, {7, 7}}));
+  EXPECT_FALSE(plan.allows({}));
+}
+
+TEST(Earmark, PrefixCountIsBoundedByFamilies) {
+  // At most (#indirect displacements) * r(2r+1) * 3 prefixes; plans must stay
+  // small — that is their whole point.
+  const std::int32_t r = 2;
+  const auto& plan = EarmarkPlan::get(r);
+  EXPECT_LT(plan.prefix_count(), 1000u);
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,155 @@
+#include "radiobcast/core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/core/analysis.h"
+
+namespace rbcast {
+namespace {
+
+TEST(MakeFaults, NonePlacesNothing) {
+  const Torus torus(20, 20);
+  Rng rng(1);
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kNone;
+  EXPECT_TRUE(
+      make_faults(placement, torus, 2, Metric::kLInf, 5, {0, 0}, rng).empty());
+}
+
+TEST(MakeFaults, DefaultStripPositionsAreTwoStrips) {
+  const Torus torus(20, 20);
+  Rng rng(1);
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kFullStrip;
+  placement.trim = false;
+  const FaultSet f =
+      make_faults(placement, torus, 2, Metric::kLInf, 10, {0, 0}, rng);
+  // Strips of width r=2 at x=5 and x=15, full height.
+  EXPECT_EQ(f.size(), 80u);
+  EXPECT_TRUE(f.contains({5, 0}));
+  EXPECT_TRUE(f.contains({6, 10}));
+  EXPECT_TRUE(f.contains({15, 19}));
+  EXPECT_FALSE(f.contains({10, 10}));
+}
+
+TEST(MakeFaults, CustomStripPositions) {
+  const Torus torus(20, 20);
+  Rng rng(1);
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kFullStrip;
+  placement.strip_positions = {2};
+  placement.strip_width = 1;
+  placement.trim = false;
+  const FaultSet f =
+      make_faults(placement, torus, 2, Metric::kLInf, 10, {0, 0}, rng);
+  EXPECT_EQ(f.size(), 20u);
+}
+
+TEST(MakeFaults, TrimEnforcesBudget) {
+  const Torus torus(20, 20);
+  Rng rng(1);
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kFullStrip;
+  placement.trim = true;
+  const std::int64_t t = 7;
+  const FaultSet f =
+      make_faults(placement, torus, 2, Metric::kLInf, t, {0, 0}, rng);
+  EXPECT_LE(max_closed_nbd_faults(torus, f, 2, Metric::kLInf), t);
+}
+
+TEST(MakeFaults, CheckerboardIsLegalAtImpossibilityBudgetUntrimmed) {
+  const Torus torus(20, 20);
+  Rng rng(1);
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kCheckerboardStrip;
+  placement.trim = false;
+  const FaultSet f = make_faults(placement, torus, 2, Metric::kLInf,
+                                 byz_linf_impossible_min(2), {0, 0}, rng);
+  EXPECT_EQ(max_closed_nbd_faults(torus, f, 2, Metric::kLInf),
+            byz_linf_impossible_min(2));
+}
+
+TEST(MakeFaults, IidUsesProbability) {
+  const Torus torus(20, 20);
+  Rng rng(5);
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kIid;
+  placement.iid_p = 0.5;
+  const FaultSet f =
+      make_faults(placement, torus, 2, Metric::kLInf, 0, {0, 0}, rng);
+  EXPECT_NEAR(static_cast<double>(f.size()), 200.0, 60.0);
+}
+
+TEST(MakeFaults, RandomBoundedHonorsTarget) {
+  const Torus torus(20, 20);
+  Rng rng(5);
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kRandomBounded;
+  placement.random_target = 7;
+  const FaultSet f =
+      make_faults(placement, torus, 2, Metric::kLInf, 24, {0, 0}, rng);
+  EXPECT_EQ(f.size(), 7u);
+}
+
+TEST(RunRepeated, AggregatesAcrossSeeds) {
+  SimConfig cfg;
+  cfg.width = cfg.height = 12;
+  cfg.r = 1;
+  cfg.protocol = ProtocolKind::kCrashFlood;
+  cfg.adversary = AdversaryKind::kSilent;
+  cfg.t = 2;
+  cfg.seed = 7;
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kRandomBounded;
+  placement.random_target = 5;
+  const Aggregate agg = run_repeated(cfg, placement, 4);
+  EXPECT_EQ(agg.runs, 4);
+  EXPECT_GE(agg.successes, 0);
+  EXPECT_LE(agg.successes, 4);
+  EXPECT_GT(agg.mean_coverage, 0.0);
+  EXPECT_LE(agg.mean_coverage, 1.0);
+  EXPECT_LE(agg.min_coverage, agg.mean_coverage);
+  EXPECT_EQ(agg.wrong_total, 0);
+  EXPECT_NEAR(agg.mean_fault_count, 5.0, 0.01);
+  EXPECT_LE(agg.max_nbd_faults, 2);
+  EXPECT_GT(agg.mean_transmissions, 0.0);
+}
+
+TEST(RunRepeated, DeterministicForBaseSeed) {
+  SimConfig cfg;
+  cfg.width = cfg.height = 12;
+  cfg.r = 1;
+  cfg.protocol = ProtocolKind::kBvTwoHop;
+  cfg.t = 1;
+  cfg.seed = 99;
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kRandomBounded;
+  placement.random_target = 4;
+  const Aggregate a = run_repeated(cfg, placement, 3);
+  const Aggregate b = run_repeated(cfg, placement, 3);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_DOUBLE_EQ(a.mean_coverage, b.mean_coverage);
+  EXPECT_DOUBLE_EQ(a.mean_transmissions, b.mean_transmissions);
+}
+
+TEST(RunRepeated, AllSuccessHelper) {
+  Aggregate agg;
+  agg.runs = 3;
+  agg.successes = 3;
+  EXPECT_TRUE(agg.all_success());
+  agg.successes = 2;
+  EXPECT_FALSE(agg.all_success());
+}
+
+TEST(PlacementKindNames, ToString) {
+  EXPECT_STREQ(to_string(PlacementKind::kNone), "none");
+  EXPECT_STREQ(to_string(PlacementKind::kFullStrip), "full-strip");
+  EXPECT_STREQ(to_string(PlacementKind::kPuncturedStrip), "punctured-strip");
+  EXPECT_STREQ(to_string(PlacementKind::kCheckerboardStrip),
+               "checkerboard-strip");
+  EXPECT_STREQ(to_string(PlacementKind::kRandomBounded), "random-bounded");
+  EXPECT_STREQ(to_string(PlacementKind::kIid), "iid");
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,120 @@
+#include "radiobcast/fault/fault_set.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast {
+namespace {
+
+TEST(FaultSet, AddRemoveContains) {
+  const Torus torus(10, 10);
+  FaultSet f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.add(torus, {3, 4}));
+  EXPECT_FALSE(f.add(torus, {3, 4}));
+  EXPECT_TRUE(f.contains({3, 4}));
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_TRUE(f.remove(torus, {3, 4}));
+  EXPECT_FALSE(f.remove(torus, {3, 4}));
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FaultSet, CanonicalizesOnInsert) {
+  const Torus torus(10, 10);
+  FaultSet f;
+  f.add(torus, {-1, 12});
+  EXPECT_TRUE(f.contains({9, 2}));
+  EXPECT_FALSE(f.add(torus, {9, 2}));  // same node
+}
+
+TEST(FaultSet, ConstructorDeduplicates) {
+  const Torus torus(8, 8);
+  FaultSet f(torus, {{0, 0}, {8, 8}, {1, 1}});
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(FaultSet, SortedOrder) {
+  const Torus torus(10, 10);
+  FaultSet f(torus, {{5, 5}, {0, 1}, {0, 0}});
+  const auto sorted = f.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0], (Coord{0, 0}));
+  EXPECT_EQ(sorted[1], (Coord{0, 1}));
+  EXPECT_EQ(sorted[2], (Coord{5, 5}));
+}
+
+TEST(LocalBound, EmptySetIsZero) {
+  const Torus torus(12, 12);
+  EXPECT_EQ(max_closed_nbd_faults(torus, FaultSet{}, 2, Metric::kLInf), 0);
+  EXPECT_TRUE(satisfies_local_bound(torus, FaultSet{}, 2, Metric::kLInf, 0));
+}
+
+TEST(LocalBound, SingleFaultCountsInItsOwnClosedNeighborhood) {
+  const Torus torus(12, 12);
+  FaultSet f(torus, {{5, 5}});
+  // Worst center: any node within r of the fault, or the fault itself.
+  EXPECT_EQ(max_closed_nbd_faults(torus, f, 2, Metric::kLInf), 1);
+  EXPECT_TRUE(satisfies_local_bound(torus, f, 2, Metric::kLInf, 1));
+  EXPECT_FALSE(satisfies_local_bound(torus, f, 2, Metric::kLInf, 0));
+}
+
+TEST(LocalBound, ClusterCountsFully) {
+  const Torus torus(14, 14);
+  // A 2x2 block of faults, r=1 (L∞): center adjacent to all four sees 4;
+  // each faulty node's own closed neighborhood also holds all 4.
+  FaultSet f(torus, {{5, 5}, {6, 5}, {5, 6}, {6, 6}});
+  EXPECT_EQ(max_closed_nbd_faults(torus, f, 1, Metric::kLInf), 4);
+}
+
+TEST(LocalBound, ClosedNeighborhoodSemantics) {
+  // Paper: a faulty node may have up to t-1 faulty neighbors. Two adjacent
+  // faults mean some closed neighborhood holds 2 — so t=1 must be violated.
+  const Torus torus(12, 12);
+  FaultSet f(torus, {{3, 3}, {4, 3}});
+  EXPECT_FALSE(satisfies_local_bound(torus, f, 1, Metric::kLInf, 1));
+  EXPECT_TRUE(satisfies_local_bound(torus, f, 1, Metric::kLInf, 2));
+}
+
+TEST(LocalBound, FarApartFaultsDoNotAccumulate) {
+  const Torus torus(20, 20);
+  // Distance > 2r apart: no closed neighborhood holds both.
+  FaultSet f(torus, {{0, 0}, {10, 10}});
+  EXPECT_EQ(max_closed_nbd_faults(torus, f, 2, Metric::kLInf), 1);
+}
+
+TEST(LocalBound, ExactlyTwoRApartAccumulates) {
+  const Torus torus(20, 20);
+  // Distance exactly 2r: the midpoint's neighborhood holds both.
+  FaultSet f(torus, {{0, 0}, {4, 0}});
+  EXPECT_EQ(max_closed_nbd_faults(torus, f, 2, Metric::kLInf), 2);
+}
+
+TEST(LocalBound, L2MetricRespectsCircles) {
+  const Torus torus(20, 20);
+  // (0,0) and (3,4) are exactly 5 apart; with r=5 some closed nbd holds both
+  // (e.g. centered at either one); with r=2 none does.
+  FaultSet f(torus, {{0, 0}, {3, 4}});
+  EXPECT_EQ(max_closed_nbd_faults(torus, f, 5, Metric::kL2), 2);
+  EXPECT_EQ(max_closed_nbd_faults(torus, f, 2, Metric::kL2), 1);
+}
+
+TEST(LocalBound, WrapsAroundTheSeam) {
+  const Torus torus(12, 12);
+  FaultSet f(torus, {{0, 0}, {11, 0}});  // adjacent across the seam
+  EXPECT_EQ(max_closed_nbd_faults(torus, f, 1, Metric::kLInf), 2);
+}
+
+TEST(LocalBound, FullStripWorstCase) {
+  // Theorem 4 sanity: a full vertical strip of width r has exactly r(2r+1)
+  // faults in the worst closed neighborhood.
+  const std::int32_t r = 2;
+  const Torus torus(20, 20);
+  FaultSet f;
+  for (std::int32_t x = 8; x < 8 + r; ++x) {
+    for (std::int32_t y = 0; y < 20; ++y) f.add(torus, {x, y});
+  }
+  EXPECT_EQ(max_closed_nbd_faults(torus, f, r, Metric::kLInf),
+            static_cast<std::int64_t>(r) * (2 * r + 1));
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,158 @@
+// Randomized integration sweep ("fuzz" with deterministic seeds): draws
+// arbitrary combinations of torus size, radius, metric, protocol, adversary,
+// placement and budget, and checks the three properties that must hold for
+// EVERY configuration:
+//   (1) safety      — zero honest wrong commits (under model-respecting
+//                     adversaries; spoofing is exactly the documented
+//                     exception and is excluded here),
+//   (2) termination — quiescence within the default round bound,
+//   (3) accounting  — commits + undecided == honest nodes, commit rounds
+//                     consistent with outcomes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/core/experiment.h"
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/graph/graph_protocols.h"
+#include "radiobcast/util/rng.h"
+
+namespace rbcast {
+namespace {
+
+class GridFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridFuzz, SafetyTerminationAccounting) {
+  Rng rng(hash_seeds(0xF00D, GetParam()));
+
+  SimConfig cfg;
+  cfg.r = static_cast<std::int32_t>(1 + rng.below(2));  // 1..2
+  const std::int32_t min_side = 4 * cfg.r + 2;
+  cfg.width = min_side + static_cast<std::int32_t>(rng.below(8));
+  cfg.height = min_side + static_cast<std::int32_t>(rng.below(8));
+  cfg.metric = rng.chance(0.3) ? Metric::kL2 : Metric::kLInf;
+  const ProtocolKind protocols[] = {
+      ProtocolKind::kCrashFlood, ProtocolKind::kCpa, ProtocolKind::kBvTwoHop,
+      ProtocolKind::kBvIndirectEarmarked};
+  cfg.protocol = protocols[rng.below(4)];
+  if (cfg.protocol == ProtocolKind::kBvIndirectEarmarked) {
+    cfg.metric = Metric::kLInf;  // earmarking is L∞-only
+  }
+  if (cfg.protocol == ProtocolKind::kCrashFlood) {
+    // Section VII's protocol assumes crash-stop faults only; a lying
+    // adversary is outside its model (it trusts the first value heard).
+    const AdversaryKind crash_kinds[] = {AdversaryKind::kSilent,
+                                         AdversaryKind::kCrashAtRound,
+                                         AdversaryKind::kJamming};
+    cfg.adversary = crash_kinds[rng.below(3)];
+  } else {
+    const AdversaryKind byz_kinds[] = {AdversaryKind::kSilent,
+                                       AdversaryKind::kLying,
+                                       AdversaryKind::kCrashAtRound,
+                                       AdversaryKind::kJamming};
+    cfg.adversary = byz_kinds[rng.below(4)];
+  }
+  cfg.crash_round = static_cast<std::int64_t>(rng.below(5));
+  cfg.jam_budget = static_cast<std::int64_t>(rng.below(30));
+  cfg.t = static_cast<std::int64_t>(rng.below(8));
+  cfg.value = rng.chance(0.5) ? 1 : 0;
+  cfg.seed = GetParam();
+  if (rng.chance(0.25)) {
+    cfg.loss_p = 0.2 * rng.unit();
+    cfg.retransmissions = static_cast<int>(1 + rng.below(3));
+  }
+  cfg.source = {static_cast<std::int32_t>(rng.below(
+                    static_cast<std::uint64_t>(cfg.width))),
+                static_cast<std::int32_t>(rng.below(
+                    static_cast<std::uint64_t>(cfg.height)))};
+
+  PlacementConfig placement;
+  const PlacementKind kinds[] = {PlacementKind::kNone,
+                                 PlacementKind::kRandomBounded,
+                                 PlacementKind::kCheckerboardStrip,
+                                 PlacementKind::kPuncturedStrip,
+                                 PlacementKind::kIid};
+  placement.kind = kinds[rng.below(5)];
+  placement.iid_p = 0.3 * rng.unit();
+  placement.trim = true;
+
+  Torus torus(cfg.width, cfg.height);
+  Rng placement_rng(cfg.seed);
+  const FaultSet faults = make_faults(placement, torus, cfg.r, cfg.metric,
+                                      cfg.t, cfg.source, placement_rng);
+  const SimResult result = run_simulation(cfg, faults);
+
+  const std::string what = std::string(to_string(cfg.protocol)) + "/" +
+                           to_string(cfg.adversary) + "/" +
+                           to_string(placement.kind) + " r=" +
+                           std::to_string(cfg.r) + " t=" +
+                           std::to_string(cfg.t) + " " +
+                           std::to_string(cfg.width) + "x" +
+                           std::to_string(cfg.height);
+  EXPECT_EQ(result.wrong_commits, 0) << what;
+  EXPECT_TRUE(result.reached_quiescence) << what;
+  EXPECT_EQ(result.correct_commits + result.wrong_commits + result.undecided,
+            result.honest_nodes)
+      << what;
+  // Commit-round consistency.
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const bool committed = result.outcomes[i] == NodeOutcome::kCommitted0 ||
+                           result.outcomes[i] == NodeOutcome::kCommitted1 ||
+                           result.outcomes[i] == NodeOutcome::kSource;
+    EXPECT_EQ(committed, result.commit_rounds[i] >= 0) << what << " idx " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridFuzz, ::testing::Range(std::uint64_t{1}, std::uint64_t{41}));
+
+class GraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphFuzz, RandomGraphsSafeAndTerminate) {
+  Rng rng(hash_seeds(0xBEEF, GetParam()));
+  // Random connected graph: a spanning chain plus random chords.
+  const std::int32_t n = 6 + static_cast<std::int32_t>(rng.below(10));
+  RadioGraph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(v))));
+  }
+  const std::int64_t extra = static_cast<std::int64_t>(rng.below(
+      static_cast<std::uint64_t>(2 * n)));
+  for (std::int64_t e = 0; e < extra; ++e) {
+    const auto a = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto b = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (a != b) g.add_edge(a, b);
+  }
+  ASSERT_TRUE(g.connected());
+
+  const std::int64_t t = static_cast<std::int64_t>(rng.below(3));
+  // Random legal-ish fault set: sample nodes, keep while the bound holds.
+  GraphFaultSet faults(static_cast<std::size_t>(n), false);
+  for (int attempt = 0; attempt < n; ++attempt) {
+    const auto v = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (v == 0) continue;  // source
+    faults[static_cast<std::size_t>(v)] = true;
+    if (!satisfies_local_bound(g, faults, t)) {
+      faults[static_cast<std::size_t>(v)] = false;
+    }
+  }
+
+  for (const GraphProtocol protocol :
+       {GraphProtocol::kCpa, GraphProtocol::kRpa}) {
+    for (const GraphAdversary adversary :
+         {GraphAdversary::kSilent, GraphAdversary::kLying}) {
+      const auto res =
+          run_graph_simulation(g, 0, t, protocol, adversary, faults);
+      EXPECT_EQ(res.wrong_commits, 0)
+          << "n=" << n << " t=" << t << " seed=" << GetParam();
+      EXPECT_EQ(res.correct_commits + res.wrong_commits + res.undecided,
+                res.honest_nodes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz, ::testing::Range(std::uint64_t{1}, std::uint64_t{21}));
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,160 @@
+#include "radiobcast/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/grid/torus.h"
+
+namespace rbcast {
+namespace {
+
+TEST(RadioGraph, EdgesAreUndirectedAndIdempotent) {
+  RadioGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_TRUE(g.adjacent(1, 0));
+  EXPECT_FALSE(g.adjacent(0, 2));
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(RadioGraph, RejectsBadEdges) {
+  RadioGraph g(3);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(-1, 1), std::invalid_argument);
+  EXPECT_THROW(RadioGraph(0), std::invalid_argument);
+}
+
+TEST(RadioGraph, NeighborsSorted) {
+  RadioGraph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto& n = g.neighbors(2);
+  EXPECT_EQ(n, (std::vector<NodeId>{0, 3, 4}));
+}
+
+TEST(RadioGraph, Connectivity) {
+  RadioGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(GraphFaults, ClosedNeighborhoodCounts) {
+  RadioGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  GraphFaultSet faults(4, false);
+  faults[1] = true;
+  faults[3] = true;
+  EXPECT_EQ(closed_nbd_faults(g, faults, 0), 1);  // neighbor 1
+  EXPECT_EQ(closed_nbd_faults(g, faults, 1), 1);  // itself
+  EXPECT_EQ(closed_nbd_faults(g, faults, 3), 1);  // isolated faulty node
+  EXPECT_TRUE(satisfies_local_bound(g, faults, 1));
+  faults[2] = true;
+  EXPECT_EQ(closed_nbd_faults(g, faults, 1), 2);
+  EXPECT_FALSE(satisfies_local_bound(g, faults, 1));
+}
+
+TEST(GraphFaults, EnumerateLegalPlacementsPath) {
+  // Path 0-1-2, t=1, protecting node 0: legal sets are {}, {1}, {2} — not
+  // {1,2} (node 1's closed nbd would hold 2).
+  RadioGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto placements = enumerate_legal_placements(g, 1, 0);
+  EXPECT_EQ(placements.size(), 3u);
+  for (const auto& p : placements) {
+    EXPECT_FALSE(p[0]);
+    EXPECT_TRUE(satisfies_local_bound(g, p, 1));
+  }
+}
+
+TEST(GraphFaults, EnumerateRefusesLargeGraphs) {
+  RadioGraph g(30);
+  EXPECT_THROW(enumerate_legal_placements(g, 1, 0), std::invalid_argument);
+}
+
+TEST(GraphFaults, MaxLegalFaultsWithin) {
+  // Star: center 0, leaves 1..4. t=1: any single leaf is legal; two leaves
+  // overload the center's closed neighborhood.
+  RadioGraph g(5);
+  for (NodeId leaf = 1; leaf <= 4; ++leaf) g.add_edge(0, leaf);
+  EXPECT_EQ(max_legal_faults_within(g, {1, 2, 3, 4}, 1), 1);
+  EXPECT_EQ(max_legal_faults_within(g, {1}, 1), 1);
+  EXPECT_EQ(max_legal_faults_within(g, {}, 1), 0);
+  EXPECT_EQ(max_legal_faults_within(g, {1, 2, 3, 4}, 3), 3);
+  EXPECT_EQ(max_legal_faults_within(g, {1, 2, 3, 4}, 10), 4);
+}
+
+TEST(GraphFaults, MaxLegalFaultsDisconnectedSubset) {
+  // Two disjoint edges: 0-1, 2-3. t=1: one fault per edge component.
+  RadioGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(max_legal_faults_within(g, {0, 1, 2, 3}, 1), 2);
+}
+
+TEST(TorusGraph, MatchesNeighborhoodSizes) {
+  const RadioGraph g = make_torus_graph(10, 10, 2, /*l2_metric=*/false);
+  EXPECT_EQ(g.node_count(), 100);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(g.neighbors(v).size(), 24u);
+  }
+  const RadioGraph g2 = make_torus_graph(10, 10, 2, /*l2_metric=*/true);
+  for (NodeId v = 0; v < g2.node_count(); ++v) {
+    EXPECT_EQ(g2.neighbors(v).size(), 12u);
+  }
+}
+
+TEST(TorusGraph, AdjacencyMatchesTorusDistance) {
+  const RadioGraph g = make_torus_graph(12, 12, 2, false);
+  const Torus torus(12, 12);
+  EXPECT_TRUE(g.adjacent(torus.index({0, 0}), torus.index({10, 10})));
+  EXPECT_FALSE(g.adjacent(torus.index({0, 0}), torus.index({3, 0})));
+}
+
+TEST(SeparationGraph, Structure) {
+  const RadioGraph g = make_separation_graph();
+  EXPECT_EQ(g.node_count(), 14);
+  EXPECT_TRUE(g.connected());
+  // s ~ a1, a2, a3 only (2t+1 = 3 disjoint outward routes).
+  EXPECT_EQ(g.neighbors(kSeparationSource), (std::vector<NodeId>{1, 2, 3}));
+  // u ~ all nine middlemen.
+  EXPECT_EQ(g.neighbors(13),
+            (std::vector<NodeId>{4, 5, 6, 7, 8, 9, 10, 11, 12}));
+  // The a's are not adjacent to each other (else CPA would trivially work).
+  EXPECT_FALSE(g.adjacent(1, 2));
+  EXPECT_FALSE(g.adjacent(1, 3));
+  EXPECT_FALSE(g.adjacent(2, 3));
+  // Every middleman: its a, u, and two cross partners per other branch.
+  for (NodeId w = 4; w <= 12; ++w) {
+    EXPECT_EQ(g.neighbors(w).size(), 6u) << separation_node_name(w);
+  }
+}
+
+TEST(SeparationGraph, LegalPlacementsAtTOneAreExactlySingletonsAndEmpty) {
+  // Every pair of nodes shares a closed neighborhood in this graph, so the
+  // locally bounded adversary with t=1 can place at most one fault.
+  const RadioGraph g = make_separation_graph();
+  const auto placements =
+      enumerate_legal_placements(g, kSeparationT, kSeparationSource);
+  EXPECT_EQ(placements.size(), 14u);  // empty + 13 singletons
+}
+
+TEST(SeparationGraph, NodeNames) {
+  EXPECT_EQ(separation_node_name(0), "s");
+  EXPECT_EQ(separation_node_name(1), "a1");
+  EXPECT_EQ(separation_node_name(4), "w11");
+  EXPECT_EQ(separation_node_name(12), "w33");
+  EXPECT_EQ(separation_node_name(13), "u");
+  EXPECT_EQ(separation_node_name(42), "n42");
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,171 @@
+#include "radiobcast/graph/graph_protocols.h"
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/grid/torus.h"
+
+namespace rbcast {
+namespace {
+
+GraphFaultSet no_faults(const RadioGraph& g) {
+  return GraphFaultSet(static_cast<std::size_t>(g.node_count()), false);
+}
+
+// ---------------------------------------------------------------------------
+// Engine basics
+// ---------------------------------------------------------------------------
+
+TEST(GraphNetwork, RequiresBehaviors) {
+  RadioGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  GraphNetwork net(g);
+  EXPECT_THROW(net.start(), std::logic_error);
+}
+
+TEST(GraphNetwork, BroadcastReachesGraphNeighborsOnly) {
+  RadioGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  GraphNetwork net(g);
+  net.set_behavior(0, std::make_unique<GraphSourceBehavior>(1));
+  for (NodeId v = 1; v < 4; ++v) {
+    net.set_behavior(v, std::make_unique<GraphCpaBehavior>(0, 0));
+  }
+  net.start();
+  net.run_until_quiescent(10);
+  EXPECT_TRUE(net.behavior(1)->committed_value().has_value());
+  EXPECT_TRUE(net.behavior(2)->committed_value().has_value());
+  EXPECT_FALSE(net.behavior(3)->committed_value().has_value());  // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// CPA on graphs
+// ---------------------------------------------------------------------------
+
+TEST(GraphCpa, CompleteGraphCommitsEveryone) {
+  RadioGraph g(6);
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = a + 1; b < 6; ++b) g.add_edge(a, b);
+  }
+  const auto res = run_graph_simulation(g, 0, 2, GraphProtocol::kCpa,
+                                        GraphAdversary::kSilent, no_faults(g));
+  EXPECT_TRUE(res.success());
+}
+
+TEST(GraphCpa, MatchesGridCpaOnTorusGraph) {
+  // CPA on the torus-as-graph must reach everyone fault-free, like the
+  // native grid implementation.
+  const RadioGraph g = make_torus_graph(10, 10, 1, false);
+  const Torus torus(10, 10);
+  const auto res = run_graph_simulation(g, torus.index({0, 0}), 0,
+                                        GraphProtocol::kCpa,
+                                        GraphAdversary::kSilent, no_faults(g));
+  EXPECT_TRUE(res.success());
+  EXPECT_EQ(res.honest_nodes, 99);
+}
+
+TEST(GraphCpa, NeverCommitsWrongUnderLiars) {
+  const RadioGraph g = make_separation_graph();
+  for (NodeId f = 1; f < g.node_count(); ++f) {
+    GraphFaultSet faults = no_faults(g);
+    faults[static_cast<std::size_t>(f)] = true;
+    const auto res =
+        run_graph_simulation(g, kSeparationSource, kSeparationT,
+                             GraphProtocol::kCpa, GraphAdversary::kLying,
+                             faults);
+    EXPECT_EQ(res.wrong_commits, 0) << separation_node_name(f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RPA on graphs
+// ---------------------------------------------------------------------------
+
+TEST(GraphRpa, CompleteGraphCommitsEveryone) {
+  RadioGraph g(5);
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId b = a + 1; b < 5; ++b) g.add_edge(a, b);
+  }
+  const auto res = run_graph_simulation(g, 0, 1, GraphProtocol::kRpa,
+                                        GraphAdversary::kSilent, no_faults(g));
+  EXPECT_TRUE(res.success());
+}
+
+TEST(GraphRpa, TorusGraphFaultFree) {
+  const RadioGraph g = make_torus_graph(8, 8, 1, false);
+  const Torus torus(8, 8);
+  const auto res = run_graph_simulation(g, torus.index({0, 0}), 1,
+                                        GraphProtocol::kRpa,
+                                        GraphAdversary::kSilent, no_faults(g));
+  EXPECT_TRUE(res.success());
+}
+
+// ---------------------------------------------------------------------------
+// The CPA ⊊ RPA separation ([Pelc-Peleg05], discussed in Section III)
+// ---------------------------------------------------------------------------
+
+TEST(Separation, CpaStallsFaultFree) {
+  const RadioGraph g = make_separation_graph();
+  const auto res =
+      run_graph_simulation(g, kSeparationSource, kSeparationT,
+                           GraphProtocol::kCpa, GraphAdversary::kSilent,
+                           no_faults(g));
+  EXPECT_FALSE(res.success());
+  EXPECT_EQ(res.wrong_commits, 0);
+  // Exactly the three source neighbors commit; all middlemen and u stall.
+  EXPECT_EQ(res.correct_commits, 3);
+  EXPECT_EQ(res.undecided, 10);
+}
+
+TEST(Separation, RpaCompletesFaultFree) {
+  const RadioGraph g = make_separation_graph();
+  const auto res =
+      run_graph_simulation(g, kSeparationSource, kSeparationT,
+                           GraphProtocol::kRpa, GraphAdversary::kSilent,
+                           no_faults(g));
+  EXPECT_TRUE(res.success());
+}
+
+TEST(Separation, RpaCompletesUnderEveryLegalPlacement) {
+  // Exhaustive: RPA achieves reliable broadcast for EVERY legal placement
+  // under both adversary types — the full quantifier of the separation
+  // theorem, checkable because the placement space is tiny.
+  const RadioGraph g = make_separation_graph();
+  const auto placements =
+      enumerate_legal_placements(g, kSeparationT, kSeparationSource);
+  for (const auto& faults : placements) {
+    for (const GraphAdversary adversary :
+         {GraphAdversary::kSilent, GraphAdversary::kLying}) {
+      const auto res = run_graph_simulation(g, kSeparationSource,
+                                            kSeparationT, GraphProtocol::kRpa,
+                                            adversary, faults);
+      std::string placement_name = "{";
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (faults[static_cast<std::size_t>(v)]) {
+          placement_name += separation_node_name(v) + " ";
+        }
+      }
+      placement_name += "}";
+      EXPECT_TRUE(res.success())
+          << placement_name << " adversary="
+          << (adversary == GraphAdversary::kSilent ? "silent" : "lying")
+          << " correct=" << res.correct_commits
+          << " undecided=" << res.undecided
+          << " wrong=" << res.wrong_commits;
+    }
+  }
+}
+
+TEST(Separation, FaultySourceRejected) {
+  const RadioGraph g = make_separation_graph();
+  GraphFaultSet faults = no_faults(g);
+  faults[kSeparationSource] = true;
+  EXPECT_THROW(run_graph_simulation(g, kSeparationSource, kSeparationT,
+                                    GraphProtocol::kRpa,
+                                    GraphAdversary::kSilent, faults),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbcast

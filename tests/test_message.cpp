@@ -1,0 +1,48 @@
+#include "radiobcast/net/message.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast {
+namespace {
+
+TEST(Message, MakeCommitted) {
+  const Message m = make_committed({2, 3}, 1);
+  EXPECT_EQ(m.type, MsgType::kCommitted);
+  EXPECT_EQ(m.value, 1);
+  EXPECT_EQ(m.origin, (Coord{2, 3}));
+  EXPECT_TRUE(m.relayers.empty());
+}
+
+TEST(Message, MakeHeard) {
+  const Message m = make_heard({{1, 1}, {2, 2}}, {0, 0}, 0);
+  EXPECT_EQ(m.type, MsgType::kHeard);
+  EXPECT_EQ(m.value, 0);
+  EXPECT_EQ(m.origin, (Coord{0, 0}));
+  ASSERT_EQ(m.relayers.size(), 2u);
+  EXPECT_EQ(m.relayers[0], (Coord{1, 1}));
+  EXPECT_EQ(m.relayers[1], (Coord{2, 2}));
+}
+
+TEST(Message, Equality) {
+  const Message a = make_heard({{1, 1}}, {0, 0}, 1);
+  Message b = a;
+  EXPECT_EQ(a, b);
+  b.value = 0;
+  EXPECT_NE(a, b);
+  Message c = a;
+  c.relayers.push_back({2, 2});
+  EXPECT_NE(a, c);
+}
+
+TEST(Message, ToStringCommitted) {
+  EXPECT_EQ(to_string(make_committed({1, 2}, 1)), "COMMITTED((1,2), 1)");
+}
+
+TEST(Message, ToStringHeardListsRelayersOutermostFirst) {
+  // Paper notation HEARD(j, k, i, v): j is the latest relayer.
+  const Message m = make_heard({{5, 5}, {6, 6}}, {0, 0}, 0);
+  EXPECT_EQ(to_string(m), "HEARD((6,6), (5,5), (0,0), 0)");
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,114 @@
+#include "radiobcast/grid/metric.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast {
+namespace {
+
+TEST(Metric, LinfNorm) {
+  EXPECT_EQ(linf_norm({0, 0}), 0);
+  EXPECT_EQ(linf_norm({3, -4}), 4);
+  EXPECT_EQ(linf_norm({-5, 2}), 5);
+  EXPECT_EQ(linf_norm({-7, -7}), 7);
+}
+
+TEST(Metric, L2NormSq) {
+  EXPECT_EQ(l2_norm_sq({0, 0}), 0);
+  EXPECT_EQ(l2_norm_sq({3, 4}), 25);
+  EXPECT_EQ(l2_norm_sq({-3, 4}), 25);
+  EXPECT_EQ(l2_norm_sq({1, 1}), 2);
+}
+
+TEST(Metric, WithinRadiusLinf) {
+  EXPECT_TRUE(within_radius({2, 2}, 2, Metric::kLInf));
+  EXPECT_TRUE(within_radius({-2, 1}, 2, Metric::kLInf));
+  EXPECT_FALSE(within_radius({3, 0}, 2, Metric::kLInf));
+  EXPECT_TRUE(within_radius({0, 0}, 0, Metric::kLInf));
+}
+
+TEST(Metric, WithinRadiusL2BoundaryExact) {
+  // (3,4) is at distance exactly 5 — within, per "within distance r".
+  EXPECT_TRUE(within_radius({3, 4}, 5, Metric::kL2));
+  EXPECT_FALSE(within_radius({4, 4}, 5, Metric::kL2));
+  // (2,2) has |.|^2 = 8 > 4 = 2^2.
+  EXPECT_FALSE(within_radius({2, 2}, 2, Metric::kL2));
+  EXPECT_TRUE(within_radius({2, 2}, 3, Metric::kL2));
+}
+
+TEST(Metric, L2TighterThanLinf) {
+  // Every L2-neighbor is an L∞-neighbor, never the other way.
+  for (std::int32_t r = 1; r <= 6; ++r) {
+    for (std::int32_t dx = -r; dx <= r; ++dx) {
+      for (std::int32_t dy = -r; dy <= r; ++dy) {
+        if (within_radius({dx, dy}, r, Metric::kL2)) {
+          EXPECT_TRUE(within_radius({dx, dy}, r, Metric::kLInf));
+        }
+      }
+    }
+  }
+}
+
+TEST(Metric, NeighborhoodSizeLinfClosedForm) {
+  for (std::int32_t r = 0; r <= 10; ++r) {
+    const std::int64_t side = 2 * r + 1;
+    EXPECT_EQ(neighborhood_size(r, Metric::kLInf), side * side - 1) << r;
+  }
+}
+
+TEST(Metric, NeighborhoodSizeL2KnownValues) {
+  // Gauss circle lattice counts (including center): r=1 -> 5, r=2 -> 13,
+  // r=3 -> 29, r=4 -> 49, r=5 -> 81. Minus 1 for the center.
+  EXPECT_EQ(neighborhood_size(1, Metric::kL2), 4);
+  EXPECT_EQ(neighborhood_size(2, Metric::kL2), 12);
+  EXPECT_EQ(neighborhood_size(3, Metric::kL2), 28);
+  EXPECT_EQ(neighborhood_size(4, Metric::kL2), 48);
+  EXPECT_EQ(neighborhood_size(5, Metric::kL2), 80);
+}
+
+TEST(Metric, NeighborhoodSizeL2ApproachesPiRSquared) {
+  // Section VIII leans on |nbd| ~ pi r^2 ± O(r); check the relative error
+  // shrinks.
+  for (std::int32_t r = 10; r <= 40; r += 10) {
+    const double expected = 3.14159265358979 * r * r;
+    const double actual =
+        static_cast<double>(neighborhood_size(r, Metric::kL2));
+    EXPECT_NEAR(actual / expected, 1.0, 10.0 / r) << r;
+  }
+}
+
+TEST(Metric, NegativeRadiusEmpty) {
+  EXPECT_EQ(neighborhood_size(-1, Metric::kLInf), 0);
+  EXPECT_EQ(neighborhood_size(-1, Metric::kL2), 0);
+}
+
+TEST(Metric, ToStringNames) {
+  EXPECT_STREQ(to_string(Metric::kLInf), "Linf");
+  EXPECT_STREQ(to_string(Metric::kL2), "L2");
+}
+
+TEST(Coord, ArithmeticAndComparison) {
+  const Coord a{2, 3};
+  const Offset o{-1, 4};
+  EXPECT_EQ(a + o, (Coord{1, 7}));
+  EXPECT_EQ(a - o, (Coord{3, -1}));
+  EXPECT_EQ((Coord{5, 5}) - (Coord{2, 3}), (Offset{3, 2}));
+  EXPECT_EQ(-o, (Offset{1, -4}));
+  EXPECT_EQ((o + Offset{1, -4}), (Offset{0, 0}));
+  EXPECT_LT((Coord{1, 5}), (Coord{2, 0}));
+}
+
+TEST(Coord, ToString) {
+  EXPECT_EQ(to_string(Coord{-3, 7}), "(-3,7)");
+  EXPECT_EQ(to_string(Offset{1, -2}), "<1,-2>");
+}
+
+TEST(Coord, HashDistinguishesNeighbors) {
+  const std::hash<Coord> h;
+  EXPECT_NE(h({0, 0}), h({0, 1}));
+  EXPECT_NE(h({0, 0}), h({1, 0}));
+  EXPECT_NE(h({2, 3}), h({3, 2}));
+  EXPECT_EQ(h({5, -5}), h({5, -5}));
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,111 @@
+#include "radiobcast/grid/neighborhood.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "radiobcast/grid/metric.h"
+
+namespace rbcast {
+namespace {
+
+TEST(Neighborhood, SizesMatchClosedForms) {
+  for (std::int32_t r = 1; r <= 6; ++r) {
+    EXPECT_EQ(NeighborhoodTable::get(r, Metric::kLInf).size(),
+              neighborhood_size(r, Metric::kLInf));
+    EXPECT_EQ(NeighborhoodTable::get(r, Metric::kL2).size(),
+              neighborhood_size(r, Metric::kL2));
+  }
+}
+
+TEST(Neighborhood, ExcludesCenterIncludesBoundary) {
+  const auto& t = NeighborhoodTable::get(3, Metric::kLInf);
+  const auto offsets = t.offsets();
+  EXPECT_EQ(std::count(offsets.begin(), offsets.end(), Offset{0, 0}), 0);
+  EXPECT_EQ(std::count(offsets.begin(), offsets.end(), Offset{3, 3}), 1);
+  EXPECT_EQ(std::count(offsets.begin(), offsets.end(), Offset{-3, 0}), 1);
+}
+
+TEST(Neighborhood, CacheReturnsSameInstance) {
+  const auto& a = NeighborhoodTable::get(2, Metric::kLInf);
+  const auto& b = NeighborhoodTable::get(2, Metric::kLInf);
+  EXPECT_EQ(&a, &b);
+  const auto& c = NeighborhoodTable::get(2, Metric::kL2);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Neighborhood, OffsetsAreSymmetric) {
+  for (const Metric m : {Metric::kLInf, Metric::kL2}) {
+    const auto& t = NeighborhoodTable::get(3, m);
+    std::set<std::pair<std::int32_t, std::int32_t>> seen;
+    for (const Offset o : t.offsets()) seen.insert({o.dx, o.dy});
+    for (const Offset o : t.offsets()) {
+      EXPECT_TRUE(seen.count({-o.dx, -o.dy})) << to_string(o);
+      EXPECT_TRUE(seen.count({o.dy, o.dx})) << to_string(o);
+    }
+  }
+}
+
+TEST(Neighborhood, MaterializedNeighborsWrap) {
+  const Torus torus(10, 10);
+  const auto& t = NeighborhoodTable::get(2, Metric::kLInf);
+  const auto nbrs = t.neighbors(torus, {0, 0});
+  EXPECT_EQ(nbrs.size(), 24u);
+  EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), Coord{8, 8}), nbrs.end());
+  EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), Coord{2, 2}), nbrs.end());
+  EXPECT_EQ(std::find(nbrs.begin(), nbrs.end(), Coord{0, 0}), nbrs.end());
+}
+
+TEST(Neighborhood, ClosedNeighborsIncludeCenter) {
+  const Torus torus(10, 10);
+  const auto& t = NeighborhoodTable::get(1, Metric::kL2);
+  const auto closed = t.closed_neighbors(torus, {5, 5});
+  EXPECT_EQ(closed.size(), 5u);  // 4 L2 neighbors + center
+  EXPECT_NE(std::find(closed.begin(), closed.end(), Coord{5, 5}),
+            closed.end());
+}
+
+TEST(Neighborhood, PerturbedNeighborhoodLinfCount) {
+  // pnbd(c) in L∞ is the (2r+3)x(2r+1) ∪ (2r+1)x(2r+3) plus shape minus the
+  // center... easiest exact check: count = |(2r+3)^2 square| minus 4 corners
+  // minus... just verify against a brute-force union.
+  const Torus torus(20, 20);
+  for (std::int32_t r = 1; r <= 3; ++r) {
+    const auto pn = perturbed_neighborhood(torus, {10, 10}, r, Metric::kLInf);
+    std::set<Coord> expected;
+    const Offset shifts[4] = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+    for (const Offset s : shifts) {
+      const Coord center = torus.wrap(Coord{10, 10} + s);
+      for (std::int32_t dx = -r; dx <= r; ++dx) {
+        for (std::int32_t dy = -r; dy <= r; ++dy) {
+          if (dx == 0 && dy == 0) continue;
+          expected.insert(torus.wrap(center + Offset{dx, dy}));
+        }
+      }
+    }
+    EXPECT_EQ(pn.size(), expected.size());
+    for (const Coord c : pn) EXPECT_TRUE(expected.count(c));
+  }
+}
+
+TEST(Neighborhood, PerturbedNeighborhoodContainsCenterAndBeyond) {
+  const Torus torus(20, 20);
+  const auto pn = perturbed_neighborhood(torus, {10, 10}, 2, Metric::kLInf);
+  // The center itself is a neighbor of its adjacent nodes.
+  EXPECT_NE(std::find(pn.begin(), pn.end(), Coord{10, 10}), pn.end());
+  // The corner of pnbd beyond nbd: (10-2, 10+3).
+  EXPECT_NE(std::find(pn.begin(), pn.end(), Coord{8, 13}), pn.end());
+  // Not beyond that.
+  EXPECT_EQ(std::find(pn.begin(), pn.end(), Coord{6, 13}), pn.end());
+}
+
+TEST(Neighborhood, SortedAndUnique) {
+  const Torus torus(16, 16);
+  const auto pn = perturbed_neighborhood(torus, {3, 3}, 2, Metric::kL2);
+  EXPECT_TRUE(std::is_sorted(pn.begin(), pn.end()));
+  EXPECT_EQ(std::adjacent_find(pn.begin(), pn.end()), pn.end());
+}
+
+}  // namespace
+}  // namespace rbcast

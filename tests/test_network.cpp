@@ -1,0 +1,267 @@
+#include "radiobcast/net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace rbcast {
+namespace {
+
+/// Records everything it hears; optionally broadcasts scripted messages at
+/// start.
+class Recorder : public NodeBehavior {
+ public:
+  explicit Recorder(std::vector<Message> at_start = {})
+      : at_start_(std::move(at_start)) {}
+
+  void on_start(NodeContext& ctx) override {
+    for (const Message& m : at_start_) ctx.broadcast(m);
+  }
+
+  void on_receive(NodeContext&, const Envelope& env) override {
+    received.push_back(env);
+  }
+
+  void on_round_end(NodeContext&) override { rounds_seen += 1; }
+
+  std::vector<Envelope> received;
+  int rounds_seen = 0;
+
+ private:
+  std::vector<Message> at_start_;
+};
+
+/// Re-broadcasts the first received message once (to test multi-round flow).
+class RelayOnce : public NodeBehavior {
+ public:
+  void on_receive(NodeContext& ctx, const Envelope& env) override {
+    if (relayed_) return;
+    relayed_ = true;
+    ctx.broadcast(env.msg);
+  }
+
+ private:
+  bool relayed_ = false;
+};
+
+RadioNetwork make_net(std::int32_t side, std::int32_t r) {
+  return RadioNetwork(Torus(side, side), r, Metric::kLInf, /*seed=*/1);
+}
+
+TEST(Network, RequiresBehaviorsEverywhere) {
+  auto net = make_net(6, 1);
+  EXPECT_THROW(net.start(), std::logic_error);
+}
+
+TEST(Network, StartTwiceThrows) {
+  auto net = make_net(6, 1);
+  for (const Coord c : net.torus().all_coords()) {
+    net.set_behavior(c, std::make_unique<Recorder>());
+  }
+  net.start();
+  EXPECT_THROW(net.start(), std::logic_error);
+}
+
+TEST(Network, RunRoundBeforeStartThrows) {
+  auto net = make_net(6, 1);
+  EXPECT_THROW(net.run_round(), std::logic_error);
+}
+
+TEST(Network, BroadcastReachesExactlyTheNeighborhood) {
+  auto net = make_net(8, 2);
+  const Coord sender{4, 4};
+  for (const Coord c : net.torus().all_coords()) {
+    if (c == sender) {
+      net.set_behavior(
+          c, std::make_unique<Recorder>(
+                 std::vector<Message>{make_committed(sender, 1)}));
+    } else {
+      net.set_behavior(c, std::make_unique<Recorder>());
+    }
+  }
+  net.start();
+  net.run_round();
+  int heard = 0;
+  for (const Coord c : net.torus().all_coords()) {
+    const auto* rec = dynamic_cast<const Recorder*>(net.behavior(c));
+    ASSERT_NE(rec, nullptr);
+    if (c == sender) {
+      EXPECT_TRUE(rec->received.empty());  // no self-delivery
+      continue;
+    }
+    if (net.torus().within(sender, c, 2, Metric::kLInf)) {
+      ASSERT_EQ(rec->received.size(), 1u) << to_string(c);
+      EXPECT_EQ(rec->received[0].sender, sender);
+      EXPECT_EQ(rec->received[0].msg.value, 1);
+      ++heard;
+    } else {
+      EXPECT_TRUE(rec->received.empty()) << to_string(c);
+    }
+  }
+  EXPECT_EQ(heard, 24);
+}
+
+TEST(Network, SenderIdentityIsTrueTransmitter) {
+  // Even if the message claims another origin, Envelope::sender is the
+  // transmitter (no spoofing).
+  auto net = make_net(8, 1);
+  const Coord liar{3, 3};
+  for (const Coord c : net.torus().all_coords()) {
+    if (c == liar) {
+      net.set_behavior(c, std::make_unique<Recorder>(std::vector<Message>{
+                              make_committed({0, 0}, 1)}));
+    } else {
+      net.set_behavior(c, std::make_unique<Recorder>());
+    }
+  }
+  net.start();
+  net.run_round();
+  const auto* rec = dynamic_cast<const Recorder*>(net.behavior({3, 4}));
+  ASSERT_EQ(rec->received.size(), 1u);
+  EXPECT_EQ(rec->received[0].sender, liar);
+  EXPECT_EQ(rec->received[0].msg.origin, (Coord{0, 0}));
+}
+
+TEST(Network, PerSenderFifoOrderPreserved) {
+  auto net = make_net(8, 1);
+  const Coord sender{2, 2};
+  std::vector<Message> msgs;
+  for (std::uint8_t i = 0; i < 2; ++i) msgs.push_back(make_committed(sender, i));
+  for (const Coord c : net.torus().all_coords()) {
+    net.set_behavior(c, std::make_unique<Recorder>(
+                            c == sender ? msgs : std::vector<Message>{}));
+  }
+  net.start();
+  net.run_round();
+  const auto* rec = dynamic_cast<const Recorder*>(net.behavior({3, 3}));
+  ASSERT_EQ(rec->received.size(), 2u);
+  EXPECT_EQ(rec->received[0].msg.value, 0);
+  EXPECT_EQ(rec->received[1].msg.value, 1);
+}
+
+TEST(Network, AllReceiversSeeSameOrderAcrossSenders) {
+  auto net = make_net(8, 2);
+  const Coord s1{3, 3}, s2{4, 4};
+  for (const Coord c : net.torus().all_coords()) {
+    std::vector<Message> at_start;
+    if (c == s1) at_start.push_back(make_committed(s1, 0));
+    if (c == s2) at_start.push_back(make_committed(s2, 1));
+    net.set_behavior(c, std::make_unique<Recorder>(at_start));
+  }
+  net.start();
+  net.run_round();
+  // Two receivers that hear both senders must agree on the order.
+  std::vector<Coord> both;
+  for (const Coord c : net.torus().all_coords()) {
+    if (c != s1 && c != s2 && net.torus().within(c, s1, 2, Metric::kLInf) &&
+        net.torus().within(c, s2, 2, Metric::kLInf)) {
+      both.push_back(c);
+    }
+  }
+  ASSERT_GE(both.size(), 2u);
+  std::vector<Coord> first_order;
+  for (const Coord c : both) {
+    const auto* rec = dynamic_cast<const Recorder*>(net.behavior(c));
+    ASSERT_EQ(rec->received.size(), 2u);
+    std::vector<Coord> order{rec->received[0].sender, rec->received[1].sender};
+    if (first_order.empty()) {
+      first_order = order;
+    } else {
+      EXPECT_EQ(order, first_order);
+    }
+  }
+}
+
+TEST(Network, MessagesSentDuringReceiveArriveNextRound) {
+  auto net = make_net(10, 1);
+  const Coord origin{5, 5};
+  for (const Coord c : net.torus().all_coords()) {
+    if (c == origin) {
+      net.set_behavior(c, std::make_unique<Recorder>(std::vector<Message>{
+                              make_committed(origin, 1)}));
+    } else {
+      net.set_behavior(c, std::make_unique<RelayOnce>());
+    }
+  }
+  net.start();
+  net.run_round();  // round 1: neighbors hear the origin
+  // A node 2 hops away has heard nothing yet; its neighbor relayed during
+  // round 1, delivery happens in round 2.
+  net.set_behavior({5, 8}, std::make_unique<Recorder>());  // 3 hops away
+  net.run_round();
+  net.run_round();
+  const auto* rec = dynamic_cast<const Recorder*>(net.behavior({5, 8}));
+  EXPECT_FALSE(rec->received.empty());
+}
+
+TEST(Network, QuiescenceAfterFiniteProtocol) {
+  auto net = make_net(8, 1);
+  const Coord origin{4, 4};
+  for (const Coord c : net.torus().all_coords()) {
+    if (c == origin) {
+      net.set_behavior(c, std::make_unique<Recorder>(std::vector<Message>{
+                              make_committed(origin, 1)}));
+    } else {
+      net.set_behavior(c, std::make_unique<RelayOnce>());
+    }
+  }
+  net.start();
+  EXPECT_FALSE(net.quiescent());
+  const auto rounds = net.run_until_quiescent(100);
+  EXPECT_TRUE(net.quiescent());
+  EXPECT_GT(rounds, 2);
+  EXPECT_LT(rounds, 100);
+}
+
+TEST(Network, StatsCountTransmissionsAndDeliveries) {
+  auto net = make_net(8, 1);
+  const Coord origin{4, 4};
+  for (const Coord c : net.torus().all_coords()) {
+    if (c == origin) {
+      net.set_behavior(c, std::make_unique<Recorder>(std::vector<Message>{
+                              make_committed(origin, 1)}));
+    } else {
+      net.set_behavior(c, std::make_unique<Recorder>());
+    }
+  }
+  net.start();
+  net.run_round();
+  EXPECT_EQ(net.stats().transmissions, 1u);
+  EXPECT_EQ(net.stats().deliveries, 8u);
+  EXPECT_EQ(net.transmissions_of(origin), 1u);
+  EXPECT_EQ(net.transmissions_of({0, 0}), 0u);
+}
+
+TEST(Network, RoundCounterAdvances) {
+  auto net = make_net(6, 1);
+  for (const Coord c : net.torus().all_coords()) {
+    net.set_behavior(c, std::make_unique<Recorder>());
+  }
+  net.start();
+  EXPECT_EQ(net.round(), 0);
+  net.run_round();
+  net.run_round();
+  EXPECT_EQ(net.round(), 2);
+}
+
+TEST(Network, OnRoundEndCalledForEveryNode) {
+  auto net = make_net(6, 1);
+  for (const Coord c : net.torus().all_coords()) {
+    net.set_behavior(c, std::make_unique<Recorder>());
+  }
+  net.start();
+  net.run_round();
+  net.run_round();
+  for (const Coord c : net.torus().all_coords()) {
+    EXPECT_EQ(dynamic_cast<const Recorder*>(net.behavior(c))->rounds_seen, 2);
+  }
+}
+
+TEST(Network, RejectsRadiusBelowOne) {
+  EXPECT_THROW(RadioNetwork(Torus(6, 6), 0, Metric::kLInf, 1),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,180 @@
+#include "radiobcast/fault/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/core/analysis.h"
+
+namespace rbcast {
+namespace {
+
+constexpr Coord kSource{0, 0};
+
+TEST(Placement, FullStripCoversAllRows) {
+  const Torus torus(20, 20);
+  const FaultSet f = full_strip(torus, 8, 2, kSource);
+  EXPECT_EQ(f.size(), 40u);
+  EXPECT_TRUE(f.contains({8, 0}));
+  EXPECT_TRUE(f.contains({9, 19}));
+  EXPECT_FALSE(f.contains({10, 0}));
+}
+
+TEST(Placement, FullStripExcludesSource) {
+  const Torus torus(20, 20);
+  const FaultSet f = full_strip(torus, 0, 2, kSource);
+  EXPECT_FALSE(f.contains({0, 0}));
+  EXPECT_EQ(f.size(), 39u);
+}
+
+TEST(Placement, FullStripWorstNeighborhoodIsExactlyTheorem4) {
+  for (std::int32_t r = 1; r <= 3; ++r) {
+    const Torus torus(8 * r + 4, 8 * r + 4);
+    const FaultSet f = full_strip(torus, 4 * r, r, kSource);
+    EXPECT_EQ(max_closed_nbd_faults(torus, f, r, Metric::kLInf),
+              r_2r_plus_1(r))
+        << "r=" << r;
+  }
+}
+
+TEST(Placement, PuncturedStripSatisfiesBoundJustBelowTheorem4) {
+  for (std::int32_t r = 1; r <= 3; ++r) {
+    const Torus torus(8 * r + 4, (2 * r + 1) * 4);  // height multiple of period
+    const FaultSet f =
+        punctured_strip(torus, 4 * r, r, 2 * r + 1, kSource);
+    EXPECT_EQ(max_closed_nbd_faults(torus, f, r, Metric::kLInf),
+              r_2r_plus_1(r) - 1)
+        << "r=" << r;
+  }
+}
+
+TEST(Placement, PuncturedStripRemovesExpectedNodes) {
+  const Torus torus(20, 20);
+  const FaultSet f = punctured_strip(torus, 8, 2, 5, kSource);
+  EXPECT_FALSE(f.contains({8, 0}));
+  EXPECT_FALSE(f.contains({8, 5}));
+  EXPECT_TRUE(f.contains({8, 1}));
+  EXPECT_TRUE(f.contains({9, 0}));  // punctures only the first column
+}
+
+TEST(Placement, CheckerboardStripIsHalfDensity) {
+  const Torus torus(20, 20);
+  const FaultSet f = checkerboard_strip(torus, 8, 2, 0, kSource);
+  EXPECT_EQ(f.size(), 20u);  // half of 40
+  for (const Coord c : f.sorted()) {
+    EXPECT_EQ((c.x + c.y) % 2, 0);
+    EXPECT_GE(c.x, 8);
+    EXPECT_LE(c.x, 9);
+  }
+}
+
+TEST(Placement, CheckerboardWorstNeighborhoodIsKooImpossibilityBudget) {
+  // The paper's Fig 13 arrangement: the worst closed neighborhood of a
+  // half-density width-r strip holds exactly ceil(r(2r+1)/2) faults — the
+  // Byzantine impossibility budget.
+  for (std::int32_t r = 1; r <= 4; ++r) {
+    const Torus torus(8 * r + 4, 8 * r + 4);
+    const FaultSet f = checkerboard_strip(torus, 4 * r, r, 0, kSource);
+    EXPECT_EQ(max_closed_nbd_faults(torus, f, r, Metric::kLInf),
+              byz_linf_impossible_min(r))
+        << "r=" << r;
+  }
+}
+
+TEST(Placement, StripWidthValidation) {
+  const Torus torus(10, 10);
+  EXPECT_THROW(full_strip(torus, 0, 0, kSource), std::invalid_argument);
+  EXPECT_THROW(full_strip(torus, 0, 10, kSource), std::invalid_argument);
+  EXPECT_THROW(punctured_strip(torus, 0, 2, 0, kSource),
+               std::invalid_argument);
+}
+
+TEST(Placement, StripWrapsAcrossSeam) {
+  const Torus torus(10, 10);
+  const FaultSet f = full_strip(torus, 9, 2, kSource);  // columns 9 and 0
+  EXPECT_TRUE(f.contains({9, 5}));
+  EXPECT_TRUE(f.contains({0, 5}));
+  EXPECT_FALSE(f.contains({0, 0}));  // the source
+}
+
+TEST(Placement, RandomBoundedRespectsBound) {
+  const Torus torus(20, 20);
+  Rng rng(7);
+  const std::int64_t t = 5;
+  const FaultSet f = random_bounded(torus, 2, Metric::kLInf, t,
+                                    /*target=*/400, /*attempts=*/8000, rng,
+                                    kSource);
+  EXPECT_GT(f.size(), 0u);
+  EXPECT_LE(max_closed_nbd_faults(torus, f, 2, Metric::kLInf), t);
+  EXPECT_FALSE(f.contains(kSource));
+}
+
+TEST(Placement, RandomBoundedHitsSmallTarget) {
+  const Torus torus(20, 20);
+  Rng rng(7);
+  const FaultSet f = random_bounded(torus, 2, Metric::kLInf, 24,
+                                    /*target=*/10, /*attempts=*/8000, rng,
+                                    kSource);
+  EXPECT_EQ(f.size(), 10u);
+}
+
+TEST(Placement, RandomBoundedZeroBudgetPlacesNothing) {
+  const Torus torus(20, 20);
+  Rng rng(7);
+  const FaultSet f = random_bounded(torus, 2, Metric::kLInf, 0,
+                                    /*target=*/10, /*attempts=*/1000, rng,
+                                    kSource);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Placement, RandomBoundedIsDeterministicPerSeed) {
+  const Torus torus(16, 16);
+  Rng a(42), b(42), c(43);
+  const auto fa = random_bounded(torus, 2, Metric::kLInf, 4, 50, 2000, a,
+                                 kSource);
+  const auto fb = random_bounded(torus, 2, Metric::kLInf, 4, 50, 2000, b,
+                                 kSource);
+  const auto fc = random_bounded(torus, 2, Metric::kLInf, 4, 50, 2000, c,
+                                 kSource);
+  EXPECT_EQ(fa.sorted(), fb.sorted());
+  EXPECT_NE(fa.sorted(), fc.sorted());
+}
+
+TEST(Placement, IidMatchesProbabilityRoughly) {
+  const Torus torus(40, 40);
+  Rng rng(11);
+  const FaultSet f = iid_faults(torus, 0.25, rng, kSource);
+  EXPECT_NEAR(static_cast<double>(f.size()) / 1599.0, 0.25, 0.05);
+  EXPECT_FALSE(f.contains(kSource));
+}
+
+TEST(Placement, IidExtremes) {
+  const Torus torus(10, 10);
+  Rng rng(3);
+  EXPECT_TRUE(iid_faults(torus, 0.0, rng, kSource).empty());
+  EXPECT_EQ(iid_faults(torus, 1.0, rng, kSource).size(), 99u);
+}
+
+TEST(Placement, TrimToBudgetRepairsOverBudgetPatterns) {
+  const std::int32_t r = 2;
+  const Torus torus(20, 20);
+  FaultSet f = full_strip(torus, 8, r, kSource);  // worst nbd = r(2r+1) = 10
+  trim_to_budget(f, torus, r, Metric::kLInf, 7);
+  EXPECT_LE(max_closed_nbd_faults(torus, f, r, Metric::kLInf), 7);
+  EXPECT_GT(f.size(), 0u);
+}
+
+TEST(Placement, TrimToBudgetNoopWhenAlreadyLegal) {
+  const Torus torus(20, 20);
+  FaultSet f(torus, {{5, 5}, {15, 15}});
+  trim_to_budget(f, torus, 2, Metric::kLInf, 1);
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Placement, TrimToBudgetZeroRemovesEverything) {
+  const Torus torus(16, 16);
+  FaultSet f(torus, {{5, 5}, {6, 6}});
+  trim_to_budget(f, torus, 2, Metric::kLInf, 0);
+  EXPECT_TRUE(f.empty());
+}
+
+}  // namespace
+}  // namespace rbcast

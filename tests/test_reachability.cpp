@@ -1,0 +1,123 @@
+#include "radiobcast/core/reachability.h"
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/core/experiment.h"
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/fault/placement.h"
+
+namespace rbcast {
+namespace {
+
+TEST(Reachability, FaultFreeReachesEverything) {
+  const Torus torus(12, 12);
+  const auto res =
+      honest_reachability(torus, FaultSet{}, {0, 0}, 1, Metric::kLInf);
+  EXPECT_EQ(res.total_honest, 143);
+  EXPECT_EQ(res.reachable_honest, 143);
+  EXPECT_DOUBLE_EQ(res.fraction(), 1.0);
+}
+
+TEST(Reachability, FaultsBlockOnlyBeyondBarrier) {
+  const Torus torus(12, 12);
+  // Two full vertical strips of width 1 at r=1: everything between is cut.
+  FaultSet faults;
+  for (std::int32_t y = 0; y < 12; ++y) {
+    faults.add(torus, {3, y});
+    faults.add(torus, {9, y});
+  }
+  const auto res =
+      honest_reachability(torus, faults, {0, 0}, 1, Metric::kLInf);
+  EXPECT_LT(res.fraction(), 1.0);
+  // Columns 4..8 (5 x 12 = 60 nodes) are unreachable.
+  EXPECT_EQ(res.total_honest - res.reachable_honest, 60);
+  // A node behind the barrier:
+  EXPECT_FALSE(res.reachable[static_cast<std::size_t>(torus.index({6, 6}))]);
+  EXPECT_TRUE(res.reachable[static_cast<std::size_t>(torus.index({1, 6}))]);
+}
+
+TEST(Reachability, FaultyNodesNeverReachable) {
+  const Torus torus(12, 12);
+  FaultSet faults(torus, {{5, 5}});
+  const auto res =
+      honest_reachability(torus, faults, {0, 0}, 1, Metric::kLInf);
+  EXPECT_FALSE(res.reachable[static_cast<std::size_t>(torus.index({5, 5}))]);
+}
+
+TEST(Reachability, SectionSevenEquivalenceWithCrashFlooding) {
+  // "The sole criterion for achievability is reachability": crash-stop
+  // flooding commits exactly the reachable set, for arbitrary placements.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SimConfig cfg;
+    cfg.width = cfg.height = 14;
+    cfg.r = 1;
+    cfg.metric = Metric::kLInf;
+    cfg.protocol = ProtocolKind::kCrashFlood;
+    cfg.adversary = AdversaryKind::kSilent;
+    cfg.seed = seed;
+    Torus torus(cfg.width, cfg.height);
+    Rng rng(seed);
+    const FaultSet faults = iid_faults(torus, 0.35, rng, cfg.source);
+    const auto sim = run_simulation(cfg, faults);
+    const auto reach = honest_reachability(torus, faults, cfg.source, cfg.r,
+                                           cfg.metric);
+    EXPECT_EQ(sim.correct_commits, reach.reachable_honest) << "seed=" << seed;
+    // Node-by-node agreement.
+    for (const Coord c : torus.all_coords()) {
+      if (c == cfg.source || faults.contains(c)) continue;
+      const auto idx = static_cast<std::size_t>(torus.index(c));
+      const bool committed =
+          sim.outcomes[idx] == NodeOutcome::kCommitted0 ||
+          sim.outcomes[idx] == NodeOutcome::kCommitted1;
+      EXPECT_EQ(committed, static_cast<bool>(reach.reachable[idx]))
+          << "seed=" << seed << " node=" << to_string(c);
+    }
+  }
+}
+
+TEST(Reachability, EquivalenceHoldsUnderL2Too) {
+  SimConfig cfg;
+  cfg.width = cfg.height = 14;
+  cfg.r = 2;
+  cfg.metric = Metric::kL2;
+  cfg.protocol = ProtocolKind::kCrashFlood;
+  cfg.seed = 4;
+  Torus torus(cfg.width, cfg.height);
+  Rng rng(4);
+  const FaultSet faults = iid_faults(torus, 0.4, rng, cfg.source);
+  const auto sim = run_simulation(cfg, faults);
+  const auto reach =
+      honest_reachability(torus, faults, cfg.source, cfg.r, cfg.metric);
+  EXPECT_EQ(sim.correct_commits, reach.reachable_honest);
+}
+
+TEST(Reachability, FaultySourceMeansNothingReachable) {
+  const Torus torus(12, 12);
+  FaultSet faults(torus, {{0, 0}});
+  const auto res =
+      honest_reachability(torus, faults, {0, 0}, 1, Metric::kLInf);
+  EXPECT_EQ(res.reachable_honest, 0);
+}
+
+TEST(Percolation, KneeEstimateIsMonotoneInRadius) {
+  // Richer neighborhoods survive more faults: the percolation knee moves
+  // right as r grows.
+  const double knee_r1 = estimate_percolation_knee(12, 12, 1, Metric::kLInf,
+                                                   {0, 0}, 0.5, 3, 42);
+  const double knee_r2 = estimate_percolation_knee(20, 20, 2, Metric::kLInf,
+                                                   {0, 0}, 0.5, 3, 42);
+  EXPECT_GT(knee_r1, 0.2);
+  EXPECT_LT(knee_r1, 0.9);
+  EXPECT_GT(knee_r2, knee_r1);
+}
+
+TEST(Percolation, KneeIsDeterministic) {
+  const double a = estimate_percolation_knee(12, 12, 1, Metric::kLInf, {0, 0},
+                                             0.5, 2, 7);
+  const double b = estimate_percolation_knee(12, 12, 1, Metric::kLInf, {0, 0},
+                                             0.5, 2, 7);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,82 @@
+#include "radiobcast/grid/region.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast {
+namespace {
+
+TEST(Rect, EmptyAndCount) {
+  const Rect empty{};
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_TRUE(empty.cells().empty());
+
+  const Rect r{0, 2, 0, 3};
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.count(), 12);
+}
+
+TEST(Rect, SinglePoint) {
+  const Rect r{5, 5, -2, -2};
+  EXPECT_EQ(r.count(), 1);
+  EXPECT_TRUE(r.contains({5, -2}));
+  EXPECT_FALSE(r.contains({5, -1}));
+}
+
+TEST(Rect, ContainsBoundaries) {
+  const Rect r{-1, 3, 2, 4};
+  EXPECT_TRUE(r.contains({-1, 2}));
+  EXPECT_TRUE(r.contains({3, 4}));
+  EXPECT_FALSE(r.contains({-2, 3}));
+  EXPECT_FALSE(r.contains({0, 5}));
+}
+
+TEST(Rect, Intersection) {
+  const Rect a{0, 5, 0, 5};
+  const Rect b{3, 8, -2, 2};
+  const Rect i = a.intersect(b);
+  EXPECT_EQ(i, (Rect{3, 5, 0, 2}));
+  EXPECT_EQ(i.count(), 9);
+  EXPECT_TRUE(disjoint(a, Rect{6, 7, 0, 5}));
+  EXPECT_FALSE(disjoint(a, b));
+}
+
+TEST(Rect, Translate) {
+  const Rect r{0, 2, 1, 1};
+  EXPECT_EQ(r.translate({-3, 4}), (Rect{-3, -1, 5, 5}));
+  EXPECT_EQ(r.translate({0, 0}), r);
+}
+
+TEST(Rect, CellsRowMajor) {
+  const Rect r{1, 2, 10, 11};
+  const auto cells = r.cells();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], (Coord{1, 10}));
+  EXPECT_EQ(cells[1], (Coord{2, 10}));
+  EXPECT_EQ(cells[2], (Coord{1, 11}));
+  EXPECT_EQ(cells[3], (Coord{2, 11}));
+}
+
+TEST(Rect, ContainedIn) {
+  const Rect big{-5, 5, -5, 5};
+  EXPECT_TRUE(contained_in({-5, 5, -5, 5}, big));
+  EXPECT_TRUE(contained_in({0, 1, 0, 1}, big));
+  EXPECT_FALSE(contained_in({0, 6, 0, 1}, big));
+  // Empty is contained in everything.
+  EXPECT_TRUE(contained_in(Rect{}, big));
+  EXPECT_TRUE(contained_in(Rect{}, Rect{}));
+}
+
+TEST(Rect, LinfBall) {
+  const Rect b = linf_ball({2, -1}, 3);
+  EXPECT_EQ(b, (Rect{-1, 5, -4, 2}));
+  EXPECT_EQ(b.count(), 49);
+}
+
+TEST(Rect, CountLargeNoOverflow) {
+  const Rect r{0, 99999, 0, 99999};
+  EXPECT_EQ(r.count(), 10000000000LL);
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,162 @@
+// Section X: address spoofing and adversarial collisions. These tests pin
+// the paper's qualitative claims:
+//   * with spoofing, safety genuinely breaks (the negative control showing
+//     the no-spoofing assumption is load-bearing);
+//   * unbounded collisions black out the jammers' vicinity;
+//   * bounded collisions lose to sufficiently many retransmissions.
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/net/jamming.h"
+#include "radiobcast/net/network.h"
+
+namespace rbcast {
+namespace {
+
+SimConfig base_config() {
+  SimConfig cfg;
+  cfg.width = cfg.height = 12;
+  cfg.r = 1;
+  cfg.metric = Metric::kLInf;
+  cfg.seed = 77;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Spoofing
+// ---------------------------------------------------------------------------
+
+TEST(Spoofing, DisabledByDefault) {
+  RadioNetwork net(Torus(8, 8), 1, Metric::kLInf, 1);
+  NodeContext ctx(net, {3, 3});
+  EXPECT_THROW(ctx.broadcast_as({4, 4}, make_committed({4, 4}, 1)),
+               std::logic_error);
+}
+
+TEST(Spoofing, BreaksCpaSafety) {
+  // One spoofing liar impersonating its neighbors feeds CPA t+1 forged
+  // claims: some honest node commits the wrong value. This is the paper's
+  // point — without the no-spoofing assumption the results collapse.
+  SimConfig cfg = base_config();
+  cfg.protocol = ProtocolKind::kCpa;
+  cfg.adversary = AdversaryKind::kSpoofing;
+  cfg.t = 1;
+  Torus torus(cfg.width, cfg.height);
+  FaultSet faults(torus, {{6, 6}});
+  const auto result = run_simulation(cfg, faults);
+  EXPECT_GT(result.wrong_commits, 0);
+}
+
+TEST(Spoofing, BreaksBvTwoHopSafety) {
+  SimConfig cfg = base_config();
+  cfg.protocol = ProtocolKind::kBvTwoHop;
+  cfg.adversary = AdversaryKind::kSpoofing;
+  cfg.t = 1;
+  Torus torus(cfg.width, cfg.height);
+  FaultSet faults(torus, {{6, 6}});
+  const auto result = run_simulation(cfg, faults);
+  EXPECT_GT(result.wrong_commits, 0);
+}
+
+TEST(Spoofing, SameBudgetWithoutSpoofingIsSafe) {
+  // Control: the identical placement with an ordinary liar keeps safety.
+  SimConfig cfg = base_config();
+  cfg.protocol = ProtocolKind::kBvTwoHop;
+  cfg.adversary = AdversaryKind::kLying;
+  cfg.t = 1;
+  Torus torus(cfg.width, cfg.height);
+  FaultSet faults(torus, {{6, 6}});
+  const auto result = run_simulation(cfg, faults);
+  EXPECT_EQ(result.wrong_commits, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Jamming
+// ---------------------------------------------------------------------------
+
+TEST(Jamming, ChannelConsumesBudget) {
+  const Torus torus(12, 12);
+  JammingChannel channel(torus, 1, Metric::kLInf, {{5, 5}}, 2);
+  Rng rng(1);
+  // Deliveries to receivers near the jammer are destroyed while budget lasts.
+  EXPECT_FALSE(channel.delivers({3, 5}, {4, 5}, rng));
+  EXPECT_FALSE(channel.delivers({3, 5}, {4, 5}, rng));
+  EXPECT_TRUE(channel.delivers({3, 5}, {4, 5}, rng));  // budget exhausted
+  EXPECT_EQ(channel.jammed_count(), 2);
+}
+
+TEST(Jamming, DoesNotJamOutsideVicinity) {
+  const Torus torus(12, 12);
+  JammingChannel channel(torus, 1, Metric::kLInf, {{5, 5}}, 100);
+  Rng rng(1);
+  EXPECT_TRUE(channel.delivers({0, 0}, {1, 0}, rng));
+  EXPECT_EQ(channel.jammed_count(), 0);
+}
+
+TEST(Jamming, NeverJamsFaultyTransmissions) {
+  const Torus torus(12, 12);
+  JammingChannel channel(torus, 1, Metric::kLInf, {{5, 5}, {5, 6}}, 100);
+  Rng rng(1);
+  // (5,6) transmits near jammer (5,5): delivered (the adversary coordinates).
+  EXPECT_TRUE(channel.delivers({5, 6}, {4, 5}, rng));
+}
+
+TEST(Jamming, UnboundedBudgetBlacksOutVicinity) {
+  SimConfig cfg = base_config();
+  cfg.protocol = ProtocolKind::kCrashFlood;
+  cfg.adversary = AdversaryKind::kJamming;
+  cfg.jam_budget = -1;  // unbounded: "rendered impossible"
+  Torus torus(cfg.width, cfg.height);
+  // A jammer ring around (6,6) is not needed; even one jammer leaves its
+  // whole vicinity deaf.
+  FaultSet faults(torus, {{6, 6}});
+  const auto result = run_simulation(cfg, faults);
+  EXPECT_GT(result.undecided, 0);
+  // The jammer's neighbors can never receive anything.
+  for (const Coord c : torus.all_coords()) {
+    if (torus.within(c, {6, 6}, 1, Metric::kLInf) && !(c == Coord{6, 6})) {
+      EXPECT_EQ(result.outcomes[static_cast<std::size_t>(torus.index(c))],
+                NodeOutcome::kUndecided);
+    }
+  }
+}
+
+TEST(Jamming, BoundedBudgetLosesToRetransmissions) {
+  // "If the adversary uses collisions to merely disrupt communication, the
+  // problem is trivially solved by re-transmitting a sufficient number of
+  // times."
+  SimConfig cfg = base_config();
+  cfg.protocol = ProtocolKind::kCrashFlood;
+  cfg.adversary = AdversaryKind::kJamming;
+  cfg.jam_budget = 20;
+  Torus torus(cfg.width, cfg.height);
+  FaultSet faults(torus, {{6, 6}, {2, 9}});
+
+  cfg.retransmissions = 1;
+  const auto once = run_simulation(cfg, faults);
+  cfg.retransmissions = 16;  // copies exceed every jammer's budget locally
+  const auto many = run_simulation(cfg, faults);
+  EXPECT_TRUE(many.success());
+  EXPECT_GE(many.correct_commits, once.correct_commits);
+}
+
+TEST(Jamming, ZeroBudgetIsHarmless) {
+  SimConfig cfg = base_config();
+  cfg.protocol = ProtocolKind::kCrashFlood;
+  cfg.adversary = AdversaryKind::kJamming;
+  cfg.jam_budget = 0;
+  Torus torus(cfg.width, cfg.height);
+  FaultSet faults(torus, {{6, 6}});
+  const auto result = run_simulation(cfg, faults);
+  EXPECT_TRUE(result.success());
+}
+
+TEST(AdversaryNames, SectionXKinds) {
+  EXPECT_STREQ(to_string(AdversaryKind::kSpoofing), "spoofing");
+  EXPECT_STREQ(to_string(AdversaryKind::kJamming), "jamming");
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,90 @@
+#include "radiobcast/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rbcast {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "count"});
+  t.row().cell("alpha").cell(3);
+  t.row().cell("beta").cell(42);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumericCellsRightAligned) {
+  Table t({"v"});
+  t.row().cell("wide-header-ish");
+  t.row().cell(7);
+  std::ostringstream os;
+  t.print(os);
+  // The numeric row should be padded on the left: "|    ...7 |".
+  const std::string s = os.str();
+  EXPECT_NE(s.find("7 |"), std::string::npos);
+}
+
+TEST(Table, BoolCells) {
+  Table t({"ok"});
+  t.row().cell(true);
+  t.row().cell(false);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("yes"), std::string::npos);
+  EXPECT_NE(os.str().find("no"), std::string::npos);
+}
+
+TEST(Table, DoubleFormattingTrimsZeros) {
+  EXPECT_EQ(format_double(1.5, 3), "1.5");
+  EXPECT_EQ(format_double(2.0, 3), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(0.1255, 2), "0.13");
+  EXPECT_EQ(format_double(-3.25, 2), "-3.25");
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell("x,y").cell(1);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",1\n");
+}
+
+TEST(Table, CsvEscapesQuotes) {
+  Table t({"a"});
+  t.row().cell("say \"hi\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, CellBeforeRowStartsARow) {
+  Table t({"a"});
+  t.cell("implicit");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, MixedWidthColumnsAlign) {
+  Table t({"x", "yyyyyyyy"});
+  t.row().cell(123456789).cell("s");
+  std::ostringstream os;
+  t.print(os);
+  // Each line should have the same length.
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,81 @@
+#include "radiobcast/net/tdma.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rbcast {
+namespace {
+
+TEST(Tdma, SlotCountIsTwoRPlusOneSquared) {
+  EXPECT_EQ(tdma_slot_count(1), 9);
+  EXPECT_EQ(tdma_slot_count(2), 25);
+  EXPECT_EQ(tdma_slot_count(3), 49);
+}
+
+TEST(Tdma, SlotsInRange) {
+  for (std::int32_t r = 1; r <= 3; ++r) {
+    for (std::int32_t x = -5; x <= 5; ++x) {
+      for (std::int32_t y = -5; y <= 5; ++y) {
+        const auto slot = tdma_slot({x, y}, r);
+        EXPECT_GE(slot, 0);
+        EXPECT_LT(slot, tdma_slot_count(r));
+      }
+    }
+  }
+}
+
+TEST(Tdma, PeriodicInBothAxes) {
+  const std::int32_t r = 2;
+  const std::int32_t period = 2 * r + 1;
+  EXPECT_EQ(tdma_slot({3, 4}, r), tdma_slot({3 + period, 4}, r));
+  EXPECT_EQ(tdma_slot({3, 4}, r), tdma_slot({3, 4 + period}, r));
+  EXPECT_EQ(tdma_slot({-2, -9}, r), tdma_slot({-2 + 3 * period, -9 + period}, r));
+}
+
+TEST(Tdma, NegativeCoordinatesHandled) {
+  EXPECT_EQ(tdma_slot({-1, -1}, 1), tdma_slot({2, 2}, 1));
+}
+
+TEST(Tdma, AllSlotsUsedInOnePeriodBlock) {
+  const std::int32_t r = 2;
+  std::set<std::int32_t> slots;
+  for (std::int32_t x = 0; x < 2 * r + 1; ++x) {
+    for (std::int32_t y = 0; y < 2 * r + 1; ++y) {
+      slots.insert(tdma_slot({x, y}, r));
+    }
+  }
+  EXPECT_EQ(static_cast<std::int32_t>(slots.size()), tdma_slot_count(r));
+}
+
+TEST(Tdma, CompatibleDimensions) {
+  EXPECT_TRUE(tdma_compatible(Torus(15, 30), 2));   // multiples of 5
+  EXPECT_FALSE(tdma_compatible(Torus(16, 30), 2));
+  EXPECT_TRUE(tdma_compatible(Torus(9, 9), 1));
+  EXPECT_FALSE(tdma_compatible(Torus(10, 9), 1));
+}
+
+TEST(Tdma, ValidOnCompatibleTorus) {
+  // The Section II claim, proven exhaustively: the canonical schedule has no
+  // conflicting pair on a compatible torus, in either metric.
+  for (std::int32_t r = 1; r <= 2; ++r) {
+    const std::int32_t period = 2 * r + 1;
+    const Torus torus(4 * period, 4 * period);
+    ASSERT_TRUE(tdma_compatible(torus, r));
+    EXPECT_FALSE(find_tdma_violation(torus, r, Metric::kLInf).has_value())
+        << "r=" << r;
+    EXPECT_FALSE(find_tdma_violation(torus, r, Metric::kL2).has_value())
+        << "r=" << r;
+  }
+}
+
+TEST(Tdma, SeamViolationOnIncompatibleTorus) {
+  // Width not a multiple of 2r+1: the schedule breaks across the seam.
+  const Torus torus(10, 9);  // r=1 -> period 3; 10 % 3 != 0
+  const auto violation = find_tdma_violation(torus, 1, Metric::kLInf);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(tdma_slot(violation->a, 1), tdma_slot(violation->b, 1));
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,164 @@
+// Integration tests pinning the paper's thresholds: success/failure must flip
+// exactly where Theorems 1, 4, 5 (and the CPA/RPA separation of Sections III
+// and IX) say, for small radii where exhaustive simulation is cheap.
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/core/experiment.h"
+#include "radiobcast/core/simulation.h"
+
+namespace rbcast {
+namespace {
+
+Aggregate run_barrier(std::int32_t r, std::int64_t t, ProtocolKind protocol,
+                      PlacementKind placement_kind, bool trim,
+                      AdversaryKind adversary = AdversaryKind::kSilent,
+                      int reps = 1) {
+  SimConfig cfg;
+  cfg.width = 8 * r + 4;
+  cfg.height = (2 * r + 1) * 4;  // multiple of the puncture period
+  cfg.r = r;
+  cfg.metric = Metric::kLInf;
+  cfg.t = t;
+  cfg.protocol = protocol;
+  cfg.adversary = adversary;
+  cfg.seed = 4242;
+  PlacementConfig placement;
+  placement.kind = placement_kind;
+  placement.trim = trim;
+  return run_repeated(cfg, placement, reps);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-stop: exact threshold at t = r(2r+1) (Theorems 4 and 5)
+// ---------------------------------------------------------------------------
+
+TEST(Thresholds, CrashStopFlipsExactlyAtR2rPlus1) {
+  for (std::int32_t r = 1; r <= 2; ++r) {
+    // t = r(2r+1): full strips are legal and partition the torus.
+    const Aggregate at = run_barrier(r, crash_linf_impossible_min(r),
+                                     ProtocolKind::kCrashFlood,
+                                     PlacementKind::kFullStrip, false);
+    EXPECT_FALSE(at.all_success()) << "r=" << r;
+    EXPECT_LT(at.mean_coverage, 1.0) << "r=" << r;
+
+    // t = r(2r+1) - 1: the densest barrier we can build leaks.
+    const Aggregate below = run_barrier(r, crash_linf_achievable_max(r),
+                                        ProtocolKind::kCrashFlood,
+                                        PlacementKind::kPuncturedStrip, true);
+    EXPECT_TRUE(below.all_success()) << "r=" << r;
+  }
+}
+
+TEST(Thresholds, CrashStopPartitionBlocksRegionBetweenStrips) {
+  const std::int32_t r = 2;
+  const Aggregate agg = run_barrier(r, crash_linf_impossible_min(r),
+                                    ProtocolKind::kCrashFlood,
+                                    PlacementKind::kFullStrip, false);
+  // The enclosed region (between the strips, opposite the source) is roughly
+  // (width/2 - r)/width of the torus; coverage should sit near the remainder.
+  EXPECT_LT(agg.mean_coverage, 0.75);
+  EXPECT_GT(agg.mean_coverage, 0.35);
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine: exact threshold at t < r(2r+1)/2 (Theorem 1 + [Koo04])
+// ---------------------------------------------------------------------------
+
+TEST(Thresholds, ByzantineTwoHopFlipsExactlyAtCeilHalf) {
+  for (std::int32_t r = 1; r <= 2; ++r) {
+    const Aggregate achievable = run_barrier(
+        r, byz_linf_achievable_max(r), ProtocolKind::kBvTwoHop,
+        PlacementKind::kCheckerboardStrip, true);
+    EXPECT_TRUE(achievable.all_success()) << "r=" << r;
+
+    const Aggregate impossible = run_barrier(
+        r, byz_linf_impossible_min(r), ProtocolKind::kBvTwoHop,
+        PlacementKind::kCheckerboardStrip, false);
+    EXPECT_FALSE(impossible.all_success()) << "r=" << r;
+    EXPECT_EQ(impossible.wrong_total, 0) << "r=" << r;
+  }
+}
+
+TEST(Thresholds, ByzantineLyingBarrierSameFlip) {
+  const std::int32_t r = 2;
+  const Aggregate achievable = run_barrier(
+      r, byz_linf_achievable_max(r), ProtocolKind::kBvTwoHop,
+      PlacementKind::kCheckerboardStrip, true, AdversaryKind::kLying);
+  EXPECT_TRUE(achievable.all_success());
+  EXPECT_EQ(achievable.wrong_total, 0);
+
+  const Aggregate impossible = run_barrier(
+      r, byz_linf_impossible_min(r), ProtocolKind::kBvTwoHop,
+      PlacementKind::kCheckerboardStrip, false, AdversaryKind::kLying);
+  EXPECT_FALSE(impossible.all_success());
+  EXPECT_EQ(impossible.wrong_total, 0);
+}
+
+TEST(Thresholds, ByzantineFourHopMatchesTwoHopAtSmallR) {
+  const std::int32_t r = 1;
+  const Aggregate achievable = run_barrier(
+      r, byz_linf_achievable_max(r), ProtocolKind::kBvIndirectFlood,
+      PlacementKind::kCheckerboardStrip, true);
+  EXPECT_TRUE(achievable.all_success());
+
+  const Aggregate impossible = run_barrier(
+      r, byz_linf_impossible_min(r), ProtocolKind::kBvIndirectFlood,
+      PlacementKind::kCheckerboardStrip, false);
+  EXPECT_FALSE(impossible.all_success());
+}
+
+// ---------------------------------------------------------------------------
+// CPA vs the indirect-report protocol (Sections III and IX). The paper
+// *guarantees* CPA only up to t <= 2r^2/3 while guaranteeing the BV protocol
+// up to the exact threshold — a strict gap in proven bounds for every r >= 2.
+// On the grid itself CPA empirically survives past its proven bound (the
+// separation examples of [Pelc-Peleg05] are non-grid graphs, and the paper's
+// footnote 1 anticipates that simpler protocols reach the same threshold),
+// so beyond the bound we assert only safety, never failure.
+// ---------------------------------------------------------------------------
+
+TEST(Thresholds, GuaranteeGapBvBeyondCpaBound) {
+  const std::int32_t r = 2;
+  const std::int64_t t = byz_linf_achievable_max(r);  // 4 > 2r^2/3 = 2
+  ASSERT_GT(t, cpa_linf_achievable_max(r));
+
+  // The BV protocol is guaranteed (and measured) to succeed at t.
+  const Aggregate bv =
+      run_barrier(r, t, ProtocolKind::kBvTwoHop,
+                  PlacementKind::kCheckerboardStrip, true);
+  EXPECT_TRUE(bv.all_success());
+
+  // CPA above its proven bound: outside its guarantee; must stay safe.
+  const Aggregate cpa =
+      run_barrier(r, t, ProtocolKind::kCpa,
+                  PlacementKind::kCheckerboardStrip, true);
+  EXPECT_EQ(cpa.wrong_total, 0);
+}
+
+TEST(Thresholds, CpaStillFineAtItsOwnBound) {
+  const std::int32_t r = 2;
+  const Aggregate cpa = run_barrier(r, cpa_linf_achievable_max(r),
+                                    ProtocolKind::kCpa,
+                                    PlacementKind::kCheckerboardStrip, true);
+  EXPECT_TRUE(cpa.all_success());
+}
+
+// ---------------------------------------------------------------------------
+// Safety never depends on t: even at absurd budgets nothing wrong is
+// committed (Theorem 2 and the trivially-safe commit rules).
+// ---------------------------------------------------------------------------
+
+TEST(Thresholds, NoWrongCommitsEvenWayAboveThreshold) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::kCpa, ProtocolKind::kBvTwoHop}) {
+    const Aggregate agg =
+        run_barrier(2, 20, kind, PlacementKind::kCheckerboardStrip, false,
+                    AdversaryKind::kLying);
+    EXPECT_EQ(agg.wrong_total, 0) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,41 @@
+// Compile-and-touch test for the umbrella header: one use of each subsystem
+// through a single include.
+
+#include "radiobcast/radiobcast.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast {
+namespace {
+
+TEST(Umbrella, EverySubsystemReachable) {
+  // util
+  Rng rng(1);
+  EXPECT_LT(rng.below(10), 10u);
+  // grid
+  const Torus torus(12, 12);
+  EXPECT_EQ(linf_nbd_size(1), NeighborhoodTable::get(1, Metric::kLInf).size());
+  // paths
+  EXPECT_EQ(static_cast<std::int64_t>(region_M(2).size()), r_2r_plus_1(2));
+  // fault
+  FaultSet faults(torus, {{5, 5}});
+  EXPECT_TRUE(satisfies_local_bound(torus, faults, 1, Metric::kLInf, 1));
+  // net
+  EXPECT_EQ(tdma_slot_count(1), 9);
+  // protocols + core
+  SimConfig cfg;
+  cfg.width = cfg.height = 12;
+  cfg.r = 1;
+  cfg.protocol = ProtocolKind::kCrashFlood;
+  const SimResult result = run_simulation(cfg, faults);
+  EXPECT_TRUE(result.success());
+  const auto reach =
+      honest_reachability(torus, faults, cfg.source, cfg.r, cfg.metric);
+  EXPECT_EQ(result.correct_commits, reach.reachable_honest);
+  // graph
+  const RadioGraph graph = make_separation_graph();
+  EXPECT_TRUE(graph.connected());
+}
+
+}  // namespace
+}  // namespace rbcast
