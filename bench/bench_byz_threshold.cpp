@@ -13,10 +13,17 @@
 // Expected shape: success on every row with t <= ceil(r(2r+1)/2)-1, failure
 // of the barrier rows at t >= ceil(r(2r+1)/2), and wrong-commits == 0
 // everywhere (Theorem 2).
+//
+// The sweeps are dispatched through the campaign engine (campaign/engine.h):
+// all (t, adversary, placement) cells of one radius run concurrently on the
+// worker pool, and the per-cell aggregates are identical to a serial run by
+// the engine's determinism guarantee (each cell keeps its historical seed).
 
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
+#include "radiobcast/campaign/engine.h"
 #include "radiobcast/core/analysis.h"
 #include "radiobcast/core/experiment.h"
 #include "radiobcast/core/simulation.h"
@@ -32,6 +39,23 @@ struct RowSpec {
   int reps;
   const char* label;
 };
+
+CampaignCell make_cell(std::int32_t r, std::int64_t t, const RowSpec& spec) {
+  CampaignCell cell;
+  cell.sim.r = r;
+  cell.sim.width = 8 * r + 4;
+  cell.sim.height = (2 * r + 1) * 4;
+  cell.sim.metric = Metric::kLInf;
+  cell.sim.t = t;
+  cell.sim.protocol = ProtocolKind::kBvTwoHop;
+  cell.sim.adversary = spec.adversary;
+  cell.sim.seed = (r == 3 ? 3000 : 1000) + static_cast<std::uint64_t>(t);
+  cell.placement.kind = spec.placement;
+  cell.placement.trim = true;
+  cell.reps = spec.reps;
+  cell.label = spec.label;
+  return cell;
+}
 
 }  // namespace
 
@@ -49,8 +73,6 @@ int main() {
               << r_2r_plus_1(r) << "/2, i.e. t <= " << t_star
               << "; impossible from t = " << t_imp << "\n";
 
-    Table table({"t", "adversary", "placement", "runs", "success",
-                 "mean coverage", "wrong commits", "paper verdict"});
     const RowSpec rows[] = {
         {AdversaryKind::kSilent, PlacementKind::kCheckerboardStrip, 1,
          "barrier"},
@@ -58,40 +80,36 @@ int main() {
          "barrier"},
         {AdversaryKind::kLying, PlacementKind::kRandomBounded, 3, "random"},
     };
+    std::vector<CampaignCell> cells;
     for (std::int64_t t = std::max<std::int64_t>(0, t_star - 2);
          t <= t_imp + 1; ++t) {
-      for (const RowSpec& spec : rows) {
-        SimConfig cfg;
-        cfg.r = r;
-        cfg.width = 8 * r + 4;
-        cfg.height = (2 * r + 1) * 4;
-        cfg.metric = Metric::kLInf;
-        cfg.t = t;
-        cfg.protocol = ProtocolKind::kBvTwoHop;
-        cfg.adversary = spec.adversary;
-        cfg.seed = 1000 + static_cast<std::uint64_t>(t);
-        PlacementConfig placement;
-        placement.kind = spec.placement;
-        placement.trim = true;
-        const Aggregate agg = run_repeated(cfg, placement, spec.reps);
-        const bool achievable = t <= t_star;
-        table.row()
-            .cell(t)
-            .cell(to_string(spec.adversary))
-            .cell(spec.label)
-            .cell(agg.runs)
-            .cell(std::to_string(agg.successes) + "/" +
-                  std::to_string(agg.runs))
-            .cell(agg.mean_coverage, 4)
-            .cell(agg.wrong_total)
-            .cell(achievable ? "achievable" : "impossible region");
-        if (agg.wrong_total != 0) shape_ok = false;
-        if (achievable && !agg.all_success()) shape_ok = false;
-        // In the impossible region the *barrier* must stall the protocol.
-        if (!achievable && spec.placement == PlacementKind::kCheckerboardStrip &&
-            agg.all_success()) {
-          shape_ok = false;
-        }
+      for (const RowSpec& spec : rows) cells.push_back(make_cell(r, t, spec));
+    }
+    const CampaignResult sweep = run_cells(cells);
+
+    Table table({"t", "adversary", "placement", "runs", "success",
+                 "mean coverage", "wrong commits", "paper verdict"});
+    for (const CellResult& cell : sweep.cells) {
+      const Aggregate& agg = cell.aggregate;
+      const std::int64_t t = cell.cell.sim.t;
+      const bool achievable = t <= t_star;
+      table.row()
+          .cell(t)
+          .cell(to_string(cell.cell.sim.adversary))
+          .cell(cell.cell.label)
+          .cell(agg.runs)
+          .cell(std::to_string(agg.successes) + "/" +
+                std::to_string(agg.runs))
+          .cell(agg.mean_coverage(), 4)
+          .cell(agg.wrong_total)
+          .cell(achievable ? "achievable" : "impossible region");
+      if (agg.wrong_total != 0) shape_ok = false;
+      if (achievable && !agg.all_success()) shape_ok = false;
+      // In the impossible region the *barrier* must stall the protocol.
+      if (!achievable &&
+          cell.cell.placement.kind == PlacementKind::kCheckerboardStrip &&
+          agg.all_success()) {
+        shape_ok = false;
       }
     }
     table.print(std::cout);
@@ -105,35 +123,32 @@ int main() {
     const std::int64_t t_star = byz_linf_achievable_max(r);
     std::cout << "r=" << r << ": achievable up to t = " << t_star
               << ", impossible from " << byz_linf_impossible_min(r) << "\n";
-    Table table({"t", "adversary", "success", "mean coverage",
-                 "wrong commits", "paper verdict"});
+    std::vector<CampaignCell> cells;
     for (std::int64_t t = t_star - 1; t <= t_star + 1; ++t) {
       for (const AdversaryKind adversary :
            {AdversaryKind::kSilent, AdversaryKind::kLying}) {
-        SimConfig cfg;
-        cfg.r = r;
-        cfg.width = 8 * r + 4;
-        cfg.height = (2 * r + 1) * 4;
-        cfg.metric = Metric::kLInf;
-        cfg.t = t;
-        cfg.protocol = ProtocolKind::kBvTwoHop;
-        cfg.adversary = adversary;
-        cfg.seed = 3000 + static_cast<std::uint64_t>(t);
-        PlacementConfig placement;
-        placement.kind = PlacementKind::kCheckerboardStrip;
-        placement.trim = true;
-        const Aggregate agg = run_repeated(cfg, placement, 1);
-        const bool achievable = t <= t_star;
-        table.row()
-            .cell(t)
-            .cell(to_string(adversary))
-            .cell(agg.all_success())
-            .cell(agg.mean_coverage, 4)
-            .cell(agg.wrong_total)
-            .cell(achievable ? "achievable" : "impossible region");
-        if (agg.wrong_total != 0) shape_ok = false;
-        if (achievable != agg.all_success()) shape_ok = false;
+        cells.push_back(make_cell(
+            r, t,
+            {adversary, PlacementKind::kCheckerboardStrip, 1, "barrier"}));
       }
+    }
+    const CampaignResult sweep = run_cells(cells);
+
+    Table table({"t", "adversary", "success", "mean coverage",
+                 "wrong commits", "paper verdict"});
+    for (const CellResult& cell : sweep.cells) {
+      const Aggregate& agg = cell.aggregate;
+      const std::int64_t t = cell.cell.sim.t;
+      const bool achievable = t <= t_star;
+      table.row()
+          .cell(t)
+          .cell(to_string(cell.cell.sim.adversary))
+          .cell(agg.all_success())
+          .cell(agg.mean_coverage(), 4)
+          .cell(agg.wrong_total)
+          .cell(achievable ? "achievable" : "impossible region");
+      if (agg.wrong_total != 0) shape_ok = false;
+      if (achievable != agg.all_success()) shape_ok = false;
     }
     table.print(std::cout);
     std::cout << "\n";
@@ -164,7 +179,7 @@ int main() {
       table.row()
           .cell(t)
           .cell(agg.all_success())
-          .cell(agg.mean_coverage, 4)
+          .cell(agg.mean_coverage(), 4)
           .cell(agg.wrong_total)
           .cell(achievable ? "achievable" : "impossible region");
       if (achievable != agg.all_success()) shape_ok = false;

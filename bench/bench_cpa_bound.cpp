@@ -108,7 +108,7 @@ int main() {
           .cell(t)
           .cell(to_string(pk))
           .cell(std::to_string(agg.successes) + "/" + std::to_string(agg.runs))
-          .cell(agg.mean_coverage, 4)
+          .cell(agg.mean_coverage(), 4)
           .cell(agg.wrong_total);
       if (!agg.all_success() || agg.wrong_total != 0) shape_ok = false;
     }
@@ -132,7 +132,7 @@ int main() {
         .cell("cpa")
         .cell("no (t > 2r^2/3)")
         .cell(cpa.all_success())
-        .cell(cpa.mean_coverage, 4)
+        .cell(cpa.mean_coverage(), 4)
         .cell(cpa.wrong_total);
     sep.row()
         .cell(std::to_string(r))
@@ -140,7 +140,7 @@ int main() {
         .cell("bv-2hop")
         .cell("yes (Thm 1)")
         .cell(bv.all_success())
-        .cell(bv.mean_coverage, 4)
+        .cell(bv.mean_coverage(), 4)
         .cell(bv.wrong_total);
     // The proven-guarantee gap: bv must succeed at t; CPA must stay safe
     // (the paper proves nothing about its liveness there — empirically, on

@@ -71,8 +71,8 @@ int main() {
           .cell(to_string(c.placement))
           .cell(to_string(c.adversary))
           .cell(std::to_string(agg.successes) + "/" + std::to_string(agg.runs))
-          .cell(agg.mean_coverage, 4)
-          .cell(1.0 - agg.mean_coverage, 4)
+          .cell(agg.mean_coverage(), 4)
+          .cell(1.0 - agg.mean_coverage(), 4)
           .cell(c.expect_success ? "achievable" : "impossible (partition)");
       if (agg.all_success() != c.expect_success) shape_ok = false;
       if (agg.wrong_total != 0) shape_ok = false;

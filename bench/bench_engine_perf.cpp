@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
+#include "radiobcast/campaign/engine.h"
 #include "radiobcast/core/analysis.h"
 #include "radiobcast/core/simulation.h"
 #include "radiobcast/fault/placement.h"
@@ -113,6 +116,42 @@ void BM_LocalBoundValidator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocalBoundValidator);
+
+void BM_CampaignParallelScaling(benchmark::State& state) {
+  // A fixed 64-trial random-fault campaign; Arg = worker count. items/s is
+  // trials/s, so the speedup over the Arg(1) row is the parallel scaling
+  // factor (expected near-linear up to the physical core count: trials are
+  // independent and the engine only serializes seed setup and the final
+  // index-ordered fold).
+  const int workers = static_cast<int>(state.range(0));
+  CampaignSpec spec;
+  spec.base.r = 2;
+  spec.base.width = spec.base.height = 20;
+  spec.base.protocol = ProtocolKind::kBvTwoHop;
+  spec.base.adversary = AdversaryKind::kLying;
+  spec.base.t = byz_linf_achievable_max(2);
+  spec.placement.kind = PlacementKind::kRandomBounded;
+  spec.placements = {PlacementKind::kRandomBounded};
+  spec.reps = 64;
+  spec.base_seed = 17;
+  CampaignOptions options;
+  options.workers = workers;
+  for (auto _ : state) {
+    const CampaignResult result = run_campaign(spec, options);
+    benchmark::DoNotOptimize(result.cells.front().aggregate.runs);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["workers"] = workers;
+}
+BENCHMARK(BM_CampaignParallelScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency() == 0
+                               ? 4
+                               : std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

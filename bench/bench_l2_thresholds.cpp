@@ -74,12 +74,12 @@ int main() {
           .cell(frac, 2)
           .cell(cfg.t)
           .cell(std::to_string(agg.successes) + "/" + std::to_string(agg.runs))
-          .cell(agg.mean_coverage, 4)
+          .cell(agg.mean_coverage(), 4)
           .cell(agg.wrong_total)
           .cell(band);
       if (agg.wrong_total != 0) shape_ok = false;
-      if (frac == 0.10) low_frac_coverage = agg.mean_coverage;
-      if (frac == 0.40) high_frac_coverage = agg.mean_coverage;
+      if (frac == 0.10) low_frac_coverage = agg.mean_coverage();
+      if (frac == 0.40) high_frac_coverage = agg.mean_coverage();
     }
     // Shape: low fractions must do at least as well as absurd ones.
     if (low_frac_coverage < high_frac_coverage) shape_ok = false;
@@ -137,10 +137,10 @@ int main() {
           .cell(frac, 2)
           .cell(cfg.t)
           .cell(std::to_string(agg.successes) + "/" + std::to_string(agg.runs))
-          .cell(agg.mean_coverage, 4)
+          .cell(agg.mean_coverage(), 4)
           .cell(band);
-      if (frac == 0.20) low_cov = agg.mean_coverage;
-      if (frac == 0.75) high_cov = agg.mean_coverage;
+      if (frac == 0.20) low_cov = agg.mean_coverage();
+      if (frac == 0.75) high_cov = agg.mean_coverage();
     }
     // The barrier must go from harmless to partitioning across the sweep.
     if (low_cov < 1.0 || high_cov > 0.8) shape_ok = false;

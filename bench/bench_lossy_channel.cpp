@@ -67,7 +67,7 @@ int main() {
         PlacementConfig placement;
         placement.kind = pc.placement;
         const Aggregate agg = run_repeated(cfg, placement, 3);
-        coverages.push_back(agg.mean_coverage);
+        coverages.push_back(agg.mean_coverage());
         wrong += agg.wrong_total;
       }
       table.row()

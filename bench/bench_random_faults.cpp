@@ -8,9 +8,15 @@
 // collapse around the site-percolation regime of the r-ball adjacency graph
 // (well below the 0.41 threshold of nearest-neighbor site percolation for
 // r=1, higher connectivity pushes it up), near-zero coverage beyond.
+//
+// The Monte Carlo sweep runs through the campaign engine: all p_f cells of a
+// radius execute concurrently on the worker pool with per-trial seeds fixed
+// by (cell seed, rep), so the table is identical to the old serial sweep.
 
 #include <iostream>
+#include <vector>
 
+#include "radiobcast/campaign/engine.h"
 #include "radiobcast/core/experiment.h"
 #include "radiobcast/core/reachability.h"
 #include "radiobcast/core/simulation.h"
@@ -24,43 +30,53 @@ int main() {
   bool shape_ok = true;
   for (std::int32_t r = 1; r <= 2; ++r) {
     std::cout << "r=" << r << " (flooding, coverage among honest nodes):\n";
+
+    std::vector<CampaignCell> cells;
+    for (const double p : {0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75,
+                           0.85, 0.92, 0.97}) {
+      CampaignCell cell;
+      cell.sim.r = r;
+      cell.sim.width = cell.sim.height = 8 * r + 4;
+      cell.sim.metric = Metric::kLInf;
+      cell.sim.protocol = ProtocolKind::kCrashFlood;
+      cell.sim.adversary = AdversaryKind::kSilent;
+      cell.sim.seed = 800 + static_cast<std::uint64_t>(p * 100);
+      cell.placement.kind = PlacementKind::kIid;
+      cell.placement.iid_p = p;
+      cell.reps = 5;
+      cells.push_back(cell);
+    }
+    const CampaignResult sweep = run_cells(cells);
+
     Table table({"p_f", "mean coverage", "min coverage",
                  "reachability prediction", "mean faults"});
     double first = -1, last = -1;
-    for (const double p : {0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75,
-                           0.85, 0.92, 0.97}) {
-      SimConfig cfg;
-      cfg.r = r;
-      cfg.width = cfg.height = 8 * r + 4;
-      cfg.metric = Metric::kLInf;
-      cfg.protocol = ProtocolKind::kCrashFlood;
-      cfg.adversary = AdversaryKind::kSilent;
-      cfg.seed = 800 + static_cast<std::uint64_t>(p * 100);
-      PlacementConfig placement;
-      placement.kind = PlacementKind::kIid;
-      placement.iid_p = p;
-      const Aggregate agg = run_repeated(cfg, placement, 5);
+    for (const CellResult& cell : sweep.cells) {
+      const Aggregate& agg = cell.aggregate;
+      const double p = cell.cell.placement.iid_p;
       // Section VII: "the sole criterion for achievability is reachability".
       // Independent BFS prediction over the same placement distribution.
       double reach_sum = 0.0;
       {
-        const Torus torus(cfg.width, cfg.height);
+        const Torus torus(cell.cell.sim.width, cell.cell.sim.height);
         for (int i = 0; i < 5; ++i) {
-          Rng rng(hash_seeds(cfg.seed, static_cast<std::uint64_t>(i)));
-          const FaultSet faults = iid_faults(torus, p, rng, cfg.source);
-          reach_sum += honest_reachability(torus, faults, cfg.source, cfg.r,
-                                           cfg.metric)
+          Rng rng(hash_seeds(cell.cell.sim.seed,
+                             static_cast<std::uint64_t>(i)));
+          const FaultSet faults =
+              iid_faults(torus, p, rng, cell.cell.sim.source);
+          reach_sum += honest_reachability(torus, faults, cell.cell.sim.source,
+                                           r, Metric::kLInf)
                            .fraction();
         }
       }
       table.row()
           .cell(p, 2)
-          .cell(agg.mean_coverage, 4)
+          .cell(agg.mean_coverage(), 4)
           .cell(agg.min_coverage, 4)
           .cell(reach_sum / 5.0, 4)
-          .cell(agg.mean_fault_count, 1);
-      if (first < 0) first = agg.mean_coverage;
-      last = agg.mean_coverage;
+          .cell(agg.mean_fault_count(), 1);
+      if (first < 0) first = agg.mean_coverage();
+      last = agg.mean_coverage();
     }
     table.print(std::cout);
     // Section XI percolation knee (bisection over reachability, 50% target).

@@ -24,35 +24,35 @@ namespace {
 
 using namespace rbcast;
 
+// Short aliases layered over the canonical library parsers; the canonical
+// names (to_string spellings, e.g. "bv-2hop", "checkerboard-strip") are
+// always accepted too.
 bool parse_protocol(const std::string& s, ProtocolKind& out) {
-  if (s == "crash") out = ProtocolKind::kCrashFlood;
-  else if (s == "cpa") out = ProtocolKind::kCpa;
-  else if (s == "bv2") out = ProtocolKind::kBvTwoHop;
-  else if (s == "bv4") out = ProtocolKind::kBvIndirectFlood;
-  else if (s == "bv4e") out = ProtocolKind::kBvIndirectEarmarked;
-  else return false;
-  return true;
+  const std::string canon = s == "crash"  ? "crash-flood"
+                            : s == "bv2"  ? "bv-2hop"
+                            : s == "bv4"  ? "bv-4hop-flood"
+                            : s == "bv4e" ? "bv-4hop-earmarked"
+                                          : s;
+  const auto parsed = protocol_from_string(canon);
+  if (parsed) out = *parsed;
+  return parsed.has_value();
 }
 
 bool parse_adversary(const std::string& s, AdversaryKind& out) {
-  if (s == "silent") out = AdversaryKind::kSilent;
-  else if (s == "lying") out = AdversaryKind::kLying;
-  else if (s == "crash-at-round") out = AdversaryKind::kCrashAtRound;
-  else if (s == "spoofing") out = AdversaryKind::kSpoofing;
-  else if (s == "jamming") out = AdversaryKind::kJamming;
-  else return false;
-  return true;
+  const auto parsed = adversary_from_string(s);
+  if (parsed) out = *parsed;
+  return parsed.has_value();
 }
 
 bool parse_placement(const std::string& s, PlacementKind& out) {
-  if (s == "none") out = PlacementKind::kNone;
-  else if (s == "strip") out = PlacementKind::kFullStrip;
-  else if (s == "punctured") out = PlacementKind::kPuncturedStrip;
-  else if (s == "checkerboard") out = PlacementKind::kCheckerboardStrip;
-  else if (s == "random") out = PlacementKind::kRandomBounded;
-  else if (s == "iid") out = PlacementKind::kIid;
-  else return false;
-  return true;
+  const std::string canon = s == "strip"          ? "full-strip"
+                            : s == "punctured"    ? "punctured-strip"
+                            : s == "checkerboard" ? "checkerboard-strip"
+                            : s == "random"       ? "random-bounded"
+                                                  : s;
+  const auto parsed = placement_from_string(canon);
+  if (parsed) out = *parsed;
+  return parsed.has_value();
 }
 
 }  // namespace
@@ -71,8 +71,12 @@ int main(int argc, char** argv) {
   cfg.r = static_cast<std::int32_t>(args.get_int("r", 2));
   const auto size = static_cast<std::int32_t>(args.get_int("size", 0));
   cfg.width = cfg.height = size > 0 ? size : 8 * cfg.r + 4;
-  cfg.metric = args.get("metric", "linf") == "l2" ? Metric::kL2
-                                                  : Metric::kLInf;
+  if (const auto metric = metric_from_string(args.get("metric", "linf"))) {
+    cfg.metric = *metric;
+  } else {
+    std::cerr << "bad --metric (want linf or l2)\n";
+    return EXIT_FAILURE;
+  }
   const std::int64_t t_arg = args.get_int("t", -1);
   cfg.t = t_arg >= 0 ? t_arg : byz_linf_achievable_max(cfg.r);
   cfg.value = static_cast<std::uint8_t>(args.get_int("value", 1) & 1);
@@ -108,12 +112,12 @@ int main(int argc, char** argv) {
   Table table({"quantity", "value"});
   table.row().cell("runs").cell(agg.runs);
   table.row().cell("successes").cell(agg.successes);
-  table.row().cell("mean coverage").cell(agg.mean_coverage, 4);
+  table.row().cell("mean coverage").cell(agg.mean_coverage(), 4);
   table.row().cell("min coverage").cell(agg.min_coverage, 4);
   table.row().cell("wrong commits (total)").cell(agg.wrong_total);
-  table.row().cell("mean rounds").cell(agg.mean_rounds, 2);
-  table.row().cell("mean transmissions").cell(agg.mean_transmissions, 1);
-  table.row().cell("mean faults placed").cell(agg.mean_fault_count, 1);
+  table.row().cell("mean rounds").cell(agg.mean_rounds(), 2);
+  table.row().cell("mean transmissions").cell(agg.mean_transmissions(), 1);
+  table.row().cell("mean faults placed").cell(agg.mean_fault_count(), 1);
   table.row().cell("worst nbd fault count").cell(agg.max_nbd_faults);
   table.print(std::cout);
 

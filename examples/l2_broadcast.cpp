@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   const Aggregate agg = run_repeated(cfg, placement, reps);
 
   std::cout << "runs " << agg.runs << ", successes " << agg.successes
-            << ", mean coverage " << agg.mean_coverage << ", wrong commits "
+            << ", mean coverage " << agg.mean_coverage() << ", wrong commits "
             << agg.wrong_total << "\n";
   std::cout << "(the 0.23*pi*r^2 estimate assumes large r; small radii are "
                "dominated by the O(r) lattice correction)\n";

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "${repo}/build" -S "${repo}"
+cmake --build "${repo}/build" -j
+ctest --test-dir "${repo}/build" --output-on-failure -j

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Race-check the campaign thread pool: build with -DRADIOBCAST_SANITIZE=thread
+# and run the campaign test suite (which exercises multi-worker determinism)
+# under ThreadSanitizer. Any data race aborts the run with a nonzero exit.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${repo}/build-tsan"
+
+cmake -B "${build}" -S "${repo}" -DRADIOBCAST_SANITIZE=thread >/dev/null
+cmake --build "${build}" --target test_campaign test_experiment -j >/dev/null
+
+TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_campaign"
+TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_experiment" \
+  --gtest_filter='Aggregate.*:RunRepeated.*'
+
+echo "TSan campaign check passed"

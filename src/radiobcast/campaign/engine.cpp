@@ -1,0 +1,155 @@
+#include "radiobcast/campaign/engine.h"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "radiobcast/campaign/thread_pool.h"
+#include "radiobcast/fault/placement.h"
+
+namespace rbcast {
+
+namespace {
+
+/// Runs one trial of a cell under an explicit seed. This is the single trial
+/// code path shared by run_cells, run_repeated and run_repeated_range.
+TrialOutcome run_one_trial(const CampaignCell& cell, const Torus& torus,
+                           std::uint64_t seed) {
+  SimConfig cfg = cell.sim;
+  cfg.seed = seed;
+  Rng rng(cfg.seed);
+  const FaultSet faults = make_faults(cell.placement, torus, cfg.r, cfg.metric,
+                                      cfg.t, cfg.source, rng);
+  const SimResult result = run_simulation(cfg, faults);
+  return summarize_trial(
+      result, static_cast<std::int64_t>(faults.size()),
+      max_closed_nbd_faults(torus, faults, cfg.r, cfg.metric));
+}
+
+struct TrialRef {
+  std::size_t cell = 0;
+  int rep = 0;
+};
+
+}  // namespace
+
+Aggregate CampaignResult::total() const {
+  Aggregate out;
+  for (const CellResult& cell : cells) out.merge(cell.aggregate);
+  return out;
+}
+
+CampaignResult run_cells(const std::vector<CampaignCell>& cells,
+                         const CampaignOptions& options) {
+  CampaignResult result;
+  result.workers_used =
+      options.workers > 0 ? options.workers : ThreadPool::hardware_workers();
+
+  // Flatten to a trial list and precompute every seed up front: seeds depend
+  // only on (cell seed, rep index), never on scheduling.
+  std::vector<TrialRef> trials;
+  std::vector<Torus> tori;
+  tori.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    tori.emplace_back(cells[c].sim.width, cells[c].sim.height);
+    for (int rep = 0; rep < cells[c].reps; ++rep) {
+      trials.push_back({c, rep});
+    }
+  }
+  result.trial_count = trials.size();
+  std::vector<TrialOutcome> outcomes(trials.size());
+  std::vector<std::uint64_t> seeds(trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    seeds[i] = hash_seeds(cells[trials[i].cell].sim.seed,
+                          static_cast<std::uint64_t>(trials[i].rep));
+  }
+
+  std::mutex mutex;  // guards done/first_error and serializes progress calls
+  std::size_t done = 0;
+  std::exception_ptr first_error;
+  const auto run_trial = [&](std::size_t i) {
+    TrialOutcome outcome;
+    std::exception_ptr error;
+    try {
+      outcome = run_one_trial(cells[trials[i].cell], tori[trials[i].cell],
+                              seeds[i]);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const std::lock_guard<std::mutex> lock(mutex);
+    outcomes[i] = outcome;
+    if (error && !first_error) first_error = error;
+    ++done;
+    if (options.progress) options.progress(done, trials.size());
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (result.workers_used <= 1) {
+    for (std::size_t i = 0; i < trials.size(); ++i) run_trial(i);
+  } else {
+    ThreadPool pool(result.workers_used);
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      pool.submit([&run_trial, i] { run_trial(i); });
+    }
+    pool.wait_idle();
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Fold in trial-index order: with the integer-sum Aggregate this makes the
+  // result independent of completion order, hence of the worker count.
+  result.cells.resize(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    result.cells[c].cell = cells[c];
+    result.cells[c].seeds.reserve(
+        static_cast<std::size_t>(cells[c].reps < 0 ? 0 : cells[c].reps));
+  }
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    CellResult& cell = result.cells[trials[i].cell];
+    cell.seeds.push_back(seeds[i]);
+    cell.aggregate.add(outcomes[i]);
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+  return run_cells(spec.expand(), options);
+}
+
+// ---------------------------------------------------------------------------
+// The serial repeated-run API of core/experiment.h, rewired onto the engine
+// so there is exactly one trial runner and one aggregation code path.
+
+Aggregate run_repeated_range(const SimConfig& base,
+                             const PlacementConfig& placement, int first_rep,
+                             int reps) {
+  CampaignCell cell;
+  cell.sim = base;
+  cell.placement = placement;
+  cell.reps = 0;  // trials are driven manually to honor the rep offset
+  const Torus torus(base.width, base.height);
+  Aggregate agg;
+  for (int i = 0; i < reps; ++i) {
+    const std::uint64_t seed =
+        hash_seeds(base.seed, static_cast<std::uint64_t>(first_rep + i));
+    agg.add(run_one_trial(cell, torus, seed));
+  }
+  return agg;
+}
+
+Aggregate run_repeated(const SimConfig& base,
+                       const PlacementConfig& placement, int reps) {
+  CampaignCell cell;
+  cell.sim = base;
+  cell.placement = placement;
+  cell.reps = reps;
+  CampaignOptions options;
+  options.workers = 1;
+  return run_cells({std::move(cell)}, options).cells.front().aggregate;
+}
+
+}  // namespace rbcast

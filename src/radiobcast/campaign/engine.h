@@ -1,0 +1,68 @@
+#pragma once
+// The campaign engine: runs a flat list of campaign cells (or a declarative
+// CampaignSpec) across a worker thread pool and streams per-cell aggregates.
+//
+// Determinism guarantee: results are a pure function of the spec. Each trial
+// derives its seed from (cell seed, rep index) — never from scheduling — and
+// trial outcomes are folded into per-cell aggregates in rep order after the
+// queue drains, with the exactly-mergeable integer-sum Aggregate of
+// core/experiment.h. A campaign therefore produces bit-identical results for
+// any worker count, including 1 (which runs inline, with no threads at all).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "radiobcast/campaign/spec.h"
+#include "radiobcast/core/experiment.h"
+
+namespace rbcast {
+
+struct CampaignOptions {
+  /// Worker threads; <= 0 means ThreadPool::hardware_workers(). 1 runs the
+  /// trials inline on the calling thread.
+  int workers = 0;
+  /// Called after each trial finishes, with (trials done, trials total).
+  /// Invoked under the engine's bookkeeping mutex, so the callback itself
+  /// need not be thread-safe; keep it cheap.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// One cell's outcome: the resolved cell, the per-trial seeds actually used,
+/// and the exact fold of all trial outcomes.
+struct CellResult {
+  CampaignCell cell;
+  std::vector<std::uint64_t> seeds;  // seeds[i] = hash_seeds(cell seed, i)
+  Aggregate aggregate;
+};
+
+struct CampaignResult {
+  std::vector<CellResult> cells;
+  std::size_t trial_count = 0;
+  /// Wall-clock execution stats. Not part of the deterministic payload: the
+  /// report writers exclude them unless asked for a summary.
+  double wall_seconds = 0.0;
+  int workers_used = 0;
+
+  double trials_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(trial_count) / wall_seconds
+                              : 0.0;
+  }
+
+  /// Exact merge of every cell's aggregate.
+  Aggregate total() const;
+};
+
+/// Runs explicit cells. Each cell keeps the seed carried by its SimConfig
+/// (trial i runs under hash_seeds(cell.sim.seed, i)). Exceptions thrown by a
+/// trial (e.g. a torus too small for its radius) are rethrown on the calling
+/// thread after the pool drains.
+CampaignResult run_cells(const std::vector<CampaignCell>& cells,
+                         const CampaignOptions& options = {});
+
+/// Expands the spec and runs it. Equivalent to run_cells(spec.expand()).
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options = {});
+
+}  // namespace rbcast

@@ -1,0 +1,155 @@
+#include "radiobcast/campaign/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "radiobcast/util/table.h"
+
+namespace rbcast {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9007199254740992.0 /* 2^53 */) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+namespace {
+
+void write_params(std::ostream& os, const CampaignCell& cell) {
+  const SimConfig& sim = cell.sim;
+  os << "{\"protocol\":\"" << to_string(sim.protocol) << "\""
+     << ",\"adversary\":\"" << to_string(sim.adversary) << "\""
+     << ",\"placement\":\"" << to_string(cell.placement.kind) << "\""
+     << ",\"width\":" << sim.width << ",\"height\":" << sim.height
+     << ",\"r\":" << sim.r << ",\"metric\":\"" << to_string(sim.metric)
+     << "\",\"t\":" << sim.t << ",\"loss_p\":" << json_number(sim.loss_p)
+     << ",\"retransmissions\":" << sim.retransmissions
+     << ",\"reps\":" << cell.reps << ",\"seed\":" << sim.seed << "}";
+}
+
+void write_aggregate(std::ostream& os, const Aggregate& agg) {
+  os << "{\"runs\":" << agg.runs << ",\"successes\":" << agg.successes
+     << ",\"correct_total\":" << agg.correct_total
+     << ",\"honest_total\":" << agg.honest_total
+     << ",\"wrong_total\":" << agg.wrong_total
+     << ",\"rounds_total\":" << agg.rounds_total
+     << ",\"transmissions_total\":" << agg.transmissions_total
+     << ",\"fault_total\":" << agg.fault_total
+     << ",\"min_coverage\":" << json_number(agg.min_coverage)
+     << ",\"max_nbd_faults\":" << agg.max_nbd_faults
+     << ",\"mean_coverage\":" << json_number(agg.mean_coverage())
+     << ",\"mean_rounds\":" << json_number(agg.mean_rounds())
+     << ",\"mean_transmissions\":" << json_number(agg.mean_transmissions())
+     << ",\"mean_fault_count\":" << json_number(agg.mean_fault_count())
+     << "}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const CampaignResult& result) {
+  os << "{\"schema\":\"radiobcast-campaign-v1\",\"trials\":"
+     << result.trial_count << ",\"cells\":[";
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const CellResult& cell = result.cells[c];
+    if (c > 0) os << ",";
+    os << "\n{\"label\":\"" << json_escape(cell.cell.label)
+       << "\",\"params\":";
+    write_params(os, cell.cell);
+    os << ",\"seeds\":[";
+    for (std::size_t i = 0; i < cell.seeds.size(); ++i) {
+      if (i > 0) os << ",";
+      os << cell.seeds[i];
+    }
+    os << "],\"aggregate\":";
+    write_aggregate(os, cell.aggregate);
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::string to_json(const CampaignResult& result) {
+  std::ostringstream os;
+  write_json(os, result);
+  return os.str();
+}
+
+void write_csv(std::ostream& os, const CampaignResult& result) {
+  os << "label,protocol,adversary,placement,width,height,r,metric,t,loss_p,"
+        "retransmissions,reps,seed,runs,successes,correct_total,honest_total,"
+        "wrong_total,rounds_total,transmissions_total,fault_total,"
+        "min_coverage,max_nbd_faults,mean_coverage,mean_rounds,"
+        "mean_transmissions,mean_fault_count\n";
+  for (const CellResult& cell : result.cells) {
+    const SimConfig& sim = cell.cell.sim;
+    const Aggregate& agg = cell.aggregate;
+    std::string label = cell.cell.label;
+    for (char& c : label) {
+      if (c == ',' || c == '\n') c = ' ';  // keep the CSV single-token simple
+    }
+    os << label << ',' << to_string(sim.protocol) << ','
+       << to_string(sim.adversary) << ',' << to_string(cell.cell.placement.kind)
+       << ',' << sim.width << ',' << sim.height << ',' << sim.r << ','
+       << to_string(sim.metric) << ',' << sim.t << ','
+       << json_number(sim.loss_p) << ',' << sim.retransmissions << ','
+       << cell.cell.reps << ',' << sim.seed << ',' << agg.runs << ','
+       << agg.successes << ',' << agg.correct_total << ',' << agg.honest_total
+       << ',' << agg.wrong_total << ',' << agg.rounds_total << ','
+       << agg.transmissions_total << ',' << agg.fault_total << ','
+       << json_number(agg.min_coverage) << ',' << agg.max_nbd_faults << ','
+       << json_number(agg.mean_coverage()) << ','
+       << json_number(agg.mean_rounds()) << ','
+       << json_number(agg.mean_transmissions()) << ','
+       << json_number(agg.mean_fault_count()) << '\n';
+  }
+}
+
+std::string to_csv(const CampaignResult& result) {
+  std::ostringstream os;
+  write_csv(os, result);
+  return os.str();
+}
+
+void write_summary(std::ostream& os, const CampaignResult& result) {
+  os << "campaign: " << result.cells.size() << " cells, "
+     << result.trial_count << " trials, " << result.workers_used
+     << " worker" << (result.workers_used == 1 ? "" : "s") << ", "
+     << format_double(result.wall_seconds, 3) << " s wall ("
+     << format_double(result.trials_per_second(), 1) << " trials/s)\n";
+}
+
+}  // namespace rbcast

@@ -1,0 +1,91 @@
+#include "radiobcast/campaign/spec.h"
+
+#include <sstream>
+
+#include "radiobcast/util/rng.h"
+#include "radiobcast/util/table.h"
+
+namespace rbcast {
+
+namespace {
+
+template <typename T>
+std::size_t axis_len(const std::vector<T>& axis) {
+  return axis.empty() ? 1 : axis.size();
+}
+
+}  // namespace
+
+std::size_t CampaignSpec::cell_count() const {
+  return axis_len(protocols) * axis_len(adversaries) * axis_len(placements) *
+         axis_len(sides) * axis_len(radii) * axis_len(budgets) *
+         axis_len(loss_ps);
+}
+
+std::size_t CampaignSpec::trial_count() const {
+  return cell_count() * static_cast<std::size_t>(reps < 0 ? 0 : reps);
+}
+
+std::vector<CampaignCell> CampaignSpec::expand() const {
+  std::vector<CampaignCell> cells;
+  cells.reserve(cell_count());
+  std::uint64_t cell_index = 0;
+  for (std::size_t pi = 0; pi < axis_len(protocols); ++pi) {
+    for (std::size_t ai = 0; ai < axis_len(adversaries); ++ai) {
+      for (std::size_t li = 0; li < axis_len(placements); ++li) {
+        for (std::size_t si = 0; si < axis_len(sides); ++si) {
+          for (std::size_t ri = 0; ri < axis_len(radii); ++ri) {
+            for (std::size_t ti = 0; ti < axis_len(budgets); ++ti) {
+              for (std::size_t ei = 0; ei < axis_len(loss_ps); ++ei) {
+                CampaignCell cell;
+                cell.sim = base;
+                cell.placement = placement;
+                cell.reps = reps;
+                std::ostringstream label;
+                const auto tag = [&label](const char* key, auto value) {
+                  if (label.tellp() > 0) label << ' ';
+                  label << key << '=' << value;
+                };
+                if (!protocols.empty()) {
+                  cell.sim.protocol = protocols[pi];
+                  tag("protocol", to_string(cell.sim.protocol));
+                }
+                if (!adversaries.empty()) {
+                  cell.sim.adversary = adversaries[ai];
+                  tag("adversary", to_string(cell.sim.adversary));
+                }
+                if (!placements.empty()) {
+                  cell.placement.kind = placements[li];
+                  tag("placement", to_string(cell.placement.kind));
+                }
+                if (!sides.empty() && sides[si] > 0) {
+                  cell.sim.width = cell.sim.height = sides[si];
+                  tag("side", sides[si]);
+                }
+                if (!radii.empty()) {
+                  cell.sim.r = radii[ri];
+                  tag("r", cell.sim.r);
+                }
+                if (!budgets.empty()) {
+                  cell.sim.t = budgets[ti];
+                  tag("t", cell.sim.t);
+                }
+                if (!loss_ps.empty()) {
+                  cell.sim.loss_p = loss_ps[ei];
+                  tag("loss_p", format_double(loss_ps[ei], 6));
+                }
+                cell.sim.seed = hash_seeds(base_seed, cell_index);
+                cell.label = label.str();
+                cells.push_back(std::move(cell));
+                ++cell_index;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,57 @@
+#pragma once
+// A small fixed-size thread pool with a FIFO work queue, used by the campaign
+// engine to fan simulation trials out across cores.
+//
+// Determinism note: the pool makes no ordering promises — jobs may complete
+// in any order. Campaign determinism is achieved one level up, by giving each
+// trial a seed derived from its index (never from scheduling) and by folding
+// trial outcomes into aggregates in index order after the queue drains.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rbcast {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(int workers);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Jobs must not throw (wrap work that can throw and stash
+  /// the exception; the campaign engine does exactly that).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished executing (not merely been
+  /// dequeued). More jobs may be submitted afterwards.
+  void wait_idle();
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard allows
+  /// it to return 0 when unknown).
+  static int hardware_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // dequeued but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rbcast

@@ -18,9 +18,19 @@ const char* to_string(PlacementKind k) {
   return "?";
 }
 
+std::optional<PlacementKind> placement_from_string(std::string_view name) {
+  for (const PlacementKind k :
+       {PlacementKind::kNone, PlacementKind::kFullStrip,
+        PlacementKind::kPuncturedStrip, PlacementKind::kCheckerboardStrip,
+        PlacementKind::kRandomBounded, PlacementKind::kIid}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
 namespace {
 
-void merge(FaultSet& into, const Torus& torus, const FaultSet& from) {
+void merge_faults(FaultSet& into, const Torus& torus, const FaultSet& from) {
   for (const Coord c : from.sorted()) into.add(torus, c);
 }
 
@@ -44,18 +54,19 @@ FaultSet make_faults(const PlacementConfig& placement, const Torus& torus,
       break;
     case PlacementKind::kFullStrip:
       for (const std::int32_t x : positions) {
-        merge(out, torus, full_strip(torus, x, width, source));
+        merge_faults(out, torus, full_strip(torus, x, width, source));
       }
       break;
     case PlacementKind::kPuncturedStrip:
       for (const std::int32_t x : positions) {
-        merge(out, torus, punctured_strip(torus, x, width, period, source));
+        merge_faults(out, torus,
+                     punctured_strip(torus, x, width, period, source));
       }
       break;
     case PlacementKind::kCheckerboardStrip:
       for (const std::int32_t x : positions) {
-        merge(out, torus, checkerboard_strip(torus, x, width, /*parity=*/0,
-                                             source));
+        merge_faults(out, torus, checkerboard_strip(torus, x, width,
+                                                    /*parity=*/0, source));
       }
       break;
     case PlacementKind::kRandomBounded: {
@@ -77,36 +88,73 @@ FaultSet make_faults(const PlacementConfig& placement, const Torus& torus,
   return out;
 }
 
-Aggregate run_repeated(const SimConfig& base,
-                       const PlacementConfig& placement, int reps) {
-  Aggregate agg;
-  Torus torus(base.width, base.height);
-  for (int i = 0; i < reps; ++i) {
-    SimConfig cfg = base;
-    cfg.seed = hash_seeds(base.seed, static_cast<std::uint64_t>(i));
-    Rng rng(cfg.seed);
-    const FaultSet faults = make_faults(placement, torus, cfg.r, cfg.metric,
-                                        cfg.t, cfg.source, rng);
-    const SimResult result = run_simulation(cfg, faults);
-    agg.runs += 1;
-    agg.successes += result.success() ? 1 : 0;
-    agg.mean_coverage += result.coverage();
-    agg.min_coverage = std::min(agg.min_coverage, result.coverage());
-    agg.wrong_total += result.wrong_commits;
-    agg.mean_rounds += static_cast<double>(result.rounds);
-    agg.mean_transmissions += static_cast<double>(result.transmissions);
-    agg.mean_fault_count += static_cast<double>(faults.size());
-    agg.max_nbd_faults =
-        std::max(agg.max_nbd_faults,
-                 max_closed_nbd_faults(torus, faults, cfg.r, cfg.metric));
-  }
-  if (agg.runs > 0) {
-    agg.mean_coverage /= agg.runs;
-    agg.mean_rounds /= agg.runs;
-    agg.mean_transmissions /= agg.runs;
-    agg.mean_fault_count /= agg.runs;
-  }
-  return agg;
+TrialOutcome summarize_trial(const SimResult& result, std::int64_t fault_count,
+                             std::int64_t nbd_faults) {
+  TrialOutcome out;
+  out.honest_nodes = result.honest_nodes;
+  out.correct_commits = result.correct_commits;
+  out.wrong_commits = result.wrong_commits;
+  out.rounds = result.rounds;
+  out.transmissions = result.transmissions;
+  out.fault_count = fault_count;
+  out.nbd_faults = nbd_faults;
+  out.success = result.success();
+  out.coverage = result.coverage();
+  return out;
 }
+
+void Aggregate::add(const TrialOutcome& trial) {
+  runs += 1;
+  successes += trial.success ? 1 : 0;
+  correct_total += trial.correct_commits;
+  honest_total += trial.honest_nodes;
+  wrong_total += trial.wrong_commits;
+  rounds_total += trial.rounds;
+  transmissions_total += trial.transmissions;
+  fault_total += trial.fault_count;
+  min_coverage = std::min(min_coverage, trial.coverage);
+  max_nbd_faults = std::max(max_nbd_faults, trial.nbd_faults);
+}
+
+void Aggregate::merge(const Aggregate& other) {
+  runs += other.runs;
+  successes += other.successes;
+  correct_total += other.correct_total;
+  honest_total += other.honest_total;
+  wrong_total += other.wrong_total;
+  rounds_total += other.rounds_total;
+  transmissions_total += other.transmissions_total;
+  fault_total += other.fault_total;
+  min_coverage = std::min(min_coverage, other.min_coverage);
+  max_nbd_faults = std::max(max_nbd_faults, other.max_nbd_faults);
+}
+
+double Aggregate::mean_coverage() const {
+  return honest_total == 0 ? 1.0
+                           : static_cast<double>(correct_total) /
+                                 static_cast<double>(honest_total);
+}
+
+double Aggregate::mean_rounds() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(rounds_total) /
+                         static_cast<double>(runs);
+}
+
+double Aggregate::mean_transmissions() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(transmissions_total) /
+                         static_cast<double>(runs);
+}
+
+double Aggregate::mean_fault_count() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(fault_total) /
+                         static_cast<double>(runs);
+}
+
+// run_repeated / run_repeated_range are defined in campaign/engine.cpp on top
+// of the campaign engine so the serial and parallel sweeps share one trial
+// runner and one aggregation code path.
 
 }  // namespace rbcast

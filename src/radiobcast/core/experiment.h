@@ -11,6 +11,8 @@
 // 3*width/4, enclosing the region opposite the source).
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "radiobcast/core/simulation.h"
@@ -29,6 +31,9 @@ enum class PlacementKind : std::uint8_t {
 };
 
 const char* to_string(PlacementKind k);
+
+/// Inverse of to_string(PlacementKind). Returns nullopt for unknown names.
+std::optional<PlacementKind> placement_from_string(std::string_view name);
 
 struct PlacementConfig {
   PlacementKind kind = PlacementKind::kNone;
@@ -49,24 +54,74 @@ FaultSet make_faults(const PlacementConfig& placement, const Torus& torus,
                      std::int32_t r, Metric m, std::int64_t t, Coord source,
                      Rng& rng);
 
+/// Compact summary of one simulation trial — everything the aggregator needs,
+/// without retaining the per-node vectors of SimResult. The campaign engine
+/// stores one of these per trial so aggregates can be folded in trial order
+/// regardless of which worker thread finished first.
+struct TrialOutcome {
+  std::int64_t honest_nodes = 0;
+  std::int64_t correct_commits = 0;
+  std::int64_t wrong_commits = 0;
+  std::int64_t rounds = 0;
+  std::uint64_t transmissions = 0;
+  std::int64_t fault_count = 0;
+  std::int64_t nbd_faults = 0;  // worst closed-neighborhood fault count
+  bool success = false;
+  double coverage = 1.0;
+};
+
+/// Summarizes one SimResult (plus the fault-set statistics of the run it was
+/// scored against) into the aggregation record.
+TrialOutcome summarize_trial(const SimResult& result, std::int64_t fault_count,
+                             std::int64_t nbd_faults);
+
 /// Aggregated outcome of `runs` simulations that differ only in seed.
+///
+/// All accumulated quantities are *sums of integers* (coverage is pooled:
+/// total correct commits over total honest nodes), so merging two aggregates
+/// is exact and associative: run_repeated(reps=a) ⊕ run_repeated(reps=b over
+/// the continuation seeds) equals run_repeated(reps=a+b) bit for bit. This is
+/// what lets the parallel campaign engine combine per-trial partials in any
+/// grouping and still produce results identical to a serial run.
 struct Aggregate {
   int runs = 0;
   int successes = 0;              // full coverage, no wrong commits
-  double mean_coverage = 0.0;
-  double min_coverage = 1.0;
-  std::int64_t wrong_total = 0;   // honest wrong commits across all runs
-  double mean_rounds = 0.0;
-  double mean_transmissions = 0.0;
-  double mean_fault_count = 0.0;
+  std::int64_t correct_total = 0;  // honest correct commits across all runs
+  std::int64_t honest_total = 0;   // honest (non-source) nodes across all runs
+  std::int64_t wrong_total = 0;    // honest wrong commits across all runs
+  std::int64_t rounds_total = 0;
+  std::uint64_t transmissions_total = 0;
+  std::int64_t fault_total = 0;     // faults placed across all runs
+  double min_coverage = 1.0;        // worst single-run coverage
   std::int64_t max_nbd_faults = 0;  // worst closed-neighborhood fault count
+
+  /// Folds one trial into the aggregate.
+  void add(const TrialOutcome& trial);
+
+  /// Exact, associative combination of two aggregates (disjoint run sets).
+  void merge(const Aggregate& other);
+
+  /// Pooled coverage: correct commits / honest-node slots over all runs.
+  double mean_coverage() const;
+  double mean_rounds() const;
+  double mean_transmissions() const;
+  double mean_fault_count() const;
 
   bool all_success() const { return successes == runs; }
 };
 
-/// Runs `reps` simulations with seeds base.seed, base.seed+1, ... and fresh
-/// fault placements, and aggregates.
+/// Runs `reps` simulations with seeds hash_seeds(base.seed, 0.. reps-1) and
+/// fresh fault placements, and aggregates. Defined in campaign/engine.cpp:
+/// this is a one-cell campaign on the serial path, so the repeated-run and
+/// campaign code paths share one trial runner and one aggregation routine.
 Aggregate run_repeated(const SimConfig& base, const PlacementConfig& placement,
                        int reps);
+
+/// As run_repeated, but over the rep window [first_rep, first_rep + reps):
+/// trial i uses seed hash_seeds(base.seed, first_rep + i). Splitting a run
+/// into ranges and merging the aggregates reproduces the unsplit run exactly.
+Aggregate run_repeated_range(const SimConfig& base,
+                             const PlacementConfig& placement, int first_rep,
+                             int reps);
 
 }  // namespace rbcast

@@ -52,6 +52,25 @@ const char* to_string(AdversaryKind k) {
   return "?";
 }
 
+std::optional<ProtocolKind> protocol_from_string(std::string_view name) {
+  for (const ProtocolKind k :
+       {ProtocolKind::kCrashFlood, ProtocolKind::kCpa, ProtocolKind::kBvTwoHop,
+        ProtocolKind::kBvIndirectFlood, ProtocolKind::kBvIndirectEarmarked}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<AdversaryKind> adversary_from_string(std::string_view name) {
+  for (const AdversaryKind k :
+       {AdversaryKind::kSilent, AdversaryKind::kLying,
+        AdversaryKind::kCrashAtRound, AdversaryKind::kSpoofing,
+        AdversaryKind::kJamming}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 std::unique_ptr<NodeBehavior> make_honest(const SimConfig& cfg,

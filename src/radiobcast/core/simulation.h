@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "radiobcast/fault/fault_set.h"
@@ -28,6 +29,9 @@ enum class ProtocolKind : std::uint8_t {
 
 const char* to_string(ProtocolKind k);
 
+/// Inverse of to_string(ProtocolKind). Returns nullopt for unknown names.
+std::optional<ProtocolKind> protocol_from_string(std::string_view name);
+
 enum class AdversaryKind : std::uint8_t {
   kSilent,        // crash-from-start / silent Byzantine
   kLying,         // pushes the complement value, forges reports
@@ -38,6 +42,9 @@ enum class AdversaryKind : std::uint8_t {
 };
 
 const char* to_string(AdversaryKind k);
+
+/// Inverse of to_string(AdversaryKind). Returns nullopt for unknown names.
+std::optional<AdversaryKind> adversary_from_string(std::string_view name);
 
 struct SimConfig {
   std::int32_t width = 20;

@@ -9,6 +9,12 @@ const char* to_string(Metric m) {
   return m == Metric::kLInf ? "Linf" : "L2";
 }
 
+std::optional<Metric> metric_from_string(std::string_view name) {
+  if (name == "Linf" || name == "linf") return Metric::kLInf;
+  if (name == "L2" || name == "l2") return Metric::kL2;
+  return std::nullopt;
+}
+
 std::int64_t neighborhood_size(std::int32_t r, Metric m) {
   if (r < 0) return 0;
   if (m == Metric::kLInf) {

@@ -11,6 +11,8 @@
 // containment decision.
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "radiobcast/grid/coord.h"
 
@@ -19,6 +21,10 @@ namespace rbcast {
 enum class Metric : std::uint8_t { kLInf, kL2 };
 
 const char* to_string(Metric m);
+
+/// Inverse of to_string(Metric), case-insensitive on the common spellings
+/// ("Linf"/"linf", "L2"/"l2"). Returns nullopt for unknown names.
+std::optional<Metric> metric_from_string(std::string_view name);
 
 /// Chebyshev length of a displacement (the L∞ norm).
 constexpr std::int32_t linf_norm(Offset o) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 namespace rbcast {
@@ -19,10 +20,13 @@ NeighborhoodTable::NeighborhoodTable(std::int32_t r, Metric m) : r_(r), m_(m) {
 
 const NeighborhoodTable& NeighborhoodTable::get(std::int32_t r, Metric m) {
   // Keyed cache; entries are immutable once constructed. unique_ptr keeps
-  // addresses stable across map growth.
+  // addresses stable across map growth. The mutex covers the lookup/insert:
+  // campaign worker threads hit this cache concurrently.
+  static std::mutex mutex;
   static std::map<std::pair<std::int32_t, int>,
                   std::unique_ptr<NeighborhoodTable>>
       cache;
+  const std::lock_guard<std::mutex> lock(mutex);
   const auto key = std::make_pair(r, static_cast<int>(m));
   auto it = cache.find(key);
   if (it == cache.end()) {

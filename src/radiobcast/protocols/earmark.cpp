@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "radiobcast/grid/metric.h"
 #include "radiobcast/paths/construction.h"
@@ -47,7 +48,10 @@ EarmarkPlan::EarmarkPlan(std::int32_t r) {
 }
 
 const EarmarkPlan& EarmarkPlan::get(std::int32_t r) {
+  // Guarded: campaign worker threads may instantiate plans concurrently.
+  static std::mutex mutex;
   static std::map<std::int32_t, std::unique_ptr<EarmarkPlan>> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(r);
   if (it == cache.end()) {
     it = cache.emplace(r, std::unique_ptr<EarmarkPlan>(new EarmarkPlan(r)))

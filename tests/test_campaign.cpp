@@ -1,0 +1,270 @@
+// Campaign-engine tests: spec expansion, the thread pool, worker-count
+// determinism (including the byte-identical-JSON contract the report layer
+// promises), error propagation, and the JSON/CSV sinks.
+//
+// The determinism cases here are the ones scripts/check_tsan.sh runs under
+// -fsanitize=thread to race-check the pool.
+
+#include "radiobcast/campaign/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "radiobcast/campaign/report.h"
+#include "radiobcast/campaign/spec.h"
+#include "radiobcast/campaign/thread_pool.h"
+
+namespace rbcast {
+namespace {
+
+// A ≥200-trial random-fault threshold sweep, small enough to run in seconds:
+// 5 budgets x 40 reps on a 12x12 torus at r=1.
+CampaignSpec random_fault_sweep() {
+  CampaignSpec spec;
+  spec.base.width = spec.base.height = 12;
+  spec.base.r = 1;
+  spec.base.protocol = ProtocolKind::kCrashFlood;
+  spec.base.adversary = AdversaryKind::kSilent;
+  spec.placement.random_target = -1;
+  spec.placements = {PlacementKind::kRandomBounded};
+  spec.budgets = {0, 1, 2, 3, 4};
+  spec.reps = 40;
+  spec.base_seed = 2026;
+  return spec;
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  // The pool is reusable after wait_idle.
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 110);
+}
+
+TEST(ThreadPool, HardwareWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_workers(), 1);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(CampaignSpec, ExpandIsCartesianWithBaseDefaults) {
+  CampaignSpec spec;
+  spec.protocols = {ProtocolKind::kCrashFlood, ProtocolKind::kCpa};
+  spec.budgets = {1, 2, 3};
+  spec.reps = 4;
+  spec.base.width = spec.base.height = 16;
+  EXPECT_EQ(spec.cell_count(), 6u);
+  EXPECT_EQ(spec.trial_count(), 24u);
+  const std::vector<CampaignCell> cells = spec.expand();
+  ASSERT_EQ(cells.size(), 6u);
+  // Protocol is the slower axis; budgets cycle fastest.
+  EXPECT_EQ(cells[0].sim.protocol, ProtocolKind::kCrashFlood);
+  EXPECT_EQ(cells[0].sim.t, 1);
+  EXPECT_EQ(cells[2].sim.t, 3);
+  EXPECT_EQ(cells[3].sim.protocol, ProtocolKind::kCpa);
+  EXPECT_EQ(cells[3].sim.t, 1);
+  // Unswept values come from the base config.
+  EXPECT_EQ(cells[5].sim.width, 16);
+  EXPECT_EQ(cells[5].reps, 4);
+  // Labels name only the swept axes.
+  EXPECT_EQ(cells[0].label, "protocol=crash-flood t=1");
+  // Cell seeds are distinct and deterministic.
+  std::set<std::uint64_t> seeds;
+  for (const CampaignCell& cell : cells) seeds.insert(cell.sim.seed);
+  EXPECT_EQ(seeds.size(), cells.size());
+  EXPECT_EQ(cells[0].sim.seed, hash_seeds(spec.base_seed, 0));
+  EXPECT_EQ(cells[5].sim.seed, hash_seeds(spec.base_seed, 5));
+}
+
+TEST(CampaignSpec, EmptyAxesYieldOneBaseCell) {
+  CampaignSpec spec;
+  spec.reps = 2;
+  EXPECT_EQ(spec.cell_count(), 1u);
+  const std::vector<CampaignCell> cells = spec.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].label, "");
+  EXPECT_EQ(cells[0].sim.protocol, spec.base.protocol);
+}
+
+TEST(CampaignEngine, RunRepeatedUnchangedByRewire) {
+  // The engine-backed run_repeated must reproduce the historical seed
+  // stream hash_seeds(base.seed, rep): spot-check against a hand-rolled
+  // serial loop over the same seeds.
+  SimConfig cfg;
+  cfg.width = cfg.height = 12;
+  cfg.r = 1;
+  cfg.protocol = ProtocolKind::kCrashFlood;
+  cfg.t = 2;
+  cfg.seed = 7;
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kRandomBounded;
+  placement.random_target = 5;
+  const Aggregate agg = run_repeated(cfg, placement, 4);
+
+  Aggregate manual;
+  const Torus torus(cfg.width, cfg.height);
+  for (int i = 0; i < 4; ++i) {
+    SimConfig trial = cfg;
+    trial.seed = hash_seeds(cfg.seed, static_cast<std::uint64_t>(i));
+    Rng rng(trial.seed);
+    const FaultSet faults = make_faults(placement, torus, trial.r,
+                                        trial.metric, trial.t, trial.source,
+                                        rng);
+    const SimResult result = run_simulation(trial, faults);
+    manual.add(summarize_trial(
+        result, static_cast<std::int64_t>(faults.size()),
+        max_closed_nbd_faults(torus, faults, trial.r, trial.metric)));
+  }
+  EXPECT_EQ(agg.runs, manual.runs);
+  EXPECT_EQ(agg.successes, manual.successes);
+  EXPECT_EQ(agg.correct_total, manual.correct_total);
+  EXPECT_EQ(agg.transmissions_total, manual.transmissions_total);
+  EXPECT_EQ(agg.fault_total, manual.fault_total);
+  EXPECT_EQ(agg.min_coverage, manual.min_coverage);
+}
+
+TEST(CampaignEngine, DeterministicAcrossWorkerCounts) {
+  // Acceptance bar for the subsystem: a ≥200-trial random-fault sweep yields
+  // identical per-cell aggregates and seeds at 1 worker and at 8.
+  const CampaignSpec spec = random_fault_sweep();
+  ASSERT_GE(spec.trial_count(), 200u);
+
+  CampaignOptions serial;
+  serial.workers = 1;
+  CampaignOptions parallel;
+  parallel.workers = 8;
+  const CampaignResult a = run_campaign(spec, serial);
+  const CampaignResult b = run_campaign(spec, parallel);
+
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  EXPECT_EQ(a.trial_count, b.trial_count);
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    EXPECT_EQ(a.cells[c].seeds, b.cells[c].seeds) << "cell " << c;
+    const Aggregate& x = a.cells[c].aggregate;
+    const Aggregate& y = b.cells[c].aggregate;
+    EXPECT_EQ(x.runs, y.runs) << "cell " << c;
+    EXPECT_EQ(x.successes, y.successes) << "cell " << c;
+    EXPECT_EQ(x.correct_total, y.correct_total) << "cell " << c;
+    EXPECT_EQ(x.honest_total, y.honest_total) << "cell " << c;
+    EXPECT_EQ(x.wrong_total, y.wrong_total) << "cell " << c;
+    EXPECT_EQ(x.rounds_total, y.rounds_total) << "cell " << c;
+    EXPECT_EQ(x.transmissions_total, y.transmissions_total) << "cell " << c;
+    EXPECT_EQ(x.fault_total, y.fault_total) << "cell " << c;
+    EXPECT_EQ(x.min_coverage, y.min_coverage) << "cell " << c;
+    EXPECT_EQ(x.max_nbd_faults, y.max_nbd_faults) << "cell " << c;
+  }
+  // The exported artifacts are byte-identical: the payload excludes
+  // wall-clock and worker-count stats by design.
+  EXPECT_EQ(to_json(a), to_json(b));
+  EXPECT_EQ(to_csv(a), to_csv(b));
+}
+
+TEST(CampaignEngine, ProgressReportsEveryTrialOnce) {
+  CampaignSpec spec = random_fault_sweep();
+  spec.budgets = {2};
+  spec.reps = 12;
+  CampaignOptions options;
+  options.workers = 4;
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  options.progress = [&](std::size_t done, std::size_t total) {
+    // Serialized by the engine's mutex: done increments by exactly 1.
+    EXPECT_EQ(done, last_done + 1);
+    EXPECT_EQ(total, 12u);
+    last_done = done;
+    ++calls;
+  };
+  const CampaignResult result = run_campaign(spec, options);
+  EXPECT_EQ(calls, 12u);
+  EXPECT_EQ(last_done, 12u);
+  EXPECT_EQ(result.trial_count, 12u);
+  EXPECT_EQ(result.workers_used, 4);
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+TEST(CampaignEngine, TrialExceptionsPropagateToCaller) {
+  CampaignCell bad;
+  bad.sim.width = bad.sim.height = 6;  // below the 4r+2 floor for r=2
+  bad.sim.r = 2;
+  bad.reps = 3;
+  for (const int workers : {1, 4}) {
+    CampaignOptions options;
+    options.workers = workers;
+    EXPECT_THROW(run_cells({bad}, options), std::invalid_argument)
+        << workers << " workers";
+  }
+}
+
+TEST(CampaignEngine, TotalMergesAllCells) {
+  CampaignSpec spec = random_fault_sweep();
+  spec.reps = 3;
+  const CampaignResult result = run_campaign(spec, {});
+  const Aggregate total = result.total();
+  EXPECT_EQ(total.runs, static_cast<int>(result.trial_count));
+  std::int64_t rounds = 0;
+  for (const CellResult& cell : result.cells) {
+    rounds += cell.aggregate.rounds_total;
+  }
+  EXPECT_EQ(total.rounds_total, rounds);
+}
+
+TEST(CampaignReport, JsonShapeAndEscaping) {
+  CampaignSpec spec;
+  spec.base.width = spec.base.height = 12;
+  spec.base.r = 1;
+  spec.base.protocol = ProtocolKind::kCrashFlood;
+  spec.placements = {PlacementKind::kNone};
+  spec.reps = 2;
+  const CampaignResult result = run_campaign(spec, {});
+  const std::string json = to_json(result);
+  EXPECT_NE(json.find("\"schema\":\"radiobcast-campaign-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"trials\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"protocol\":\"crash-flood\""), std::string::npos);
+  EXPECT_NE(json.find("\"placement\":\"none\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos);
+  // Fault-free flooding covers everything.
+  EXPECT_NE(json.find("\"mean_coverage\":1"), std::string::npos);
+  // Timing stats must not leak into the deterministic payload.
+  EXPECT_EQ(json.find("wall"), std::string::npos);
+  EXPECT_EQ(json.find("workers"), std::string::npos);
+
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(-41.0), "-41");
+  EXPECT_EQ(json_number(0.5), "0.5");
+}
+
+TEST(CampaignReport, CsvHasHeaderPlusOneRowPerCell) {
+  CampaignSpec spec = random_fault_sweep();
+  spec.budgets = {0, 1};
+  spec.reps = 2;
+  const CampaignResult result = run_campaign(spec, {});
+  const std::string csv = to_csv(result);
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1u + result.cells.size());
+  EXPECT_EQ(csv.compare(0, 5, "label"), 0);
+  EXPECT_NE(csv.find("crash-flood"), std::string::npos);
+  EXPECT_NE(csv.find("random-bounded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rbcast

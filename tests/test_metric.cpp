@@ -86,6 +86,17 @@ TEST(Metric, ToStringNames) {
   EXPECT_STREQ(to_string(Metric::kL2), "L2");
 }
 
+TEST(Metric, FromStringRoundTrip) {
+  for (const Metric m : {Metric::kLInf, Metric::kL2}) {
+    const auto parsed = metric_from_string(to_string(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_EQ(metric_from_string("linf"), Metric::kLInf);
+  EXPECT_EQ(metric_from_string("l2"), Metric::kL2);
+  EXPECT_FALSE(metric_from_string("manhattan").has_value());
+}
+
 TEST(Coord, ArithmeticAndComparison) {
   const Coord a{2, 3};
   const Offset o{-1, 4};

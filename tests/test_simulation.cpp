@@ -122,6 +122,31 @@ TEST(Simulation, ProtocolAndAdversaryNames) {
   EXPECT_STREQ(to_string(AdversaryKind::kCrashAtRound), "crash-at-round");
 }
 
+TEST(Simulation, ProtocolFromStringRoundTrip) {
+  for (const ProtocolKind k :
+       {ProtocolKind::kCrashFlood, ProtocolKind::kCpa, ProtocolKind::kBvTwoHop,
+        ProtocolKind::kBvIndirectFlood,
+        ProtocolKind::kBvIndirectEarmarked}) {
+    const auto parsed = protocol_from_string(to_string(k));
+    ASSERT_TRUE(parsed.has_value()) << to_string(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(protocol_from_string("bv-9hop").has_value());
+  EXPECT_FALSE(protocol_from_string("").has_value());
+}
+
+TEST(Simulation, AdversaryFromStringRoundTrip) {
+  for (const AdversaryKind k :
+       {AdversaryKind::kSilent, AdversaryKind::kLying,
+        AdversaryKind::kCrashAtRound, AdversaryKind::kSpoofing,
+        AdversaryKind::kJamming}) {
+    const auto parsed = adversary_from_string(to_string(k));
+    ASSERT_TRUE(parsed.has_value()) << to_string(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(adversary_from_string("polite").has_value());
+}
+
 TEST(Simulation, AllProtocolsRunFaultFree) {
   for (const ProtocolKind kind :
        {ProtocolKind::kCrashFlood, ProtocolKind::kCpa, ProtocolKind::kBvTwoHop,

@@ -41,7 +41,7 @@ TEST(Thresholds, CrashStopFlipsExactlyAtR2rPlus1) {
                                      ProtocolKind::kCrashFlood,
                                      PlacementKind::kFullStrip, false);
     EXPECT_FALSE(at.all_success()) << "r=" << r;
-    EXPECT_LT(at.mean_coverage, 1.0) << "r=" << r;
+    EXPECT_LT(at.mean_coverage(), 1.0) << "r=" << r;
 
     // t = r(2r+1) - 1: the densest barrier we can build leaks.
     const Aggregate below = run_barrier(r, crash_linf_achievable_max(r),
@@ -58,8 +58,8 @@ TEST(Thresholds, CrashStopPartitionBlocksRegionBetweenStrips) {
                                     PlacementKind::kFullStrip, false);
   // The enclosed region (between the strips, opposite the source) is roughly
   // (width/2 - r)/width of the torus; coverage should sit near the remainder.
-  EXPECT_LT(agg.mean_coverage, 0.75);
-  EXPECT_GT(agg.mean_coverage, 0.35);
+  EXPECT_LT(agg.mean_coverage(), 0.75);
+  EXPECT_GT(agg.mean_coverage(), 0.35);
 }
 
 // ---------------------------------------------------------------------------
