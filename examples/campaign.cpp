@@ -74,6 +74,10 @@ int usage(const char* msg) {
       << "  --iid-p=P --trim=B  placement knobs\n"
       << "  --reps=N --seed=S   repetitions per cell / campaign base seed\n"
       << "  --workers=N         worker threads (default: hardware)\n"
+      << "  --counters          add observability-counter columns to the "
+         "table\n"
+      << "  --trace-dir=DIR     write one JSONL round trace per trial "
+         "(docs/OBSERVABILITY.md)\n"
       << "  --json=FILE --csv=FILE --quiet\n";
   return EXIT_FAILURE;
 }
@@ -84,7 +88,8 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"protocols", "adversaries", "placements", "r", "t",
                       "size", "loss", "metric", "iid-p", "trim", "reps",
-                      "seed", "workers", "json", "csv", "quiet", "help"});
+                      "seed", "workers", "json", "csv", "quiet", "help",
+                      "counters", "trace-dir"});
   if (!args.ok()) return usage(args.error().c_str());
   if (args.get_bool("help", false)) return usage("radiobcast-campaign");
 
@@ -154,6 +159,8 @@ int main(int argc, char** argv) {
 
   CampaignOptions options;
   options.workers = static_cast<int>(args.get_int("workers", 0));
+  options.trace_dir = args.get("trace-dir", "");
+  const bool show_counters = args.get_bool("counters", false);
   const bool quiet = args.get_bool("quiet", false);
   std::size_t last_percent = 0;
   if (!quiet) {
@@ -184,12 +191,22 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
 
-  Table table({"cell", "protocol", "adversary", "placement", "r", "t",
-               "success", "mean coverage", "wrong", "mean faults"});
+  std::vector<std::string> headers = {"cell", "protocol", "adversary",
+                                      "placement", "r", "t", "success",
+                                      "mean coverage", "wrong", "mean faults"};
+  if (show_counters) {
+    // Per-trial means of the summed observability counters (exact sums live
+    // in the JSON/CSV exports; the table shows per-trial rates).
+    for (const char* h : {"committed/trial", "heard/trial", "delivered/trial",
+                          "dropped/trial", "commits/trial", "last commit"}) {
+      headers.push_back(h);
+    }
+  }
+  Table table(headers);
   for (const CellResult& cell : result.cells) {
     const Aggregate& agg = cell.aggregate;
-    table.row()
-        .cell(cell.cell.label.empty() ? "-" : cell.cell.label)
+    Table& row = table.row();
+    row.cell(cell.cell.label.empty() ? "-" : cell.cell.label)
         .cell(to_string(cell.cell.sim.protocol))
         .cell(to_string(cell.cell.sim.adversary))
         .cell(to_string(cell.cell.placement.kind))
@@ -199,6 +216,16 @@ int main(int argc, char** argv) {
         .cell(agg.mean_coverage(), 4)
         .cell(agg.wrong_total)
         .cell(agg.mean_fault_count(), 1);
+    if (show_counters) {
+      const Counters& c = agg.counters_total;
+      const double n = agg.runs > 0 ? static_cast<double>(agg.runs) : 1.0;
+      row.cell(static_cast<double>(c.committed_queued) / n, 1)
+          .cell(static_cast<double>(c.heard_queued) / n, 1)
+          .cell(static_cast<double>(c.envelopes_delivered) / n, 1)
+          .cell(static_cast<double>(c.envelopes_dropped) / n, 1)
+          .cell(static_cast<double>(c.commits) / n, 1)
+          .cell(c.last_commit_round);
+    }
   }
   table.print(std::cout);
   write_summary(std::cout, result);

@@ -1,8 +1,12 @@
 #include "radiobcast/campaign/engine.h"
 
 #include <chrono>
+#include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 
 #include "radiobcast/campaign/thread_pool.h"
@@ -14,14 +18,17 @@ namespace {
 
 /// Runs one trial of a cell under an explicit seed. This is the single trial
 /// code path shared by run_cells, run_repeated and run_repeated_range.
+/// `trace` may be null (the default: no tracing, no overhead).
 TrialOutcome run_one_trial(const CampaignCell& cell, const Torus& torus,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, RoundTrace* trace = nullptr) {
   SimConfig cfg = cell.sim;
   cfg.seed = seed;
   Rng rng(cfg.seed);
   const FaultSet faults = make_faults(cell.placement, torus, cfg.r, cfg.metric,
                                       cfg.t, cfg.source, rng);
-  const SimResult result = run_simulation(cfg, faults);
+  ObsOptions obs;
+  obs.trace = trace;
+  const SimResult result = run_simulation(cfg, faults, obs);
   return summarize_trial(
       result, static_cast<std::int64_t>(faults.size()),
       max_closed_nbd_faults(torus, faults, cfg.r, cfg.metric));
@@ -31,6 +38,14 @@ struct TrialRef {
   std::size_t cell = 0;
   int rep = 0;
 };
+
+/// Deterministic per-trial trace path: trial_c<cell>_r<rep>.jsonl.
+std::filesystem::path trace_path(const std::string& dir, std::size_t cell,
+                                 int rep) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "trial_c%04zu_r%04d.jsonl", cell, rep);
+  return std::filesystem::path(dir) / name;
+}
 
 }  // namespace
 
@@ -65,6 +80,11 @@ CampaignResult run_cells(const std::vector<CampaignCell>& cells,
                           static_cast<std::uint64_t>(trials[i].rep));
   }
 
+  const bool tracing = !options.trace_dir.empty();
+  if (tracing) {
+    std::filesystem::create_directories(options.trace_dir);
+  }
+
   std::mutex mutex;  // guards done/first_error and serializes progress calls
   std::size_t done = 0;
   std::exception_ptr first_error;
@@ -72,8 +92,24 @@ CampaignResult run_cells(const std::vector<CampaignCell>& cells,
     TrialOutcome outcome;
     std::exception_ptr error;
     try {
-      outcome = run_one_trial(cells[trials[i].cell], tori[trials[i].cell],
-                              seeds[i]);
+      if (tracing) {
+        // A fresh sink per trial; each worker writes its own file, so no
+        // cross-thread coordination is needed and contents depend only on
+        // the trial (hence on the spec), never on scheduling.
+        RoundTrace trace(options.trace_capacity);
+        outcome = run_one_trial(cells[trials[i].cell], tori[trials[i].cell],
+                                seeds[i], &trace);
+        const auto path =
+            trace_path(options.trace_dir, trials[i].cell, trials[i].rep);
+        std::ofstream os(path, std::ios::binary);
+        if (!os) {
+          throw std::runtime_error("cannot write trace file " + path.string());
+        }
+        trace.write_jsonl(os);
+      } else {
+        outcome = run_one_trial(cells[trials[i].cell], tori[trials[i].cell],
+                                seeds[i]);
+      }
     } catch (...) {
       error = std::current_exception();
     }

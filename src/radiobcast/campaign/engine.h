@@ -12,10 +12,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "radiobcast/campaign/spec.h"
 #include "radiobcast/core/experiment.h"
+#include "radiobcast/obs/trace.h"
 
 namespace rbcast {
 
@@ -27,6 +29,15 @@ struct CampaignOptions {
   /// Invoked under the engine's bookkeeping mutex, so the callback itself
   /// need not be thread-safe; keep it cheap.
   std::function<void(std::size_t, std::size_t)> progress;
+  /// When non-empty, every trial runs with a RoundTrace sink and dumps it to
+  /// <trace_dir>/trial_c<cell>_r<rep>.jsonl (directory created if missing).
+  /// File names and contents are pure functions of (spec, cell, rep), so a
+  /// trace directory is byte-identical for any worker count.
+  std::string trace_dir;
+  /// Ring capacity of each per-trial trace sink (oldest events evicted
+  /// beyond this; the eviction point is deterministic, so truncated traces
+  /// stay byte-identical too).
+  std::size_t trace_capacity = RoundTrace::kDefaultCapacity;
 };
 
 /// One cell's outcome: the resolved cell, the per-trial seeds actually used,

@@ -76,13 +76,13 @@ void write_aggregate(std::ostream& os, const Aggregate& agg) {
      << ",\"mean_rounds\":" << json_number(agg.mean_rounds())
      << ",\"mean_transmissions\":" << json_number(agg.mean_transmissions())
      << ",\"mean_fault_count\":" << json_number(agg.mean_fault_count())
-     << "}";
+     << ",\"counters\":" << to_json(agg.counters_total) << "}";
 }
 
 }  // namespace
 
 void write_json(std::ostream& os, const CampaignResult& result) {
-  os << "{\"schema\":\"radiobcast-campaign-v1\",\"trials\":"
+  os << "{\"schema\":\"radiobcast-campaign-v2\",\"trials\":"
      << result.trial_count << ",\"cells\":[";
   for (std::size_t c = 0; c < result.cells.size(); ++c) {
     const CellResult& cell = result.cells[c];
@@ -113,7 +113,9 @@ void write_csv(std::ostream& os, const CampaignResult& result) {
         "retransmissions,reps,seed,runs,successes,correct_total,honest_total,"
         "wrong_total,rounds_total,transmissions_total,fault_total,"
         "min_coverage,max_nbd_faults,mean_coverage,mean_rounds,"
-        "mean_transmissions,mean_fault_count\n";
+        "mean_transmissions,mean_fault_count,broadcasts_queued,spoofed_sends,"
+        "committed_queued,heard_queued,retransmission_copies,"
+        "envelopes_delivered,envelopes_dropped,commits,last_commit_round\n";
   for (const CellResult& cell : result.cells) {
     const SimConfig& sim = cell.cell.sim;
     const Aggregate& agg = cell.aggregate;
@@ -134,7 +136,16 @@ void write_csv(std::ostream& os, const CampaignResult& result) {
        << json_number(agg.mean_coverage()) << ','
        << json_number(agg.mean_rounds()) << ','
        << json_number(agg.mean_transmissions()) << ','
-       << json_number(agg.mean_fault_count()) << '\n';
+       << json_number(agg.mean_fault_count()) << ','
+       << agg.counters_total.broadcasts_queued << ','
+       << agg.counters_total.spoofed_sends << ','
+       << agg.counters_total.committed_queued << ','
+       << agg.counters_total.heard_queued << ','
+       << agg.counters_total.retransmission_copies << ','
+       << agg.counters_total.envelopes_delivered << ','
+       << agg.counters_total.envelopes_dropped << ','
+       << agg.counters_total.commits << ','
+       << agg.counters_total.last_commit_round << '\n';
   }
 }
 
@@ -150,6 +161,16 @@ void write_summary(std::ostream& os, const CampaignResult& result) {
      << " worker" << (result.workers_used == 1 ? "" : "s") << ", "
      << format_double(result.wall_seconds, 3) << " s wall ("
      << format_double(result.trials_per_second(), 1) << " trials/s)\n";
+  // Per-trial phase split (wall-clock, nondeterministic — summary only).
+  const PhaseTimers& t = result.total().timers_total;
+  const double cpu = t.total_seconds();
+  if (cpu > 0.0 && result.trial_count > 0) {
+    const double n = static_cast<double>(result.trial_count);
+    os << "phases: setup " << format_double(t.setup_seconds / n * 1e3, 3)
+       << " ms/trial, rounds " << format_double(t.rounds_seconds / n * 1e3, 3)
+       << " ms/trial, verdict "
+       << format_double(t.verdict_seconds / n * 1e3, 3) << " ms/trial\n";
+  }
 }
 
 }  // namespace rbcast

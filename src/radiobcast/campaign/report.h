@@ -17,7 +17,7 @@ namespace rbcast {
 
 /// Writes the campaign as a JSON document:
 /// {
-///   "schema": "radiobcast-campaign-v1",
+///   "schema": "radiobcast-campaign-v2",
 ///   "trials": N,
 ///   "cells": [
 ///     {"label": ..., "params": {protocol, adversary, placement, width,
@@ -26,8 +26,13 @@ namespace rbcast {
 ///      "aggregate": {runs, successes, correct_total, honest_total,
 ///       wrong_total, rounds_total, transmissions_total, fault_total,
 ///       min_coverage, max_nbd_faults, mean_coverage, mean_rounds,
-///       mean_transmissions, mean_fault_count}}, ...]
+///       mean_transmissions, mean_fault_count,
+///       "counters": {broadcasts_queued, spoofed_sends, committed_queued,
+///        heard_queued, retransmission_copies, envelopes_delivered,
+///        envelopes_dropped, commits, last_commit_round}}}, ...]
 /// }
+/// (v2 = v1 plus the per-cell summed observability counters. Wall-clock
+/// phase timings remain excluded: they are not deterministic.)
 void write_json(std::ostream& os, const CampaignResult& result);
 std::string to_json(const CampaignResult& result);
 

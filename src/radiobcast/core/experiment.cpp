@@ -100,6 +100,8 @@ TrialOutcome summarize_trial(const SimResult& result, std::int64_t fault_count,
   out.nbd_faults = nbd_faults;
   out.success = result.success();
   out.coverage = result.coverage();
+  out.counters = result.counters;
+  out.timers = result.timers;
   return out;
 }
 
@@ -114,6 +116,8 @@ void Aggregate::add(const TrialOutcome& trial) {
   fault_total += trial.fault_count;
   min_coverage = std::min(min_coverage, trial.coverage);
   max_nbd_faults = std::max(max_nbd_faults, trial.nbd_faults);
+  counters_total.merge(trial.counters);
+  timers_total.merge(trial.timers);
 }
 
 void Aggregate::merge(const Aggregate& other) {
@@ -127,6 +131,8 @@ void Aggregate::merge(const Aggregate& other) {
   fault_total += other.fault_total;
   min_coverage = std::min(min_coverage, other.min_coverage);
   max_nbd_faults = std::max(max_nbd_faults, other.max_nbd_faults);
+  counters_total.merge(other.counters_total);
+  timers_total.merge(other.timers_total);
 }
 
 double Aggregate::mean_coverage() const {

@@ -68,6 +68,11 @@ struct TrialOutcome {
   std::int64_t nbd_faults = 0;  // worst closed-neighborhood fault count
   bool success = false;
   double coverage = 1.0;
+  /// Observability counters of the trial (deterministic given the seed).
+  Counters counters;
+  /// Wall-clock phase split (nondeterministic; excluded from byte-identical
+  /// payloads — see campaign/report.h).
+  PhaseTimers timers;
 };
 
 /// Summarizes one SimResult (plus the fault-set statistics of the run it was
@@ -94,6 +99,13 @@ struct Aggregate {
   std::int64_t fault_total = 0;     // faults placed across all runs
   double min_coverage = 1.0;        // worst single-run coverage
   std::int64_t max_nbd_faults = 0;  // worst closed-neighborhood fault count
+  /// Summed observability counters (integer sums — merge-exact like every
+  /// other accumulated field; last_commit_round keeps the max).
+  Counters counters_total;
+  /// Summed wall-clock phase timings. Nondeterministic: the fold order is
+  /// fixed (trial order), so merging stays reproducible within a run, but the
+  /// values differ run to run and are excluded from deterministic payloads.
+  PhaseTimers timers_total;
 
   /// Folds one trial into the aggregate.
   void add(const TrialOutcome& trial);

@@ -135,9 +135,16 @@ std::int64_t default_round_bound(const SimConfig& cfg) {
 }  // namespace
 
 SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults) {
+  return run_simulation(cfg, faults, ObsOptions{});
+}
+
+SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults,
+                         const ObsOptions& obs) {
   if (cfg.width < 4 * cfg.r + 2 || cfg.height < 4 * cfg.r + 2) {
     throw std::invalid_argument("torus sides must be at least 4r+2");
   }
+  PhaseStopwatch stopwatch;
+  SimResult result;
   Torus torus(cfg.width, cfg.height);
   const Coord source = torus.wrap(cfg.source);
   if (faults.contains(source)) {
@@ -145,6 +152,10 @@ SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults) {
   }
 
   RadioNetwork net(torus, cfg.r, cfg.metric, cfg.seed);
+  if (obs.trace != nullptr) {
+    obs.trace->set_enabled(true);
+    net.set_trace(obs.trace);
+  }
   if (cfg.adversary == AdversaryKind::kSpoofing) net.allow_spoofing(true);
   if (cfg.adversary == AdversaryKind::kJamming) {
     net.set_channel(std::make_unique<JammingChannel>(
@@ -165,15 +176,18 @@ SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults) {
     }
   }
 
+  result.timers.setup_seconds = stopwatch.lap();
+
   net.start();
   const std::int64_t bound =
       cfg.max_rounds > 0 ? cfg.max_rounds : default_round_bound(cfg);
-  SimResult result;
   result.rounds = net.run_until_quiescent(bound);
+  result.timers.rounds_seconds = stopwatch.lap();
   result.reached_quiescence = net.quiescent();
   result.transmissions = net.stats().transmissions;
   result.deliveries = net.stats().deliveries;
   result.payload_units = net.stats().payload_units;
+  result.counters = net.counters();
 
   result.outcomes.resize(static_cast<std::size_t>(torus.node_count()),
                          NodeOutcome::kUndecided);
@@ -205,6 +219,7 @@ SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults) {
       result.wrong_commits += 1;
     }
   }
+  result.timers.verdict_seconds = stopwatch.lap();
   return result;
 }
 

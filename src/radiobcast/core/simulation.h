@@ -16,6 +16,9 @@
 #include "radiobcast/fault/fault_set.h"
 #include "radiobcast/grid/metric.h"
 #include "radiobcast/grid/torus.h"
+#include "radiobcast/obs/counters.h"
+#include "radiobcast/obs/timers.h"
+#include "radiobcast/obs/trace.h"
 
 namespace rbcast {
 
@@ -88,6 +91,11 @@ struct SimResult {
   std::uint64_t transmissions = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t payload_units = 0;  // see TrafficStats::payload_units
+  /// Observability counters of the run (deterministic given the seed).
+  Counters counters;
+  /// Wall-clock phase split of the run (nondeterministic; never serialized
+  /// into byte-identical payloads).
+  PhaseTimers timers;
   std::vector<NodeOutcome> outcomes;  // by torus node index
   /// Round in which each node committed (-1 = never / faulty). The source
   /// has round 0. Feeds the propagation-stage analyses (Figs 9-10, 14-19).
@@ -111,10 +119,22 @@ struct SimResult {
   }
 };
 
+/// Optional observability attachments for one run. Everything here is
+/// off/null by default and adds nothing to the hot path when absent.
+struct ObsOptions {
+  /// Event sink for round/delivery/commit events (not owned; may be null).
+  /// The sink is enabled for the duration of the run.
+  RoundTrace* trace = nullptr;
+};
+
 /// Runs one simulation. Throws std::invalid_argument if the fault set
 /// contains the source, or if the torus is too small for unambiguous
 /// wrap-around geometry (min side 4r+2; protocols reasoning across 2r-balls
 /// get sides of at least 8r+4 in the provided experiment configs).
 SimResult run_simulation(const SimConfig& config, const FaultSet& faults);
+
+/// As above, with observability attachments (e.g. a RoundTrace sink).
+SimResult run_simulation(const SimConfig& config, const FaultSet& faults,
+                         const ObsOptions& obs);
 
 }  // namespace rbcast

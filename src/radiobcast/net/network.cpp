@@ -19,6 +19,10 @@ void NodeContext::broadcast_as(Coord claimed_sender, Message msg) {
   net_->queue_spoofed_broadcast(self_, claimed_sender, std::move(msg));
 }
 
+void NodeContext::note_commit(std::uint8_t value) {
+  net_->record_commit(self_, value);
+}
+
 RadioNetwork::RadioNetwork(Torus torus, std::int32_t r, Metric metric,
                            std::uint64_t seed)
     : torus_(std::move(torus)),
@@ -53,8 +57,35 @@ const NodeBehavior* RadioNetwork::behavior(Coord c) const {
   return behaviors_[static_cast<std::size_t>(torus_.index(c))].get();
 }
 
+void RadioNetwork::count_queued(const Message& msg) {
+  counters_.broadcasts_queued += 1;
+  if (msg.type == MsgType::kCommitted) {
+    counters_.committed_queued += 1;
+  } else {
+    counters_.heard_queued += 1;
+  }
+  counters_.retransmission_copies +=
+      static_cast<std::uint64_t>(retransmissions_ - 1);
+}
+
+void RadioNetwork::record_commit(Coord node, std::uint8_t value) {
+  counters_.commits += 1;
+  if (round_ > counters_.last_commit_round) {
+    counters_.last_commit_round = round_;
+  }
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kNodeCommitted;
+    e.round = round_;
+    e.node = torus_.wrap(node);
+    e.value = value;
+    trace_->record(e);
+  }
+}
+
 void RadioNetwork::queue_broadcast(Coord sender, Message msg) {
   const Coord canon = torus_.wrap(sender);
+  count_queued(msg);
   outbox_.push_back(Pending{Envelope{canon, std::move(msg)}, canon,
                             retransmissions_ - 1});
 }
@@ -67,6 +98,8 @@ void RadioNetwork::queue_spoofed_broadcast(Coord actual_sender,
         "address spoofing is disabled (the paper's model); call "
         "allow_spoofing(true) to run the Section X negative control");
   }
+  count_queued(msg);
+  counters_.spoofed_sends += 1;
   outbox_.push_back(Pending{Envelope{torus_.wrap(claimed_sender),
                                      std::move(msg)},
                             torus_.wrap(actual_sender),
@@ -93,6 +126,12 @@ void RadioNetwork::start() {
 void RadioNetwork::run_round() {
   if (!started_) throw std::logic_error("RadioNetwork::run_round before start");
   ++round_;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kRoundStarted;
+    e.round = round_;
+    trace_->record(e);
+  }
   // Deliver last round's transmissions. pending_ preserves sender order
   // (node-index-major, send-order-minor) because behaviors run in index
   // order, which gives every receiver the same deterministic TDMA order.
@@ -111,11 +150,24 @@ void RadioNetwork::run_round() {
       const Coord receiver = torus_.wrap(p.actual_sender + o);
       if (!channel_->delivers(p.actual_sender, receiver, rng_)) {
         stats_.drops += 1;
+        counters_.envelopes_dropped += 1;
         continue;
       }
       NodeBehavior* b =
           behaviors_[static_cast<std::size_t>(torus_.index(receiver))].get();
       stats_.deliveries += 1;
+      counters_.envelopes_delivered += 1;
+      if (trace_ != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kMessageDelivered;
+        e.round = round_;
+        e.node = receiver;
+        e.sender = env.sender;
+        e.origin = torus_.wrap(env.msg.origin);
+        e.value = env.msg.value;
+        e.msg_type = env.msg.type == MsgType::kCommitted ? 0 : 1;
+        trace_->record(e);
+      }
       NodeContext ctx(*this, receiver);
       b->on_receive(ctx, env);
     }

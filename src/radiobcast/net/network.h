@@ -23,6 +23,8 @@
 #include "radiobcast/grid/torus.h"
 #include "radiobcast/net/channel.h"
 #include "radiobcast/net/message.h"
+#include "radiobcast/obs/counters.h"
+#include "radiobcast/obs/trace.h"
 #include "radiobcast/util/rng.h"
 
 namespace rbcast {
@@ -55,6 +57,11 @@ class NodeContext {
   /// RadioNetwork::allow_spoofing(true); honest behaviors never call this.
   /// Receivers are still the *actual* transmitter's neighbors.
   void broadcast_as(Coord claimed_sender, Message msg);
+
+  /// Observability hook: protocols call this exactly when their commit rule
+  /// fires (see protocols/*::commit). Bumps the network's commit counter and
+  /// emits a node_committed trace event; has no effect on the simulation.
+  void note_commit(std::uint8_t value);
 
  private:
   RadioNetwork* net_;
@@ -124,6 +131,9 @@ class RadioNetwork {
   /// Precondition: count >= 1. Default 1 (the paper's model).
   void set_retransmissions(int count);
 
+  /// Observability hook backing NodeContext::note_commit.
+  void record_commit(Coord node, std::uint8_t value);
+
   /// Permits NodeContext::broadcast_as (Section X's address-spoofing
   /// adversary). Off by default: the paper's model has no spoofing, and the
   /// spoofing experiments are a negative control showing safety genuinely
@@ -149,6 +159,16 @@ class RadioNetwork {
 
   const TrafficStats& stats() const { return stats_; }
 
+  /// Observability counters (always maintained; see obs/counters.h for the
+  /// field-by-field semantics and the single-thread/no-atomics contract).
+  const Counters& counters() const { return counters_; }
+
+  /// Attaches an event sink (not owned; pass nullptr to detach). The network
+  /// emits round_started / message_delivered / node_committed events into it;
+  /// with no sink — the default — every emission site is one pointer test.
+  void set_trace(RoundTrace* trace) { trace_ = trace; }
+  RoundTrace* trace() const { return trace_; }
+
   /// Transmission count of one node (for the overhead experiments).
   std::uint64_t transmissions_of(Coord c) const;
 
@@ -157,6 +177,7 @@ class RadioNetwork {
   void queue_broadcast(Coord sender, Message msg);
   void queue_spoofed_broadcast(Coord actual_sender, Coord claimed_sender,
                                Message msg);
+  void count_queued(const Message& msg);
 
   /// A transmission awaiting delivery; `repeats_left` further copies will be
   /// scheduled in subsequent rounds. `actual_sender` determines who hears it
@@ -182,6 +203,8 @@ class RadioNetwork {
   std::vector<Pending> pending_;  // sent last round, deliver this round
   std::vector<Pending> outbox_;   // sent this round
   TrafficStats stats_;
+  Counters counters_;
+  RoundTrace* trace_ = nullptr;  // optional event sink, not owned
 };
 
 }  // namespace rbcast

@@ -1,0 +1,42 @@
+#include "radiobcast/obs/counters.h"
+
+#include <algorithm>
+
+namespace rbcast {
+
+void Counters::merge(const Counters& other) {
+  broadcasts_queued += other.broadcasts_queued;
+  spoofed_sends += other.spoofed_sends;
+  committed_queued += other.committed_queued;
+  heard_queued += other.heard_queued;
+  retransmission_copies += other.retransmission_copies;
+  envelopes_delivered += other.envelopes_delivered;
+  envelopes_dropped += other.envelopes_dropped;
+  commits += other.commits;
+  last_commit_round = std::max(last_commit_round, other.last_commit_round);
+}
+
+std::string to_json(const Counters& c) {
+  std::string out = "{";
+  const auto field = [&out](const char* name, std::uint64_t v, bool first) {
+    if (!first) out += ',';
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  field("broadcasts_queued", c.broadcasts_queued, true);
+  field("spoofed_sends", c.spoofed_sends, false);
+  field("committed_queued", c.committed_queued, false);
+  field("heard_queued", c.heard_queued, false);
+  field("retransmission_copies", c.retransmission_copies, false);
+  field("envelopes_delivered", c.envelopes_delivered, false);
+  field("envelopes_dropped", c.envelopes_dropped, false);
+  field("commits", c.commits, false);
+  out += ",\"last_commit_round\":";
+  out += std::to_string(c.last_commit_round);
+  out += '}';
+  return out;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,60 @@
+#pragma once
+// Per-trial simulation counters (the observability layer's cheapest tier).
+//
+// A Counters instance is owned by the object running one trial (RadioNetwork,
+// and by copy SimResult/TrialOutcome) and is incremented inline at the
+// simulator's queue/deliver/drop/commit points. All fields are plain
+// unsigned integers incremented from a single thread — no atomics — so the
+// always-on cost is a handful of register adds per event, and merging two
+// instances (for campaign aggregation) is an exact, associative integer sum:
+// the same merge-safety contract as core/experiment.h's Aggregate.
+//
+// Counter semantics are documented field by field below and in
+// docs/OBSERVABILITY.md; tests/test_obs.cpp pins them.
+
+#include <cstdint>
+#include <string>
+
+namespace rbcast {
+
+struct Counters {
+  /// NodeContext::broadcast / broadcast_as calls, i.e. distinct transmissions
+  /// queued by behaviors (spoofed ones included; retransmission copies not —
+  /// they are scheduled by the network, see retransmission_copies).
+  std::uint64_t broadcasts_queued = 0;
+  /// Subset of broadcasts_queued sent through broadcast_as (Section X's
+  /// address-spoofing adversary). Zero in the paper's model.
+  std::uint64_t spoofed_sends = 0;
+  /// COMMITTED / HEARD breakdown of broadcasts_queued. The HEARD count is the
+  /// message-complexity quantity Section VI-B compares protocols on.
+  std::uint64_t committed_queued = 0;
+  std::uint64_t heard_queued = 0;
+  /// Extra transmission copies scheduled by the retransmission knob
+  /// (RadioNetwork::set_retransmissions): copies beyond each first send.
+  std::uint64_t retransmission_copies = 0;
+  /// Per-receiver envelope deliveries that reached on_receive.
+  std::uint64_t envelopes_delivered = 0;
+  /// Per-receiver deliveries suppressed by the channel model (loss, jamming).
+  std::uint64_t envelopes_dropped = 0;
+  /// Protocol commit events signalled via NodeContext::note_commit: the
+  /// source's initial commit plus every behavior running the protocol commit
+  /// rule (including crash-at-round nodes before they crash). Adversarial
+  /// behaviors fabricate COMMITTED messages without committing, so they never
+  /// count here.
+  std::uint64_t commits = 0;
+  /// Round in which the last note_commit fired (0 = none beyond the source's
+  /// round-0 commit). "In which round did the last node commit?" — this one.
+  std::int64_t last_commit_round = 0;
+
+  /// Exact, associative merge (integer sums; last_commit_round takes the max).
+  void merge(const Counters& other);
+
+  friend bool operator==(const Counters&, const Counters&) = default;
+};
+
+/// The counters as a JSON object fragment, e.g.
+/// {"broadcasts_queued":12,...,"last_commit_round":7} — field order fixed,
+/// so serialization is deterministic. Used by the campaign report writers.
+std::string to_json(const Counters& c);
+
+}  // namespace rbcast

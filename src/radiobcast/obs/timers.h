@@ -1,0 +1,47 @@
+#pragma once
+// Coarse per-trial phase timing: how long one simulation spent building the
+// network (setup), running rounds (rounds), and scoring the outcome
+// (verdict). Three steady_clock reads per trial — cheap enough to stay
+// always-on — but wall-clock is inherently nondeterministic, so timings are
+// excluded from every byte-identical payload (campaign JSON/CSV); they
+// surface only through human-facing summaries.
+
+#include <chrono>
+
+namespace rbcast {
+
+struct PhaseTimers {
+  double setup_seconds = 0.0;
+  double rounds_seconds = 0.0;
+  double verdict_seconds = 0.0;
+
+  double total_seconds() const {
+    return setup_seconds + rounds_seconds + verdict_seconds;
+  }
+
+  /// Sums phase by phase (for aggregating trials).
+  void merge(const PhaseTimers& other) {
+    setup_seconds += other.setup_seconds;
+    rounds_seconds += other.rounds_seconds;
+    verdict_seconds += other.verdict_seconds;
+  }
+};
+
+/// Restartable stopwatch: lap() returns seconds since construction or the
+/// previous lap().
+class PhaseStopwatch {
+ public:
+  PhaseStopwatch() : last_(std::chrono::steady_clock::now()) {}
+
+  double lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    return s;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace rbcast

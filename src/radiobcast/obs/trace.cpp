@@ -1,0 +1,96 @@
+#include "radiobcast/obs/trace.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace rbcast {
+
+const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kRoundStarted: return "round_started";
+    case TraceEventKind::kMessageDelivered: return "message_delivered";
+    case TraceEventKind::kNodeCommitted: return "node_committed";
+  }
+  return "?";
+}
+
+namespace {
+
+void append_coord(std::string& out, const char* name, Coord c) {
+  out += ",\"";
+  out += name;
+  out += "\":[";
+  out += std::to_string(c.x);
+  out += ',';
+  out += std::to_string(c.y);
+  out += ']';
+}
+
+}  // namespace
+
+std::string to_jsonl(const TraceEvent& e) {
+  std::string out = "{\"event\":\"";
+  out += to_string(e.kind);
+  out += "\",\"round\":";
+  out += std::to_string(e.round);
+  switch (e.kind) {
+    case TraceEventKind::kRoundStarted:
+      break;
+    case TraceEventKind::kMessageDelivered:
+      append_coord(out, "sender", e.sender);
+      append_coord(out, "receiver", e.node);
+      out += ",\"type\":\"";
+      out += e.msg_type == 0 ? "COMMITTED" : "HEARD";
+      out += '"';
+      append_coord(out, "origin", e.origin);
+      out += ",\"value\":";
+      out += std::to_string(e.value);
+      break;
+    case TraceEventKind::kNodeCommitted:
+      append_coord(out, "node", e.node);
+      out += ",\"value\":";
+      out += std::to_string(e.value);
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+RoundTrace::RoundTrace(std::size_t capacity) : buffer_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("trace capacity must be > 0");
+}
+
+void RoundTrace::record(const TraceEvent& e) {
+  if (!enabled_) return;
+  if (size_ < buffer_.size()) {
+    buffer_[(head_ + size_) % buffer_.size()] = e;
+    ++size_;
+  } else {
+    buffer_[head_] = e;  // evict the oldest
+    head_ = (head_ + 1) % buffer_.size();
+  }
+  ++recorded_;
+}
+
+void RoundTrace::clear() {
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+std::vector<TraceEvent> RoundTrace::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void RoundTrace::write_jsonl(std::ostream& os) const {
+  for (std::size_t i = 0; i < size_; ++i) {
+    os << to_jsonl(buffer_[(head_ + i) % buffer_.size()]) << '\n';
+  }
+}
+
+}  // namespace rbcast

@@ -1,0 +1,97 @@
+#pragma once
+// Structured round traces: an optional event sink the radio network feeds as
+// a trial executes — round boundaries, per-receiver deliveries, protocol
+// commits — dumped as JSONL for offline analysis.
+//
+// Design constraints (and how they are met):
+//
+//  * Zero overhead when absent: the network holds a nullable RoundTrace* and
+//    every emission site is a single pointer test. No trace, no work.
+//  * Zero allocations in the sink: events are fixed-size PODs written into a
+//    ring buffer preallocated at construction. A disabled sink records
+//    nothing; an enabled one overwrites the oldest event once full (dropped()
+//    reports how many were evicted). tests/test_obs.cpp instruments global
+//    operator new to pin the no-allocation property.
+//  * Deterministic output: events are recorded in simulation order, which is
+//    itself a pure function of the trial seed, so the JSONL rendering of a
+//    trial's trace is byte-identical regardless of campaign worker count or
+//    scheduling. The campaign engine relies on this for --trace-dir.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "radiobcast/grid/coord.h"
+
+namespace rbcast {
+
+enum class TraceEventKind : std::uint8_t {
+  kRoundStarted,      // round = the round now beginning
+  kMessageDelivered,  // sender -> node, message (type, origin, value)
+  kNodeCommitted,     // node committed value in round
+};
+
+const char* to_string(TraceEventKind k);
+
+/// One trace record. Fixed-size on purpose: the ring buffer must never
+/// allocate per event. Fields not meaningful for a kind are left default
+/// (and omitted from its JSONL rendering).
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kRoundStarted;
+  std::int64_t round = 0;
+  Coord node{};         // committer / receiver
+  Coord sender{};       // kMessageDelivered: envelope sender (claimed)
+  Coord origin{};       // kMessageDelivered: the committer the msg is about
+  std::uint8_t value = 0;
+  std::uint8_t msg_type = 0;  // 0 = COMMITTED, 1 = HEARD (mirrors MsgType)
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// The event as one JSONL line (no trailing newline), e.g.
+/// {"event":"node_committed","round":4,"node":[3,0],"value":1}
+std::string to_jsonl(const TraceEvent& e);
+
+/// Ring-buffer event sink. Construction preallocates `capacity` slots; after
+/// that, record() never allocates. Starts disabled: a sink that is attached
+/// but disabled drops every event at the pointer-test tier.
+class RoundTrace {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit RoundTrace(std::size_t capacity = kDefaultCapacity);
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Appends an event (overwriting the oldest if full). No-op when disabled.
+  void record(const TraceEvent& e);
+
+  std::size_t capacity() const { return buffer_.size(); }
+  /// Events currently held (<= capacity).
+  std::size_t size() const { return size_; }
+  /// Total events recorded, including any evicted by wrap-around.
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events evicted because the ring was full.
+  std::uint64_t dropped() const { return recorded_ - size_; }
+
+  /// Discards all held events (capacity and enabled state unchanged).
+  void clear();
+
+  /// Held events, oldest first. Allocates; intended for tests and dumps.
+  std::vector<TraceEvent> events() const;
+
+  /// Writes every held event as one JSON object per line, oldest first.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;  // index of the oldest event
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace rbcast

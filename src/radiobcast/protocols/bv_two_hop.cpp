@@ -22,6 +22,7 @@ void BvTwoHopBehavior::commit(NodeContext& ctx, std::uint8_t value) {
   if (committed_.has_value()) return;
   committed_ = value;
   commit_round_ = ctx.round();
+  ctx.note_commit(value);
   ctx.broadcast(make_committed(ctx.self(), value));
 }
 

@@ -5,6 +5,7 @@ namespace rbcast {
 void CpaBehavior::commit(NodeContext& ctx, std::uint8_t value) {
   committed_ = value;
   commit_round_ = ctx.round();
+  ctx.note_commit(value);
   ctx.broadcast(make_committed(ctx.self(), value));
 }
 

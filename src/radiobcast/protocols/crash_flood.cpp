@@ -7,6 +7,7 @@ void CrashFloodBehavior::on_receive(NodeContext& ctx, const Envelope& env) {
   if (env.msg.type != MsgType::kCommitted) return;
   committed_ = env.msg.value;
   commit_round_ = ctx.round();
+  ctx.note_commit(env.msg.value);
   ctx.broadcast(make_committed(ctx.self(), env.msg.value));
 }
 

@@ -15,6 +15,7 @@ class SourceBehavior final : public NodeBehavior {
   explicit SourceBehavior(std::uint8_t value) : value_(value) {}
 
   void on_start(NodeContext& ctx) override {
+    ctx.note_commit(value_);  // the source is committed from round 0
     ctx.broadcast(make_committed(ctx.self(), value_));
   }
 

@@ -24,6 +24,11 @@
 #include "radiobcast/fault/fault_set.h"     // IWYU pragma: export
 #include "radiobcast/fault/placement.h"     // IWYU pragma: export
 
+// Observability: counters, round traces, phase timers.
+#include "radiobcast/obs/counters.h"        // IWYU pragma: export
+#include "radiobcast/obs/timers.h"          // IWYU pragma: export
+#include "radiobcast/obs/trace.h"           // IWYU pragma: export
+
 // The radio network and its extensions.
 #include "radiobcast/net/channel.h"         // IWYU pragma: export
 #include "radiobcast/net/jamming.h"         // IWYU pragma: export

@@ -10,7 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -168,11 +172,89 @@ TEST(CampaignEngine, DeterministicAcrossWorkerCounts) {
     EXPECT_EQ(x.fault_total, y.fault_total) << "cell " << c;
     EXPECT_EQ(x.min_coverage, y.min_coverage) << "cell " << c;
     EXPECT_EQ(x.max_nbd_faults, y.max_nbd_faults) << "cell " << c;
+    // Observability counters are part of the deterministic payload: the
+    // summed Counters must be bit-identical at 1 and 8 workers.
+    EXPECT_EQ(x.counters_total, y.counters_total) << "cell " << c;
   }
   // The exported artifacts are byte-identical: the payload excludes
-  // wall-clock and worker-count stats by design.
+  // wall-clock and worker-count stats by design (counters included,
+  // phase timers excluded).
   EXPECT_EQ(to_json(a), to_json(b));
   EXPECT_EQ(to_csv(a), to_csv(b));
+}
+
+TEST(CampaignEngine, CountersMergeAssociatively) {
+  // Splitting a repeated run into ranges and merging the partial aggregates
+  // must reproduce the unsplit counters exactly — same contract as the other
+  // integer-sum fields, now for every Counters field.
+  SimConfig cfg;
+  cfg.width = cfg.height = 12;
+  cfg.r = 1;
+  cfg.protocol = ProtocolKind::kBvTwoHop;
+  cfg.adversary = AdversaryKind::kLying;
+  cfg.t = 1;
+  cfg.seed = 99;
+  PlacementConfig placement;
+  placement.kind = PlacementKind::kRandomBounded;
+  placement.random_target = 4;
+
+  const Aggregate whole = run_repeated(cfg, placement, 10);
+  EXPECT_GT(whole.counters_total.broadcasts_queued, 0u);
+  EXPECT_GT(whole.counters_total.commits, 0u);
+
+  Aggregate merged = run_repeated_range(cfg, placement, 0, 3);
+  merged.merge(run_repeated_range(cfg, placement, 3, 7));
+  EXPECT_EQ(whole.counters_total, merged.counters_total);
+
+  // Merging in a different grouping gives the same counters (associativity).
+  Aggregate regrouped = run_repeated_range(cfg, placement, 0, 7);
+  regrouped.merge(run_repeated_range(cfg, placement, 7, 3));
+  EXPECT_EQ(whole.counters_total, regrouped.counters_total);
+}
+
+TEST(CampaignEngine, TraceDirByteIdenticalAcrossWorkerCounts) {
+  // --trace-dir contract: per-trial JSONL traces are a pure function of the
+  // spec, so the full directory contents match byte for byte at any worker
+  // count.
+  CampaignSpec spec = random_fault_sweep();
+  spec.budgets = {1, 2};
+  spec.reps = 4;
+
+  const auto root = std::filesystem::temp_directory_path();
+  const std::string dir1 = (root / "rbcast_trace_w1").string();
+  const std::string dir8 = (root / "rbcast_trace_w8").string();
+  std::filesystem::remove_all(dir1);
+  std::filesystem::remove_all(dir8);
+
+  CampaignOptions serial;
+  serial.workers = 1;
+  serial.trace_dir = dir1;
+  CampaignOptions parallel;
+  parallel.workers = 8;
+  parallel.trace_dir = dir8;
+  run_campaign(spec, serial);
+  run_campaign(spec, parallel);
+
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir1)) {
+    const auto name = entry.path().filename();
+    std::ifstream a(entry.path());
+    std::ifstream b(std::filesystem::path(dir8) / name);
+    ASSERT_TRUE(b.good()) << "missing " << name;
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    const std::string text = sa.str();
+    EXPECT_EQ(text, sb.str()) << name;
+    // Traces are non-trivial and JSONL-shaped.
+    EXPECT_NE(text.find("{\"event\":\"round_started\",\"round\":1}"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"event\":\"node_committed\""), std::string::npos);
+    ++files;
+  }
+  EXPECT_EQ(files, spec.trial_count());
+  std::filesystem::remove_all(dir1);
+  std::filesystem::remove_all(dir8);
 }
 
 TEST(CampaignEngine, ProgressReportsEveryTrialOnce) {
@@ -233,7 +315,7 @@ TEST(CampaignReport, JsonShapeAndEscaping) {
   spec.reps = 2;
   const CampaignResult result = run_campaign(spec, {});
   const std::string json = to_json(result);
-  EXPECT_NE(json.find("\"schema\":\"radiobcast-campaign-v1\""),
+  EXPECT_NE(json.find("\"schema\":\"radiobcast-campaign-v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"trials\":2"), std::string::npos);
   EXPECT_NE(json.find("\"protocol\":\"crash-flood\""), std::string::npos);
