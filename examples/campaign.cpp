@@ -78,6 +78,20 @@ int usage(const char* msg) {
          "table\n"
       << "  --trace-dir=DIR     write one JSONL round trace per trial "
          "(docs/OBSERVABILITY.md)\n"
+      << "  --journal=FILE      fsync'd JSONL write-ahead journal, one record "
+         "per trial\n"
+      << "  --resume            replay --journal, skip completed trials "
+         "(byte-identical exports)\n"
+      << "  --keep-going        record trial failures and continue (default: "
+         "abort with the\n"
+         "                      deterministically lowest failing trial's "
+         "error)\n"
+      << "  --max-retries=N     retries for transient failures (default 2), "
+         "seeded\n"
+         "                      hash_seeds(cell, rep, attempt)\n"
+      << "  --trial-deadline-ms=N  per-trial wall-clock watchdog; a runaway "
+         "trial becomes\n"
+         "                      a recorded timeout failure\n"
       << "  --json=FILE --csv=FILE --quiet\n";
   return EXIT_FAILURE;
 }
@@ -89,7 +103,8 @@ int main(int argc, char** argv) {
                      {"protocols", "adversaries", "placements", "r", "t",
                       "size", "loss", "metric", "iid-p", "trim", "reps",
                       "seed", "workers", "json", "csv", "quiet", "help",
-                      "counters", "trace-dir"});
+                      "counters", "trace-dir", "journal", "resume",
+                      "keep-going", "max-retries", "trial-deadline-ms"});
   if (!args.ok()) return usage(args.error().c_str());
   if (args.get_bool("help", false)) return usage("radiobcast-campaign");
 
@@ -150,16 +165,28 @@ int main(int argc, char** argv) {
   // side 8r+4 (the geometry floor run_simulation enforces). With several
   // radii and no explicit size, expansion handles it via sides={0} markers —
   // resolve those here so every cell is explicit.
+  const std::int64_t trial_deadline_ms = args.get_int("trial-deadline-ms", 0);
   std::vector<CampaignCell> cells = spec.expand();
   for (CampaignCell& cell : cells) {
     if (spec.sides.empty()) {
       cell.sim.width = cell.sim.height = 8 * cell.sim.r + 4;
     }
+    if (trial_deadline_ms > 0) cell.sim.deadline_ms = trial_deadline_ms;
   }
 
   CampaignOptions options;
   options.workers = static_cast<int>(args.get_int("workers", 0));
   options.trace_dir = args.get("trace-dir", "");
+  options.journal_path = args.get("journal", "");
+  options.resume = args.get_bool("resume", false);
+  if (options.resume && options.journal_path.empty()) {
+    return usage("--resume requires --journal");
+  }
+  options.on_error = args.get_bool("keep-going", false)
+                         ? ErrorPolicy::kKeepGoing
+                         : ErrorPolicy::kAbort;
+  options.max_retries = static_cast<int>(args.get_int("max-retries", 2));
+  if (options.max_retries < 0) return usage("bad --max-retries");
   const bool show_counters = args.get_bool("counters", false);
   const bool quiet = args.get_bool("quiet", false);
   std::size_t last_percent = 0;
@@ -229,6 +256,20 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   write_summary(std::cout, result);
+
+  // Under --keep-going, failed trials are recorded (not fatal): list them on
+  // stderr so they are visible even when only the exports are kept. Exit
+  // status stays zero — only the abort policy makes failures fatal.
+  for (const CellResult& cell : result.cells) {
+    for (const TrialFailure& failure : cell.failures) {
+      std::cerr << "trial failure: cell " << failure.cell
+                << (cell.cell.label.empty() ? "" : " (" + cell.cell.label + ")")
+                << " rep " << failure.rep << " [" << to_string(failure.kind)
+                << ", " << failure.attempts << " attempt"
+                << (failure.attempts == 1 ? "" : "s") << "]: " << failure.what
+                << "\n";
+    }
+  }
 
   if (args.has("json")) {
     std::ofstream os(args.get("json", ""));

@@ -1,14 +1,20 @@
 #include "radiobcast/campaign/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <ios>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "radiobcast/campaign/journal.h"
 #include "radiobcast/campaign/thread_pool.h"
 #include "radiobcast/fault/placement.h"
 
@@ -39,6 +45,20 @@ struct TrialRef {
   int rep = 0;
 };
 
+/// Everything the fold needs about one completed trial. Written once per
+/// trial (under the engine mutex for fresh runs, or during journal replay
+/// before any thread starts), read only after the pool drains.
+struct TrialSlot {
+  TrialOutcome outcome;
+  std::uint64_t seed = 0;
+  int attempts = 1;
+  bool failed = false;
+  bool replayed = false;
+  FailureKind kind = FailureKind::kPermanent;
+  std::string what;
+  std::exception_ptr error;  // fresh failures only; null for replayed ones
+};
+
 /// Deterministic per-trial trace path: trial_c<cell>_r<rep>.jsonl.
 std::filesystem::path trace_path(const std::string& dir, std::size_t cell,
                                  int rep) {
@@ -47,7 +67,76 @@ std::filesystem::path trace_path(const std::string& dir, std::size_t cell,
   return std::filesystem::path(dir) / name;
 }
 
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+/// Bounded exponential backoff before retry `attempt` (>= 1). Wall-clock
+/// only: seeds and outcomes never depend on it.
+void backoff_before_retry(int base_ms, int attempt) {
+  if (base_ms <= 0) return;
+  const int shift = std::min(attempt - 1, 6);
+  const int ms = std::min(base_ms << shift, 1000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
 }  // namespace
+
+const char* to_string(ErrorPolicy p) {
+  switch (p) {
+    case ErrorPolicy::kAbort: return "abort";
+    case ErrorPolicy::kKeepGoing: return "keep-going";
+  }
+  return "?";
+}
+
+const char* to_string(FailureKind k) {
+  switch (k) {
+    case FailureKind::kTransient: return "transient";
+    case FailureKind::kPermanent: return "permanent";
+    case FailureKind::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+FailureKind failure_kind_from_string(std::string_view name) {
+  for (const FailureKind k : {FailureKind::kTransient, FailureKind::kPermanent,
+                              FailureKind::kTimeout}) {
+    if (name == to_string(k)) return k;
+  }
+  return FailureKind::kPermanent;
+}
+
+FailureKind classify_failure(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const TrialTimeoutError&) {
+    return FailureKind::kTimeout;
+  } catch (const TraceIoError&) {
+    return FailureKind::kTransient;
+  } catch (const std::filesystem::filesystem_error&) {
+    return FailureKind::kTransient;
+  } catch (const std::ios_base::failure&) {
+    return FailureKind::kTransient;
+  } catch (const std::bad_alloc&) {
+    return FailureKind::kTransient;
+  } catch (...) {
+    return FailureKind::kPermanent;
+  }
+}
+
+std::uint64_t trial_seed(std::uint64_t cell_seed, int rep, int attempt) {
+  return attempt == 0
+             ? hash_seeds(cell_seed, static_cast<std::uint64_t>(rep))
+             : hash_seeds(cell_seed, static_cast<std::uint64_t>(rep),
+                          static_cast<std::uint64_t>(attempt));
+}
 
 Aggregate CampaignResult::total() const {
   Aggregate out;
@@ -55,14 +144,25 @@ Aggregate CampaignResult::total() const {
   return out;
 }
 
+std::size_t CampaignResult::failed_trials() const {
+  std::size_t out = 0;
+  for (const CellResult& cell : cells) out += cell.failures.size();
+  return out;
+}
+
 CampaignResult run_cells(const std::vector<CampaignCell>& cells,
                          const CampaignOptions& options) {
+  if (options.resume && options.journal_path.empty()) {
+    throw std::invalid_argument("CampaignOptions::resume requires a journal");
+  }
+
   CampaignResult result;
   result.workers_used =
       options.workers > 0 ? options.workers : ThreadPool::hardware_workers();
 
-  // Flatten to a trial list and precompute every seed up front: seeds depend
-  // only on (cell seed, rep index), never on scheduling.
+  // Flatten to a trial list and precompute every first-attempt seed up
+  // front: seeds depend only on (cell seed, rep index, attempt), never on
+  // scheduling.
   std::vector<TrialRef> trials;
   std::vector<Torus> tori;
   tori.reserve(cells.size());
@@ -73,11 +173,39 @@ CampaignResult run_cells(const std::vector<CampaignCell>& cells,
     }
   }
   result.trial_count = trials.size();
-  std::vector<TrialOutcome> outcomes(trials.size());
-  std::vector<std::uint64_t> seeds(trials.size());
-  for (std::size_t i = 0; i < trials.size(); ++i) {
-    seeds[i] = hash_seeds(cells[trials[i].cell].sim.seed,
-                          static_cast<std::uint64_t>(trials[i].rep));
+  std::vector<TrialSlot> slots(trials.size());
+
+  // Journal setup. The fingerprint ties the file to this exact cell list, so
+  // a spec edit between run and resume is caught instead of silently mixing
+  // incompatible trials.
+  std::unique_ptr<JournalWriter> journal;
+  if (!options.journal_path.empty()) {
+    const std::uint64_t fingerprint = campaign_fingerprint(cells);
+    bool fresh = !options.resume;
+    if (options.resume) {
+      const JournalContents contents =
+          read_journal(options.journal_path, fingerprint, trials.size());
+      fresh = !contents.header;  // missing/corrupt journal: start over
+      for (const JournalRecord& rec : contents.records) {
+        if (rec.trial >= trials.size()) continue;
+        const TrialRef& ref = trials[rec.trial];
+        if (rec.cell != ref.cell || rec.rep != ref.rep) continue;
+        TrialSlot& slot = slots[rec.trial];
+        if (slot.replayed) continue;  // duplicate record: first wins
+        slot.replayed = true;
+        slot.seed = rec.seed;
+        slot.attempts = rec.attempts;
+        slot.failed = !rec.ok;
+        slot.kind = rec.kind;
+        slot.what = rec.what;
+        slot.outcome = rec.outcome;
+        ++result.replayed_trials;
+      }
+    }
+    journal = std::make_unique<JournalWriter>(options.journal_path, fresh);
+    if (fresh) {
+      journal->append_line(journal_header(fingerprint, trials.size()));
+    }
   }
 
   const bool tracing = !options.trace_dir.empty();
@@ -85,47 +213,103 @@ CampaignResult run_cells(const std::vector<CampaignCell>& cells,
     std::filesystem::create_directories(options.trace_dir);
   }
 
-  std::mutex mutex;  // guards done/first_error and serializes progress calls
+  // Guards done/journal/journal_error and serializes progress calls.
+  std::mutex mutex;
   std::size_t done = 0;
-  std::exception_ptr first_error;
+  std::exception_ptr journal_error;
+
+  // Replayed trials report as done up front, in trial order.
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (!slots[i].replayed) continue;
+    ++done;
+    if (options.progress) options.progress(done, trials.size());
+  }
+
   const auto run_trial = [&](std::size_t i) {
-    TrialOutcome outcome;
-    std::exception_ptr error;
-    try {
-      if (tracing) {
-        // A fresh sink per trial; each worker writes its own file, so no
-        // cross-thread coordination is needed and contents depend only on
-        // the trial (hence on the spec), never on scheduling.
-        RoundTrace trace(options.trace_capacity);
-        outcome = run_one_trial(cells[trials[i].cell], tori[trials[i].cell],
-                                seeds[i], &trace);
-        const auto path =
-            trace_path(options.trace_dir, trials[i].cell, trials[i].rep);
-        std::ofstream os(path, std::ios::binary);
-        if (!os) {
-          throw std::runtime_error("cannot write trace file " + path.string());
+    TrialSlot local;
+    const CampaignCell& cell = cells[trials[i].cell];
+    for (int attempt = 0;; ++attempt) {
+      local.seed = trial_seed(cell.sim.seed, trials[i].rep, attempt);
+      local.attempts = attempt + 1;
+      try {
+        if (attempt > 0) backoff_before_retry(options.retry_backoff_ms,
+                                              attempt);
+        if (options.fault_injection) {
+          options.fault_injection(trials[i].cell, trials[i].rep, attempt);
         }
-        trace.write_jsonl(os);
-      } else {
-        outcome = run_one_trial(cells[trials[i].cell], tori[trials[i].cell],
-                                seeds[i]);
+        TrialOutcome outcome;
+        if (!tracing) {
+          outcome = run_one_trial(cell, tori[trials[i].cell], local.seed);
+        } else {
+          RoundTrace trace(options.trace_capacity);
+          outcome = run_one_trial(cell, tori[trials[i].cell], local.seed,
+                                  &trace);
+          const auto path =
+              trace_path(options.trace_dir, trials[i].cell, trials[i].rep);
+          std::ofstream os(path, std::ios::binary);
+          if (!os) {
+            throw TraceIoError("cannot write trace file " + path.string());
+          }
+          trace.write_jsonl(os);
+          if (!os.flush()) {
+            throw TraceIoError("short write to trace file " + path.string());
+          }
+        }
+        local.outcome = outcome;
+        // Embed the retry count in the outcome's counters so the aggregate
+        // (and the journal, and hence a resumed run) carries it exactly.
+        local.outcome.counters.trial_retries =
+            static_cast<std::uint64_t>(attempt);
+        local.failed = false;
+        break;
+      } catch (...) {
+        local.error = std::current_exception();
+        local.kind = classify_failure(local.error);
+        if (local.kind == FailureKind::kTransient &&
+            attempt < options.max_retries) {
+          continue;
+        }
+        local.failed = true;
+        local.what = describe(local.error);
+        break;
       }
-    } catch (...) {
-      error = std::current_exception();
     }
+
     const std::lock_guard<std::mutex> lock(mutex);
-    outcomes[i] = outcome;
-    if (error && !first_error) first_error = error;
+    slots[i] = std::move(local);
+    if (journal) {
+      JournalRecord rec;
+      rec.trial = i;
+      rec.cell = trials[i].cell;
+      rec.rep = trials[i].rep;
+      rec.attempts = slots[i].attempts;
+      rec.seed = slots[i].seed;
+      rec.ok = !slots[i].failed;
+      rec.outcome = slots[i].outcome;
+      rec.kind = slots[i].kind;
+      rec.what = slots[i].what;
+      try {
+        journal->append_line(to_json(rec));
+      } catch (...) {
+        // A dead journal must not kill the in-memory campaign; record the
+        // error once, stop journaling, and rethrow after the pool drains.
+        if (!journal_error) journal_error = std::current_exception();
+        journal.reset();
+      }
+    }
     ++done;
     if (options.progress) options.progress(done, trials.size());
   };
 
   const auto start = std::chrono::steady_clock::now();
   if (result.workers_used <= 1) {
-    for (std::size_t i = 0; i < trials.size(); ++i) run_trial(i);
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (!slots[i].replayed) run_trial(i);
+    }
   } else {
     ThreadPool pool(result.workers_used);
     for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (slots[i].replayed) continue;
       pool.submit([&run_trial, i] { run_trial(i); });
     }
     pool.wait_idle();
@@ -133,10 +317,25 @@ CampaignResult run_cells(const std::vector<CampaignCell>& cells,
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  if (first_error) std::rethrow_exception(first_error);
+  if (journal_error) std::rethrow_exception(journal_error);
+
+  // Abort policy: every trial has run (healthy work is journaled, so a
+  // resume after fixing the spec's environment skips it), and the error
+  // rethrown is the one of the lowest (cell, rep) — the trial list is in
+  // (cell, rep) order — not whichever failing trial finished first.
+  if (options.on_error == ErrorPolicy::kAbort) {
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (!slots[i].failed) continue;
+      if (slots[i].error) std::rethrow_exception(slots[i].error);
+      // Replayed failure: the original exception object is gone; rethrow
+      // its recorded message.
+      throw std::runtime_error(slots[i].what);
+    }
+  }
 
   // Fold in trial-index order: with the integer-sum Aggregate this makes the
-  // result independent of completion order, hence of the worker count.
+  // result independent of completion order, hence of the worker count — and
+  // of how the trials were split between a killed run and its resume.
   result.cells.resize(cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
     result.cells[c].cell = cells[c];
@@ -145,8 +344,18 @@ CampaignResult run_cells(const std::vector<CampaignCell>& cells,
   }
   for (std::size_t i = 0; i < trials.size(); ++i) {
     CellResult& cell = result.cells[trials[i].cell];
-    cell.seeds.push_back(seeds[i]);
-    cell.aggregate.add(outcomes[i]);
+    const TrialSlot& slot = slots[i];
+    cell.seeds.push_back(slot.seed);
+    if (slot.failed) {
+      cell.failures.push_back({trials[i].cell, trials[i].rep, slot.attempts,
+                               slot.seed, slot.kind, slot.what});
+      Counters& counters = cell.aggregate.counters_total;
+      counters.trial_failures += 1;
+      if (slot.kind == FailureKind::kTimeout) counters.trial_timeouts += 1;
+      counters.trial_retries += static_cast<std::uint64_t>(slot.attempts - 1);
+    } else {
+      cell.aggregate.add(slot.outcome);
+    }
   }
   return result;
 }

@@ -8,10 +8,24 @@
 // queue drains, with the exactly-mergeable integer-sum Aggregate of
 // core/experiment.h. A campaign therefore produces bit-identical results for
 // any worker count, including 1 (which runs inline, with no threads at all).
+//
+// Fault tolerance (docs/CAMPAIGNS.md#fault-tolerance): a throwing trial no
+// longer brings down the campaign. Failures are classified — transient ones
+// (trace-file I/O, bad_alloc) retry under the deterministic per-attempt seed
+// hash_seeds(cell seed, rep, attempt); permanent ones (invalid configs) and
+// timeouts (TrialTimeoutError from the SimConfig deadline watchdog) are
+// recorded as structured TrialFailure entries. Under ErrorPolicy::kAbort the
+// engine still throws after the pool drains, but deterministically: the error
+// of the lowest (cell, rep) failing trial, regardless of completion order.
+// With a journal path set, every completed trial is appended to an fsync'd
+// JSONL write-ahead journal; `resume` replays it so a killed campaign can be
+// restarted and still emit byte-identical JSON/CSV exports.
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,13 +35,76 @@
 
 namespace rbcast {
 
+/// What to do when a trial fails for good (after any retries).
+enum class ErrorPolicy : std::uint8_t {
+  /// Finish every trial (healthy work is never discarded), then throw the
+  /// error of the deterministically lowest (cell, rep) failing trial.
+  kAbort,
+  /// Record the failure in the cell's CellResult::failures and keep going;
+  /// run_cells returns normally with every healthy trial aggregated.
+  kKeepGoing,
+};
+
+const char* to_string(ErrorPolicy p);
+
+/// Failure classification, driving the retry decision.
+enum class FailureKind : std::uint8_t {
+  /// Environmental (trace-file I/O, std::bad_alloc): retried up to
+  /// CampaignOptions::max_retries times under fresh deterministic seeds.
+  kTransient,
+  /// A property of the spec (std::invalid_argument, std::logic_error, and
+  /// anything unrecognized): retrying a deterministic simulation cannot
+  /// help, so these fail immediately.
+  kPermanent,
+  /// TrialTimeoutError from the SimConfig deadline watchdog. Never retried:
+  /// a rerun would burn the same budget again.
+  kTimeout,
+};
+
+const char* to_string(FailureKind k);
+
+/// Inverse of to_string(FailureKind); kPermanent for unknown names (a journal
+/// written by a newer schema still resumes conservatively).
+FailureKind failure_kind_from_string(std::string_view name);
+
+/// Classifies a caught exception. Exposed for tests and the journal layer.
+FailureKind classify_failure(const std::exception_ptr& error);
+
+/// Thrown by the engine when a per-trial trace file cannot be written.
+/// Transient: disk pressure and transient FS errors deserve a retry.
+class TraceIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One trial's terminal failure (after retries, if any were allowed).
+struct TrialFailure {
+  std::size_t cell = 0;  // index into CampaignResult::cells
+  int rep = 0;
+  int attempts = 1;        // attempts made in total (1 = no retries)
+  std::uint64_t seed = 0;  // seed of the final attempt
+  FailureKind kind = FailureKind::kPermanent;
+  std::string what;
+
+  friend bool operator==(const TrialFailure&, const TrialFailure&) = default;
+};
+
+/// The deterministic per-attempt seed schedule: attempt 0 keeps the
+/// historical stream hash_seeds(cell_seed, rep) (so retry-free campaigns are
+/// bit-identical to pre-retry ones), attempt k > 0 draws the independent
+/// hash_seeds(cell_seed, rep, k). A pure function of its arguments — never of
+/// scheduling — so retried campaigns remain pure functions of the spec.
+std::uint64_t trial_seed(std::uint64_t cell_seed, int rep, int attempt);
+
 struct CampaignOptions {
   /// Worker threads; <= 0 means ThreadPool::hardware_workers(). 1 runs the
   /// trials inline on the calling thread.
   int workers = 0;
-  /// Called after each trial finishes, with (trials done, trials total).
-  /// Invoked under the engine's bookkeeping mutex, so the callback itself
-  /// need not be thread-safe; keep it cheap.
+  /// Called after each trial completes for good (success or terminal
+  /// failure; retries do not report), with (trials done, trials total).
+  /// Replayed journal trials report up front, in trial order. Invoked under
+  /// the engine's bookkeeping mutex, so the callback itself need not be
+  /// thread-safe; keep it cheap.
   std::function<void(std::size_t, std::size_t)> progress;
   /// When non-empty, every trial runs with a RoundTrace sink and dumps it to
   /// <trace_dir>/trial_c<cell>_r<rep>.jsonl (directory created if missing).
@@ -38,14 +115,41 @@ struct CampaignOptions {
   /// beyond this; the eviction point is deterministic, so truncated traces
   /// stay byte-identical too).
   std::size_t trace_capacity = RoundTrace::kDefaultCapacity;
+
+  /// Failure policy. The library default keeps the historical throwing
+  /// behavior (made deterministic); the CLI's --keep-going selects
+  /// kKeepGoing.
+  ErrorPolicy on_error = ErrorPolicy::kAbort;
+  /// Retry budget for kTransient failures (attempts beyond the first).
+  int max_retries = 2;
+  /// Base backoff slept before retry k (k >= 1): retry_backoff_ms << (k-1),
+  /// capped at 1000 ms. Wall-clock only — seeds and results are unaffected.
+  /// 0 disables sleeping (tests).
+  int retry_backoff_ms = 0;
+  /// When non-empty, append one fsync'd JSONL record per completed trial to
+  /// this write-ahead journal (campaign/journal.h documents the format).
+  std::string journal_path;
+  /// Replay `journal_path` before running: completed trials are restored
+  /// from the journal and skipped; the rest run fresh. The fold happens in
+  /// trial order either way, so a killed-and-resumed campaign emits
+  /// byte-identical JSON/CSV to an uninterrupted one. A missing or empty
+  /// journal resumes as a fresh run; a journal written by a *different*
+  /// campaign (fingerprint mismatch) throws std::runtime_error.
+  bool resume = false;
+  /// Test hook: called at the start of every attempt with
+  /// (cell index, rep, attempt); a throw is handled exactly like a trial
+  /// failure. Called from worker threads — must be thread-safe.
+  std::function<void(std::size_t, int, int)> fault_injection;
 };
 
-/// One cell's outcome: the resolved cell, the per-trial seeds actually used,
-/// and the exact fold of all trial outcomes.
+/// One cell's outcome: the resolved cell, the per-trial seeds actually used
+/// (the final attempt's seed for each rep), the exact fold of all successful
+/// trial outcomes, and the structured failures of the rest.
 struct CellResult {
   CampaignCell cell;
-  std::vector<std::uint64_t> seeds;  // seeds[i] = hash_seeds(cell seed, i)
+  std::vector<std::uint64_t> seeds;
   Aggregate aggregate;
+  std::vector<TrialFailure> failures;  // in rep order
 };
 
 struct CampaignResult {
@@ -55,6 +159,9 @@ struct CampaignResult {
   /// report writers exclude them unless asked for a summary.
   double wall_seconds = 0.0;
   int workers_used = 0;
+  /// Trials restored from the journal instead of executed (resume runs).
+  /// Execution metadata like workers_used, not part of the payload.
+  std::size_t replayed_trials = 0;
 
   double trials_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(trial_count) / wall_seconds
@@ -63,12 +170,16 @@ struct CampaignResult {
 
   /// Exact merge of every cell's aggregate.
   Aggregate total() const;
+
+  /// Total recorded failures across cells (0 under kAbort, which throws).
+  std::size_t failed_trials() const;
 };
 
 /// Runs explicit cells. Each cell keeps the seed carried by its SimConfig
-/// (trial i runs under hash_seeds(cell.sim.seed, i)). Exceptions thrown by a
-/// trial (e.g. a torus too small for its radius) are rethrown on the calling
-/// thread after the pool drains.
+/// (trial i's first attempt runs under hash_seeds(cell.sim.seed, i)). Under
+/// the default ErrorPolicy::kAbort a failing trial makes run_cells throw the
+/// lowest (cell, rep) error after every trial has finished; under kKeepGoing
+/// failures are returned in CellResult::failures instead.
 CampaignResult run_cells(const std::vector<CampaignCell>& cells,
                          const CampaignOptions& options = {});
 

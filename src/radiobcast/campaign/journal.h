@@ -1,0 +1,104 @@
+#pragma once
+// Write-ahead journal for campaign runs: one fsync'd JSONL record per
+// completed trial, so a SIGKILL'd campaign can be resumed without redoing (or
+// worse, silently dropping) finished work.
+//
+// File format (one JSON object per line):
+//
+//   {"journal":"radiobcast-journal-v1","fingerprint":<u64>,"trials":<N>}
+//   {"trial":0,"cell":0,"rep":0,"seed":...,"status":"ok","attempts":1,
+//    "outcome":{"honest_nodes":...,...,"counters":{...}}}
+//   {"trial":7,"cell":1,"rep":3,"seed":...,"status":"failed","attempts":3,
+//    "kind":"transient","what":"..."}
+//
+// The header pins the campaign identity: `fingerprint` hashes every cell's
+// trial-affecting parameters (campaign_fingerprint), `trials` the flattened
+// trial count. Resume refuses a journal whose header does not match the spec
+// being run — a journal is only ever replayed into the campaign that wrote
+// it. Records carry everything the engine's fold consumes (TrialOutcome
+// integer fields, round-trip-exact coverage, counters; wall-clock timers are
+// nondeterministic and deliberately absent), which is what makes a resumed
+// campaign's JSON/CSV exports byte-identical to an uninterrupted run's.
+//
+// Torn-write safety: each record is written as one line + '\n' in a single
+// fwrite, flushed and fsync'd. The reader only trusts '\n'-terminated lines
+// that parse completely; a torn tail (or any corrupt line) is skipped, and
+// the trial simply runs again on resume. Appending after a torn tail first
+// terminates the fragment with '\n' so it can never splice into a new record.
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "radiobcast/campaign/engine.h"
+
+namespace rbcast {
+
+inline constexpr const char* kJournalSchema = "radiobcast-journal-v1";
+
+/// One journal line: a completed trial, successful or terminally failed.
+struct JournalRecord {
+  std::size_t trial = 0;  // index into the flattened trial list
+  std::size_t cell = 0;
+  int rep = 0;
+  int attempts = 1;
+  std::uint64_t seed = 0;  // seed of the final attempt
+  bool ok = true;
+  TrialOutcome outcome;  // when ok (timers zero: they are not journaled)
+  FailureKind kind = FailureKind::kPermanent;  // when !ok
+  std::string what;                            // when !ok
+};
+
+/// Deterministic digest of every trial-affecting cell parameter (sim config,
+/// placement knobs, reps, label). Two cell lists that could produce different
+/// trials have different fingerprints with overwhelming probability.
+std::uint64_t campaign_fingerprint(const std::vector<CampaignCell>& cells);
+
+std::string journal_header(std::uint64_t fingerprint, std::size_t trials);
+std::string to_json(const JournalRecord& rec);
+
+/// Strict parsers for the exact format written above. nullopt on anything
+/// malformed (missing field, wrong schema string, truncated line).
+std::optional<JournalRecord> parse_journal_record(const std::string& line);
+bool parse_journal_header(const std::string& line, std::uint64_t* fingerprint,
+                          std::size_t* trials);
+
+struct JournalContents {
+  bool header = false;  // a valid matching header line was present
+  std::vector<JournalRecord> records;
+};
+
+/// Reads a journal for resumption. A missing or empty file yields
+/// {header=false, {}} (resume degenerates to a fresh run). A present header
+/// that does not match (fingerprint, trials) throws std::runtime_error: the
+/// journal belongs to a different campaign. Unparseable lines — including a
+/// torn final line — are skipped.
+JournalContents read_journal(const std::string& path,
+                             std::uint64_t fingerprint, std::size_t trials);
+
+/// Append-only journal writer; every append is flushed and fsync'd before
+/// returning, so a record either survives a crash whole or not at all.
+/// Callers serialize appends (the engine holds its bookkeeping mutex).
+class JournalWriter {
+ public:
+  /// truncate=true starts a fresh journal; truncate=false appends (resume),
+  /// newline-terminating any torn tail left by a crash first.
+  /// Throws std::runtime_error if the file cannot be opened.
+  JournalWriter(const std::string& path, bool truncate);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Writes `line` + '\n' in one fwrite, then flushes and fsyncs.
+  /// Throws std::runtime_error on I/O failure.
+  void append_line(const std::string& line);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace rbcast

@@ -82,7 +82,7 @@ void write_aggregate(std::ostream& os, const Aggregate& agg) {
 }  // namespace
 
 void write_json(std::ostream& os, const CampaignResult& result) {
-  os << "{\"schema\":\"radiobcast-campaign-v2\",\"trials\":"
+  os << "{\"schema\":\"radiobcast-campaign-v3\",\"trials\":"
      << result.trial_count << ",\"cells\":[";
   for (std::size_t c = 0; c < result.cells.size(); ++c) {
     const CellResult& cell = result.cells[c];
@@ -97,7 +97,17 @@ void write_json(std::ostream& os, const CampaignResult& result) {
     }
     os << "],\"aggregate\":";
     write_aggregate(os, cell.aggregate);
-    os << "}";
+    os << ",\"failures\":[";
+    for (std::size_t f = 0; f < cell.failures.size(); ++f) {
+      const TrialFailure& failure = cell.failures[f];
+      if (f > 0) os << ",";
+      os << "{\"rep\":" << failure.rep
+         << ",\"attempts\":" << failure.attempts
+         << ",\"seed\":" << failure.seed << ",\"kind\":\""
+         << to_string(failure.kind) << "\",\"what\":\""
+         << json_escape(failure.what) << "\"}";
+    }
+    os << "]}";
   }
   os << "\n]}\n";
 }
@@ -115,7 +125,8 @@ void write_csv(std::ostream& os, const CampaignResult& result) {
         "min_coverage,max_nbd_faults,mean_coverage,mean_rounds,"
         "mean_transmissions,mean_fault_count,broadcasts_queued,spoofed_sends,"
         "committed_queued,heard_queued,retransmission_copies,"
-        "envelopes_delivered,envelopes_dropped,commits,last_commit_round\n";
+        "envelopes_delivered,envelopes_dropped,commits,trial_retries,"
+        "trial_timeouts,trial_failures,last_commit_round\n";
   for (const CellResult& cell : result.cells) {
     const SimConfig& sim = cell.cell.sim;
     const Aggregate& agg = cell.aggregate;
@@ -145,6 +156,9 @@ void write_csv(std::ostream& os, const CampaignResult& result) {
        << agg.counters_total.envelopes_delivered << ','
        << agg.counters_total.envelopes_dropped << ','
        << agg.counters_total.commits << ','
+       << agg.counters_total.trial_retries << ','
+       << agg.counters_total.trial_timeouts << ','
+       << agg.counters_total.trial_failures << ','
        << agg.counters_total.last_commit_round << '\n';
   }
 }
@@ -161,6 +175,13 @@ void write_summary(std::ostream& os, const CampaignResult& result) {
      << " worker" << (result.workers_used == 1 ? "" : "s") << ", "
      << format_double(result.wall_seconds, 3) << " s wall ("
      << format_double(result.trials_per_second(), 1) << " trials/s)\n";
+  if (result.replayed_trials > 0 || result.failed_trials() > 0) {
+    const Counters& counters = result.total().counters_total;
+    os << "fault tolerance: " << result.replayed_trials
+       << " trials replayed from journal, " << result.failed_trials()
+       << " failed (" << counters.trial_timeouts << " timeouts), "
+       << counters.trial_retries << " retries\n";
+  }
   // Per-trial phase split (wall-clock, nondeterministic — summary only).
   const PhaseTimers& t = result.total().timers_total;
   const double cpu = t.total_seconds();

@@ -17,7 +17,7 @@ namespace rbcast {
 
 /// Writes the campaign as a JSON document:
 /// {
-///   "schema": "radiobcast-campaign-v2",
+///   "schema": "radiobcast-campaign-v3",
 ///   "trials": N,
 ///   "cells": [
 ///     {"label": ..., "params": {protocol, adversary, placement, width,
@@ -29,10 +29,16 @@ namespace rbcast {
 ///       mean_transmissions, mean_fault_count,
 ///       "counters": {broadcasts_queued, spoofed_sends, committed_queued,
 ///        heard_queued, retransmission_copies, envelopes_delivered,
-///        envelopes_dropped, commits, last_commit_round}}}, ...]
+///        envelopes_dropped, commits, trial_retries, trial_timeouts,
+///        trial_failures, last_commit_round}},
+///      "failures": [{"rep", "attempts", "seed", "kind", "what"}, ...]},
+///     ...]
 /// }
-/// (v2 = v1 plus the per-cell summed observability counters. Wall-clock
-/// phase timings remain excluded: they are not deterministic.)
+/// (v2 = v1 plus the per-cell summed observability counters; v3 adds the
+/// structured per-cell `failures` array and the three fault-tolerance
+/// counters. `aggregate.runs` counts completed trials only, so it can be
+/// below `params.reps` when failures were kept. Wall-clock phase timings
+/// remain excluded: they are not deterministic.)
 void write_json(std::ostream& os, const CampaignResult& result);
 std::string to_json(const CampaignResult& result);
 

@@ -5,12 +5,15 @@
 // and flattens it into a list of cells, one per parameter combination.
 //
 // Seeding scheme (deterministic for any worker count):
-//   cell seed   = hash_seeds(base_seed, cell_index)
-//   trial seed  = hash_seeds(cell_seed, rep_index)
+//   cell seed    = hash_seeds(base_seed, cell_index)
+//   trial seed   = hash_seeds(cell_seed, rep_index)
+//   retry seed   = hash_seeds(cell_seed, rep_index, attempt)   [attempt >= 1]
 // with hash_seeds built on splitmix64 (util/rng.h). A cell built by hand
 // (run_cells) keeps whatever seed its SimConfig carries, which is how
 // run_repeated(base, placement, reps) reproduces its historical seed stream
-// hash_seeds(base.seed, 0..reps-1) exactly.
+// hash_seeds(base.seed, 0..reps-1) exactly. The retry stream (see
+// engine.h's trial_seed) only engages when a transient failure is retried,
+// so retry-free campaigns keep their historical seeds bit for bit.
 
 #include <cstdint>
 #include <string>

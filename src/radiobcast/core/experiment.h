@@ -57,7 +57,10 @@ FaultSet make_faults(const PlacementConfig& placement, const Torus& torus,
 /// Compact summary of one simulation trial — everything the aggregator needs,
 /// without retaining the per-node vectors of SimResult. The campaign engine
 /// stores one of these per trial so aggregates can be folded in trial order
-/// regardless of which worker thread finished first.
+/// regardless of which worker thread finished first. The campaign journal
+/// (campaign/journal.h) serializes exactly the deterministic fields below —
+/// timers excluded — which is what lets a killed-and-resumed campaign fold to
+/// byte-identical exports.
 struct TrialOutcome {
   std::int64_t honest_nodes = 0;
   std::int64_t correct_commits = 0;

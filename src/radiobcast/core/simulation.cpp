@@ -1,7 +1,9 @@
 #include "radiobcast/core/simulation.h"
 
+#include <chrono>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "radiobcast/net/jamming.h"
 #include "radiobcast/net/network.h"
@@ -143,6 +145,17 @@ SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults,
   if (cfg.width < 4 * cfg.r + 2 || cfg.height < 4 * cfg.r + 2) {
     throw std::invalid_argument("torus sides must be at least 4r+2");
   }
+  // Wall-clock watchdog: measured from entry so a pathological setup phase
+  // counts against the budget too. Checked cooperatively between rounds.
+  const bool wall_deadline_on = cfg.deadline_ms > 0;
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(cfg.deadline_ms);
+  const auto check_wall_deadline = [&] {
+    if (wall_deadline_on && std::chrono::steady_clock::now() >= wall_deadline) {
+      throw TrialTimeoutError("trial exceeded wall-clock deadline of " +
+                              std::to_string(cfg.deadline_ms) + " ms");
+    }
+  };
   PhaseStopwatch stopwatch;
   SimResult result;
   Torus torus(cfg.width, cfg.height);
@@ -179,9 +192,23 @@ SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults,
   result.timers.setup_seconds = stopwatch.lap();
 
   net.start();
+  check_wall_deadline();
   const std::int64_t bound =
       cfg.max_rounds > 0 ? cfg.max_rounds : default_round_bound(cfg);
-  result.rounds = net.run_until_quiescent(bound);
+  // The round loop of RadioNetwork::run_until_quiescent, inlined so the
+  // deadline watchdog runs between rounds (cooperatively — a single round is
+  // never interrupted, keeping every completed trial deterministic).
+  std::int64_t rounds = 0;
+  while (!net.quiescent() && rounds < bound) {
+    if (cfg.deadline_rounds > 0 && rounds >= cfg.deadline_rounds) {
+      throw TrialTimeoutError("trial exceeded round budget of " +
+                              std::to_string(cfg.deadline_rounds) + " rounds");
+    }
+    net.run_round();
+    ++rounds;
+    check_wall_deadline();
+  }
+  result.rounds = rounds;
   result.timers.rounds_seconds = stopwatch.lap();
   result.reached_quiescence = net.quiescent();
   result.transmissions = net.stats().transmissions;

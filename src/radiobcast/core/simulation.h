@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string_view>
 #include <vector>
 
@@ -69,6 +70,26 @@ struct SimConfig {
   int retransmissions = 1;
   /// For kJamming: deliveries each faulty node may destroy (-1 = unbounded).
   std::int64_t jam_budget = 0;
+  /// Per-trial deadline watchdog (0 = off). `deadline_rounds` is a
+  /// cooperative round budget: a run still non-quiescent after this many
+  /// rounds throws TrialTimeoutError instead of continuing toward max_rounds.
+  /// `deadline_ms` is a wall-clock budget measured from run_simulation entry
+  /// (setup included) and checked between rounds, so a runaway trial turns
+  /// into a thrown timeout rather than a hung worker. The campaign engine
+  /// classifies TrialTimeoutError as a non-retried `timeout` failure. Note
+  /// that a wall-clock deadline makes the *set of completed trials* depend on
+  /// machine speed; the outcome of any trial that completes is still
+  /// deterministic.
+  std::int64_t deadline_rounds = 0;
+  std::int64_t deadline_ms = 0;
+};
+
+/// Thrown by run_simulation when a SimConfig deadline is exceeded. Derives
+/// from std::runtime_error (not invalid_argument): the configuration is
+/// legal, the trial just ran past its budget.
+class TrialTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Per-node outcome for visualization: the source and honest committed nodes

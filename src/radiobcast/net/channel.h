@@ -18,6 +18,8 @@
 // t-bounded neighborhood); only liveness degrades, which retransmissions
 // repair with high probability — exactly the trade the paper sketches.
 
+#include <stdexcept>
+
 #include "radiobcast/grid/coord.h"
 #include "radiobcast/util/rng.h"
 
@@ -42,7 +44,15 @@ class PerfectChannel final : public ChannelModel {
 /// errors / accidental collisions as in the Section II remark.
 class IidLossChannel final : public ChannelModel {
  public:
-  explicit IidLossChannel(double p_loss) : p_loss_(p_loss) {}
+  /// Throws std::invalid_argument unless p_loss is a number in [0, 1].
+  /// (Rng::chance would silently clamp out-of-range values and treat NaN as
+  /// "never", masking misconfigured sweeps; the negated comparison below is
+  /// NaN-safe because every comparison with NaN is false.)
+  explicit IidLossChannel(double p_loss) : p_loss_(p_loss) {
+    if (!(p_loss >= 0.0 && p_loss <= 1.0)) {
+      throw std::invalid_argument("IidLossChannel: p_loss must be in [0,1]");
+    }
+  }
 
   bool delivers(Coord, Coord, Rng& rng) override {
     return !rng.chance(p_loss_);

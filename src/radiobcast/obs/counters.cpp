@@ -13,6 +13,9 @@ void Counters::merge(const Counters& other) {
   envelopes_delivered += other.envelopes_delivered;
   envelopes_dropped += other.envelopes_dropped;
   commits += other.commits;
+  trial_retries += other.trial_retries;
+  trial_timeouts += other.trial_timeouts;
+  trial_failures += other.trial_failures;
   last_commit_round = std::max(last_commit_round, other.last_commit_round);
 }
 
@@ -33,6 +36,9 @@ std::string to_json(const Counters& c) {
   field("envelopes_delivered", c.envelopes_delivered, false);
   field("envelopes_dropped", c.envelopes_dropped, false);
   field("commits", c.commits, false);
+  field("trial_retries", c.trial_retries, false);
+  field("trial_timeouts", c.trial_timeouts, false);
+  field("trial_failures", c.trial_failures, false);
   out += ",\"last_commit_round\":";
   out += std::to_string(c.last_commit_round);
   out += '}';

@@ -42,6 +42,14 @@ struct Counters {
   /// behaviors fabricate COMMITTED messages without committing, so they never
   /// count here.
   std::uint64_t commits = 0;
+  /// Campaign fault-tolerance tier (set by campaign/engine.cpp, always zero
+  /// inside a single run_simulation): retry attempts consumed beyond each
+  /// trial's first attempt, trials that ended in a recorded timeout failure,
+  /// and trials that ended in any recorded failure. Integer sums like every
+  /// other field, so they stay merge-exact across cells and worker counts.
+  std::uint64_t trial_retries = 0;
+  std::uint64_t trial_timeouts = 0;
+  std::uint64_t trial_failures = 0;
   /// Round in which the last note_commit fired (0 = none beyond the source's
   /// round-0 commit). "In which round did the last node commit?" — this one.
   std::int64_t last_commit_round = 0;

@@ -25,6 +25,10 @@ std::uint64_t hash_seeds(std::uint64_t a, std::uint64_t b) {
   return h ^ splitmix64(x);
 }
 
+std::uint64_t hash_seeds(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return hash_seeds(hash_seeds(a, b), c);
+}
+
 Rng::Rng(std::uint64_t seed) {
   for (auto& word : state_) word = splitmix64(seed);
   // A zero state would be a fixed point; splitmix64 cannot produce four zero

@@ -69,4 +69,10 @@ std::uint64_t splitmix64(std::uint64_t& x);
 /// from (experiment seed, parameter index) pairs.
 std::uint64_t hash_seeds(std::uint64_t a, std::uint64_t b);
 
+/// Three-way combination hash_seeds(hash_seeds(a, b), c), for deriving
+/// per-attempt seeds from (cell seed, rep index, retry attempt) triples. The
+/// campaign engine's retry schedule is built on this, so a retried trial's
+/// randomness is a pure function of the spec, never of scheduling.
+std::uint64_t hash_seeds(std::uint64_t a, std::uint64_t b, std::uint64_t c);
+
 }  // namespace rbcast

@@ -293,6 +293,41 @@ TEST(CampaignEngine, TrialExceptionsPropagateToCaller) {
   }
 }
 
+// Regression: with several failing cells in flight, abort must surface the
+// error of the deterministically lowest (cell, rep) trial — not whichever
+// worker happened to fail first.
+TEST(CampaignEngine, AbortSurfacesLowestFailingTrialError) {
+  CampaignCell metric_clash;  // earmarked relays reject the L2 metric
+  metric_clash.sim.width = metric_clash.sim.height = 20;
+  metric_clash.sim.r = 2;
+  metric_clash.sim.protocol = ProtocolKind::kBvIndirectEarmarked;
+  metric_clash.sim.metric = Metric::kL2;
+  metric_clash.reps = 2;
+  CampaignCell tiny_torus;  // below the 4r+2 geometry floor
+  tiny_torus.sim.width = tiny_torus.sim.height = 6;
+  tiny_torus.sim.r = 2;
+  tiny_torus.reps = 2;
+  for (const int workers : {1, 4}) {
+    for (const bool flipped : {false, true}) {
+      const std::vector<CampaignCell> cells =
+          flipped ? std::vector<CampaignCell>{tiny_torus, metric_clash}
+                  : std::vector<CampaignCell>{metric_clash, tiny_torus};
+      const std::string expected = flipped ? "torus sides must be at least 4r+2"
+                                           : "earmarked relays require the "
+                                             "L-infinity metric";
+      CampaignOptions options;
+      options.workers = workers;
+      try {
+        run_cells(cells, options);
+        FAIL() << "expected run_cells to throw";
+      } catch (const std::invalid_argument& e) {
+        EXPECT_EQ(std::string(e.what()), expected)
+            << workers << " workers, flipped=" << flipped;
+      }
+    }
+  }
+}
+
 TEST(CampaignEngine, TotalMergesAllCells) {
   CampaignSpec spec = random_fault_sweep();
   spec.reps = 3;
@@ -315,8 +350,9 @@ TEST(CampaignReport, JsonShapeAndEscaping) {
   spec.reps = 2;
   const CampaignResult result = run_campaign(spec, {});
   const std::string json = to_json(result);
-  EXPECT_NE(json.find("\"schema\":\"radiobcast-campaign-v2\""),
+  EXPECT_NE(json.find("\"schema\":\"radiobcast-campaign-v3\""),
             std::string::npos);
+  EXPECT_NE(json.find("\"failures\":[]"), std::string::npos);
   EXPECT_NE(json.find("\"trials\":2"), std::string::npos);
   EXPECT_NE(json.find("\"protocol\":\"crash-flood\""), std::string::npos);
   EXPECT_NE(json.find("\"placement\":\"none\""), std::string::npos);

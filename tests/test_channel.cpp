@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "radiobcast/core/simulation.h"
 #include "radiobcast/net/network.h"
 
@@ -36,6 +39,15 @@ TEST(Channel, IidLossExtremes) {
     EXPECT_FALSE(never.delivers({0, 0}, {1, 0}, rng));
     EXPECT_TRUE(always.delivers({0, 0}, {1, 0}, rng));
   }
+}
+
+TEST(Channel, IidLossRejectsOutOfRangeProbability) {
+  EXPECT_THROW(IidLossChannel(-0.1), std::invalid_argument);
+  EXPECT_THROW(IidLossChannel(1.1), std::invalid_argument);
+  EXPECT_THROW(IidLossChannel(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_NO_THROW(IidLossChannel(0.0));
+  EXPECT_NO_THROW(IidLossChannel(1.0));
 }
 
 /// Counts deliveries it receives.

@@ -152,7 +152,9 @@ TEST(Counters, JsonRenderingIsFixedOrder) {
             "{\"broadcasts_queued\":1,\"spoofed_sends\":0,"
             "\"committed_queued\":0,\"heard_queued\":0,"
             "\"retransmission_copies\":0,\"envelopes_delivered\":0,"
-            "\"envelopes_dropped\":0,\"commits\":9,\"last_commit_round\":3}");
+            "\"envelopes_dropped\":0,\"commits\":9,\"trial_retries\":0,"
+            "\"trial_timeouts\":0,\"trial_failures\":0,"
+            "\"last_commit_round\":3}");
 }
 
 TEST(RoundTrace, RingBufferWrapsDeterministically) {
