@@ -6,9 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <thread>
 
 #include "radiobcast/campaign/engine.h"
+#include "radiobcast/net/network.h"
 #include "radiobcast/core/analysis.h"
 #include "radiobcast/core/simulation.h"
 #include "radiobcast/fault/placement.h"
@@ -48,6 +50,60 @@ void BM_BvTwoHopFullTorus(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * cfg.width * cfg.height);
 }
 BENCHMARK(BM_BvTwoHopFullTorus)->Arg(1)->Arg(2);
+
+// Pure delivery fan-out cost of the round engine: every node rebroadcasts a
+// COMMITTED each round, so one run_round() is n transmissions x |nbd|
+// deliveries with trivial behavior work. items/s is deliveries/s — the
+// direct measure of the per-delivery hot path (CSR adjacency, behavior
+// dispatch, counter upkeep) with protocol logic factored out.
+void BM_RoundDeliveryFanout(benchmark::State& state) {
+  class ChatterBehavior final : public NodeBehavior {
+   public:
+    void on_start(NodeContext& ctx) override {
+      ctx.broadcast(make_committed(ctx.self(), 1));
+    }
+    void on_receive(NodeContext&, const Envelope&) override {}
+    void on_round_end(NodeContext& ctx) override {
+      ctx.broadcast(make_committed(ctx.self(), 1));
+    }
+  };
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  const std::int32_t side = 8 * r + 4;
+  RadioNetwork net(Torus(side, side), r, Metric::kLInf, 1);
+  for (const Coord c : net.torus().all_coords()) {
+    net.set_behavior(c, std::make_unique<ChatterBehavior>());
+  }
+  net.start();
+  net.run_round();  // prime: buffers at steady-state capacity
+  for (auto _ : state) {
+    net.run_round();
+  }
+  const std::int64_t deliveries_per_round =
+      net.torus().node_count() * NeighborhoodTable::get(r, Metric::kLInf).size();
+  state.SetItemsProcessed(state.iterations() * deliveries_per_round);
+}
+BENCHMARK(BM_RoundDeliveryFanout)->Arg(1)->Arg(2)->Arg(3);
+
+// HEARD-heavy evidence path: the faithful flooding relay mode generates the
+// maximal report traffic (every plausible chain is relayed), so this pins the
+// cost of HEARD dedup, evidence accumulation, and the per-round
+// determination sweep.
+void BM_HeardFlood(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  SimConfig cfg;
+  cfg.r = r;
+  // Deliberately smaller than the 8r+4 benchmark tori: flood-mode relay
+  // traffic grows superlinearly in the node count, and the evidence-path
+  // cost this benchmark isolates is already dominant at 4r+4.
+  cfg.width = cfg.height = 4 * r + 4;
+  cfg.protocol = ProtocolKind::kBvIndirectFlood;
+  cfg.t = byz_linf_achievable_max(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_simulation(cfg, FaultSet{}));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.width * cfg.height);
+}
+BENCHMARK(BM_HeardFlood)->Arg(1)->Arg(2);
 
 void BM_BvEarmarkedFullTorus(benchmark::State& state) {
   const auto r = static_cast<std::int32_t>(state.range(0));

@@ -1,0 +1,46 @@
+#include "radiobcast/grid/adjacency.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+namespace rbcast {
+
+Adjacency::Adjacency(const Torus& torus, const NeighborhoodTable& table)
+    : degree_(static_cast<std::int32_t>(table.size())) {
+  const std::int64_t n = torus.node_count();
+  receiver_index_.reserve(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(degree_));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Coord c = torus.coord(static_cast<std::int32_t>(i));
+    for (const Offset o : table.offsets()) {
+      receiver_index_.push_back(torus.index(c + o));
+    }
+  }
+}
+
+const Adjacency& Adjacency::get(const Torus& torus,
+                                const NeighborhoodTable& table) {
+  // Same shape as NeighborhoodTable::get: mutex-guarded keyed cache with
+  // unique_ptr for address stability. Campaign workers construct networks
+  // concurrently, so the lock covers lookup and insert.
+  static std::mutex mutex;
+  static std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t, int>,
+                  std::unique_ptr<Adjacency>>
+      cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto key = std::make_tuple(torus.width(), torus.height(),
+                                   table.radius(),
+                                   static_cast<int>(table.metric()));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key,
+                      std::unique_ptr<Adjacency>(new Adjacency(torus, table)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,51 @@
+#pragma once
+// Precomputed CSR delivery fan-out.
+//
+// On a torus every node has the same neighborhood shape, so the adjacency of
+// the radio graph is a dense |V| x |nbd| table: row i lists the node indices
+// within distance r of node i, in the NeighborhoodTable's row-major offset
+// order. RadioNetwork precomputes this once at construction and run_round
+// then delivers by dense index — no per-delivery wrap(), index(), or
+// neighborhood-cache lookups, and receivers stream through one flat
+// std::int32_t array in exactly the order the per-offset loop used to visit
+// them (the bit-identical determinism contract, docs/PERF.md).
+//
+// The uniform degree makes the "row offsets" of a general CSR implicit:
+// row i starts at i * degree().
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radiobcast/grid/neighborhood.h"
+#include "radiobcast/grid/torus.h"
+
+namespace rbcast {
+
+class Adjacency {
+ public:
+  Adjacency(const Torus& torus, const NeighborhoodTable& table);
+
+  /// Process-wide cached table for (torus dims, table radius, table metric).
+  /// The CSR depends only on geometry, so every same-shaped RadioNetwork in a
+  /// campaign shares one build — per-trial setup cost drops to a map lookup.
+  static const Adjacency& get(const Torus& torus,
+                              const NeighborhoodTable& table);
+
+  /// |nbd| — receivers per transmission.
+  std::int32_t degree() const { return degree_; }
+
+  /// Node indices hearing a transmission by `sender` (a dense node index),
+  /// in the neighborhood table's offset order.
+  std::span<const std::int32_t> receivers(std::int32_t sender) const {
+    return {receiver_index_.data() +
+                static_cast<std::size_t>(sender) * static_cast<std::size_t>(degree_),
+            static_cast<std::size_t>(degree_)};
+  }
+
+ private:
+  std::int32_t degree_;
+  std::vector<std::int32_t> receiver_index_;  // node_count * degree entries
+};
+
+}  // namespace rbcast

@@ -52,15 +52,47 @@ std::vector<Coord> NeighborhoodTable::closed_neighbors(const Torus& torus,
   return out;
 }
 
+namespace {
+
+/// Cached, deduplicated offset union of the four shifted neighborhoods —
+/// center-independent, so one sorted offset list per (r, m) replaces the
+/// four materialize-and-merge passes per call.
+const std::vector<Offset>& perturbed_offsets(std::int32_t r, Metric m) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::int32_t, int>,
+                  std::unique_ptr<std::vector<Offset>>>
+      cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto key = std::make_pair(r, static_cast<int>(m));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto united = std::make_unique<std::vector<Offset>>();
+    const auto& table = NeighborhoodTable::get(r, m);
+    const Offset shifts[4] = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+    for (const Offset s : shifts) {
+      for (const Offset o : table.offsets()) united->push_back(s + o);
+    }
+    const auto less = [](Offset a, Offset b) {
+      return a.dy != b.dy ? a.dy < b.dy : a.dx < b.dx;
+    };
+    std::sort(united->begin(), united->end(), less);
+    united->erase(std::unique(united->begin(), united->end()), united->end());
+    it = cache.emplace(key, std::move(united)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
 std::vector<Coord> perturbed_neighborhood(const Torus& torus, Coord center,
                                           std::int32_t r, Metric m) {
-  const auto& table = NeighborhoodTable::get(r, m);
+  const std::vector<Offset>& offsets = perturbed_offsets(r, m);
   std::vector<Coord> out;
-  const Offset shifts[4] = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
-  for (const Offset s : shifts) {
-    auto part = table.neighbors(torus, torus.wrap(center + s));
-    out.insert(out.end(), part.begin(), part.end());
-  }
+  out.reserve(offsets.size());
+  for (const Offset o : offsets) out.push_back(torus.wrap(center + o));
+  // Wrapping can re-merge distinct offsets on small tori, and canonical
+  // coordinate order differs from offset order — the sort stays, but over
+  // one deduplicated list instead of four overlapping neighborhoods.
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;

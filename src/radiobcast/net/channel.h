@@ -32,12 +32,19 @@ class ChannelModel {
   /// True iff `receiver` hears this transmission from `sender`. Called once
   /// per (transmission, receiver); implementations may consume randomness.
   virtual bool delivers(Coord sender, Coord receiver, Rng& rng) = 0;
+
+  /// True iff delivers() returns true unconditionally AND consumes no
+  /// randomness. Lets the network skip the per-receiver channel call entirely
+  /// on the hot delivery path — byte-identical because a channel honoring
+  /// this contract draws nothing from the rng stream.
+  virtual bool always_delivers() const { return false; }
 };
 
 /// The paper's idealized reliable channel: every neighbor hears everything.
 class PerfectChannel final : public ChannelModel {
  public:
   bool delivers(Coord, Coord, Rng&) override { return true; }
+  bool always_delivers() const override { return true; }
 };
 
 /// Independent per-receiver loss with probability p_loss — transmission

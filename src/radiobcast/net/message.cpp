@@ -12,13 +12,12 @@ Message make_committed(Coord origin, std::uint8_t value) {
   return m;
 }
 
-Message make_heard(std::vector<Coord> relayers, Coord origin,
-                   std::uint8_t value) {
+Message make_heard(RelayerChain relayers, Coord origin, std::uint8_t value) {
   Message m;
   m.type = MsgType::kHeard;
   m.value = value;
   m.origin = origin;
-  m.relayers = std::move(relayers);
+  m.relayers = relayers;
   return m;
 }
 
@@ -28,8 +27,8 @@ std::string to_string(const Message& m) {
     os << "COMMITTED(" << to_string(m.origin) << ", " << int(m.value) << ")";
   } else {
     os << "HEARD(";
-    for (auto it = m.relayers.rbegin(); it != m.relayers.rend(); ++it) {
-      os << to_string(*it) << ", ";
+    for (std::size_t i = m.relayers.size(); i > 0; --i) {
+      os << to_string(m.relayers[i - 1]) << ", ";
     }
     os << to_string(m.origin) << ", " << int(m.value) << ")";
   }

@@ -11,7 +11,11 @@
 // the transmitter, which is what makes fabricated "sent by someone else"
 // reports detectable (no address spoofing, Section II).
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +25,60 @@ namespace rbcast {
 
 enum class MsgType : std::uint8_t { kCommitted, kHeard };
 
+/// Inline fixed-capacity relayer chain. The protocol bounds chains at three
+/// intermediate relayers ("up to three intermediate nodes", Section VI), and
+/// validators must be able to hold a rejected chain one longer than the
+/// longest legal one, so capacity is 4. Keeping the storage inline makes a
+/// Message trivially copyable: every queued / retransmitted / repeated copy
+/// on the hot delivery path is a flat memcpy with zero heap traffic.
+class RelayerChain {
+ public:
+  static constexpr std::size_t kCapacity = 4;
+
+  constexpr RelayerChain() = default;
+  RelayerChain(std::initializer_list<Coord> init) {
+    if (init.size() > kCapacity) {
+      throw std::length_error("RelayerChain: too many relayers");
+    }
+    for (const Coord c : init) nodes_[size_++] = c;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push_back(Coord c) {
+    if (size_ == kCapacity) {
+      throw std::length_error("RelayerChain: capacity exceeded");
+    }
+    nodes_[size_++] = c;
+  }
+
+  Coord& operator[](std::size_t i) { return nodes_[i]; }
+  Coord operator[](std::size_t i) const { return nodes_[i]; }
+  Coord front() const { return nodes_[0]; }
+  Coord back() const { return nodes_[size_ - 1]; }
+
+  Coord* begin() { return nodes_.data(); }
+  Coord* end() { return nodes_.data() + size_; }
+  const Coord* begin() const { return nodes_.data(); }
+  const Coord* end() const { return nodes_.data() + size_; }
+
+  /// Escape hatch for callers that need a real vector (tests, analyses).
+  std::vector<Coord> to_vector() const { return {begin(), end()}; }
+
+  friend bool operator==(const RelayerChain& a, const RelayerChain& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.nodes_[i] != b.nodes_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<Coord, kCapacity> nodes_{};
+  std::uint8_t size_ = 0;
+};
+
 struct Message {
   MsgType type = MsgType::kCommitted;
   std::uint8_t value = 0;  // the binary broadcast value (0 or 1)
@@ -28,14 +86,13 @@ struct Message {
   // Relayer chain for kHeard, in forwarding order: relayers.front() heard the
   // COMMITTED directly; relayers.back() is the current transmitter. Empty for
   // kCommitted.
-  std::vector<Coord> relayers;
+  RelayerChain relayers;
 
   friend bool operator==(const Message&, const Message&) = default;
 };
 
 Message make_committed(Coord origin, std::uint8_t value);
-Message make_heard(std::vector<Coord> relayers, Coord origin,
-                   std::uint8_t value);
+Message make_heard(RelayerChain relayers, Coord origin, std::uint8_t value);
 
 /// Human-readable rendering for logs and test failures.
 std::string to_string(const Message& m);

@@ -5,6 +5,15 @@
 
 namespace rbcast {
 
+namespace {
+
+std::int32_t checked_radius(std::int32_t r) {
+  if (r < 1) throw std::invalid_argument("radius must be >= 1");
+  return r;
+}
+
+}  // namespace
+
 const Torus& NodeContext::torus() const { return net_->torus(); }
 std::int32_t NodeContext::radius() const { return net_->radius(); }
 Metric NodeContext::metric() const { return net_->metric(); }
@@ -26,18 +35,27 @@ void NodeContext::note_commit(std::uint8_t value) {
 RadioNetwork::RadioNetwork(Torus torus, std::int32_t r, Metric metric,
                            std::uint64_t seed)
     : torus_(std::move(torus)),
-      r_(r),
+      r_(checked_radius(r)),
       metric_(metric),
       rng_(seed),
       channel_(std::make_unique<PerfectChannel>()),
+      table_(NeighborhoodTable::get(r, metric)),
+      adjacency_(Adjacency::get(torus_, table_)),
+      node_coords_(torus_.all_coords()),
       behaviors_(static_cast<std::size_t>(torus_.node_count())),
       tx_count_(static_cast<std::size_t>(torus_.node_count()), 0) {
-  if (r < 1) throw std::invalid_argument("radius must be >= 1");
+  // Reserving up to one fresh broadcast per node keeps the steady-state
+  // delivery loop allocation-free (every flood protocol queues at most one
+  // broadcast per node per round; heavier traffic grows the buffers once and
+  // the round-to-round swap below then reuses their capacity).
+  pending_.reserve(static_cast<std::size_t>(torus_.node_count()));
+  outbox_.reserve(static_cast<std::size_t>(torus_.node_count()));
 }
 
 void RadioNetwork::set_channel(std::unique_ptr<ChannelModel> channel) {
   if (channel == nullptr) throw std::invalid_argument("null channel");
   channel_ = std::move(channel);
+  channel_always_delivers_ = channel_->always_delivers();
 }
 
 void RadioNetwork::set_retransmissions(int count) {
@@ -87,7 +105,7 @@ void RadioNetwork::queue_broadcast(Coord sender, Message msg) {
   const Coord canon = torus_.wrap(sender);
   count_queued(msg);
   outbox_.push_back(Pending{Envelope{canon, std::move(msg)}, canon,
-                            retransmissions_ - 1});
+                            torus_.index(canon), retransmissions_ - 1});
 }
 
 void RadioNetwork::queue_spoofed_broadcast(Coord actual_sender,
@@ -100,9 +118,10 @@ void RadioNetwork::queue_spoofed_broadcast(Coord actual_sender,
   }
   count_queued(msg);
   counters_.spoofed_sends += 1;
+  const Coord actual = torus_.wrap(actual_sender);
   outbox_.push_back(Pending{Envelope{torus_.wrap(claimed_sender),
                                      std::move(msg)},
-                            torus_.wrap(actual_sender),
+                            actual, torus_.index(actual),
                             retransmissions_ - 1});
 }
 
@@ -115,12 +134,11 @@ void RadioNetwork::start() {
                                  static_cast<std::int32_t>(i))) +
                              " has no behavior");
     }
-    NodeContext ctx(*this, torus_.coord(static_cast<std::int32_t>(i)));
+    NodeContext ctx(*this, node_coords_[static_cast<std::size_t>(i)]);
     b->on_start(ctx);
   }
   started_ = true;
-  pending_ = std::move(outbox_);
-  outbox_.clear();
+  std::swap(pending_, outbox_);  // outbox_ keeps its capacity for round 1
 }
 
 void RadioNetwork::run_round() {
@@ -135,55 +153,70 @@ void RadioNetwork::run_round() {
   // Deliver last round's transmissions. pending_ preserves sender order
   // (node-index-major, send-order-minor) because behaviors run in index
   // order, which gives every receiver the same deterministic TDMA order.
-  std::vector<Pending> repeats;
+  // Receivers come from the precomputed CSR fan-out, whose per-row order is
+  // the neighborhood table's offset order — the exact sequence the old
+  // per-offset wrap loop visited, so results are bit-identical.
+  repeats_.clear();
+  const bool fast_path = channel_always_delivers_ && trace_ == nullptr;
   for (const Pending& p : pending_) {
     const Envelope& env = p.envelope;
-    const std::size_t sender_idx =
-        static_cast<std::size_t>(torus_.index(p.actual_sender));
-    tx_count_[sender_idx] += 1;
+    tx_count_[static_cast<std::size_t>(p.sender_index)] += 1;
     stats_.transmissions += 1;
     stats_.payload_units += 2 + env.msg.relayers.size();
-    const auto& table = NeighborhoodTable::get(r_, metric_);
-    for (const Offset o : table.offsets()) {
-      // Receivers are the ACTUAL transmitter's neighbors, even when the
-      // envelope claims a spoofed identity.
-      const Coord receiver = torus_.wrap(p.actual_sender + o);
-      if (!channel_->delivers(p.actual_sender, receiver, rng_)) {
-        stats_.drops += 1;
-        counters_.envelopes_dropped += 1;
-        continue;
+    const std::span<const std::int32_t> receivers =
+        adjacency_.receivers(p.sender_index);
+    if (fast_path) {
+      // A channel honoring always_delivers() consumes no randomness and a
+      // null trace emits nothing, so the per-receiver checks collapse to
+      // bulk counter updates plus the behavior dispatch.
+      stats_.deliveries += receivers.size();
+      counters_.envelopes_delivered += receivers.size();
+      for (const std::int32_t ri : receivers) {
+        NodeContext ctx(*this, node_coords_[static_cast<std::size_t>(ri)]);
+        behaviors_[static_cast<std::size_t>(ri)]->on_receive(ctx, env);
       }
-      NodeBehavior* b =
-          behaviors_[static_cast<std::size_t>(torus_.index(receiver))].get();
-      stats_.deliveries += 1;
-      counters_.envelopes_delivered += 1;
-      if (trace_ != nullptr) {
-        TraceEvent e;
-        e.kind = TraceEventKind::kMessageDelivered;
-        e.round = round_;
-        e.node = receiver;
-        e.sender = env.sender;
-        e.origin = torus_.wrap(env.msg.origin);
-        e.value = env.msg.value;
-        e.msg_type = env.msg.type == MsgType::kCommitted ? 0 : 1;
-        trace_->record(e);
+    } else {
+      for (const std::int32_t ri : receivers) {
+        // Receivers are the ACTUAL transmitter's neighbors, even when the
+        // envelope claims a spoofed identity.
+        const Coord receiver = node_coords_[static_cast<std::size_t>(ri)];
+        if (!channel_->delivers(p.actual_sender, receiver, rng_)) {
+          stats_.drops += 1;
+          counters_.envelopes_dropped += 1;
+          continue;
+        }
+        stats_.deliveries += 1;
+        counters_.envelopes_delivered += 1;
+        if (trace_ != nullptr) {
+          TraceEvent e;
+          e.kind = TraceEventKind::kMessageDelivered;
+          e.round = round_;
+          e.node = receiver;
+          e.sender = env.sender;
+          e.origin = torus_.wrap(env.msg.origin);
+          e.value = env.msg.value;
+          e.msg_type = env.msg.type == MsgType::kCommitted ? 0 : 1;
+          trace_->record(e);
+        }
+        NodeContext ctx(*this, receiver);
+        behaviors_[static_cast<std::size_t>(ri)]->on_receive(ctx, env);
       }
-      NodeContext ctx(*this, receiver);
-      b->on_receive(ctx, env);
     }
     if (p.repeats_left > 0) {
-      repeats.push_back(Pending{env, p.actual_sender, p.repeats_left - 1});
+      repeats_.push_back(
+          Pending{env, p.actual_sender, p.sender_index, p.repeats_left - 1});
     }
   }
   pending_.clear();
   for (std::int64_t i = 0; i < torus_.node_count(); ++i) {
-    NodeContext ctx(*this, torus_.coord(static_cast<std::int32_t>(i)));
+    NodeContext ctx(*this, node_coords_[static_cast<std::size_t>(i)]);
     behaviors_[static_cast<std::size_t>(i)]->on_round_end(ctx);
   }
-  pending_ = std::move(outbox_);
-  outbox_.clear();
+  // Swap instead of move-assign so both buffers keep their capacity across
+  // rounds (the steady-state allocation-free contract).
+  std::swap(pending_, outbox_);
   // Retransmission copies go after this round's fresh sends.
-  for (Pending& p : repeats) pending_.push_back(std::move(p));
+  for (const Pending& p : repeats_) pending_.push_back(p);
 }
 
 std::int64_t RadioNetwork::run_until_quiescent(std::int64_t max_rounds) {

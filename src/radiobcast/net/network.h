@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "radiobcast/grid/adjacency.h"
 #include "radiobcast/grid/metric.h"
 #include "radiobcast/grid/neighborhood.h"
 #include "radiobcast/grid/torus.h"
@@ -181,10 +182,13 @@ class RadioNetwork {
 
   /// A transmission awaiting delivery; `repeats_left` further copies will be
   /// scheduled in subsequent rounds. `actual_sender` determines who hears it
-  /// (it differs from envelope.sender only for spoofed transmissions).
+  /// (it differs from envelope.sender only for spoofed transmissions);
+  /// `sender_index` is its dense node index, precomputed at queue time so the
+  /// delivery loop never touches coordinate arithmetic.
   struct Pending {
     Envelope envelope;
     Coord actual_sender;
+    std::int32_t sender_index;
     int repeats_left;
   };
 
@@ -197,11 +201,21 @@ class RadioNetwork {
   int retransmissions_ = 1;
   bool spoofing_allowed_ = false;
   std::unique_ptr<ChannelModel> channel_;
+  bool channel_always_delivers_ = true;  // cached channel_->always_delivers()
+
+  // Hot-path precomputation (docs/PERF.md): the neighborhood table is
+  // resolved once (no per-transmission mutex/map lookup), the CSR fan-out
+  // maps sender index -> receiver indices, and node_coords_ inverts dense
+  // indices back to canonical coordinates with one array read.
+  const NeighborhoodTable& table_;
+  const Adjacency& adjacency_;
+  std::vector<Coord> node_coords_;
 
   std::vector<std::unique_ptr<NodeBehavior>> behaviors_;  // by node index
   std::vector<std::uint64_t> tx_count_;                   // by node index
   std::vector<Pending> pending_;  // sent last round, deliver this round
   std::vector<Pending> outbox_;   // sent this round
+  std::vector<Pending> repeats_;  // per-round retransmission scratch
   TrafficStats stats_;
   Counters counters_;
   RoundTrace* trace_ = nullptr;  // optional event sink, not owned

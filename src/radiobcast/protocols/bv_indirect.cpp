@@ -1,32 +1,38 @@
 #include "radiobcast/protocols/bv_indirect.h"
 
 #include <algorithm>
+#include <span>
 
-#include "radiobcast/grid/neighborhood.h"
 #include "radiobcast/protocols/earmark.h"
 
 namespace rbcast {
 
 namespace {
 
-/// Binary encoding of a report (relayer chain) for deduplication.
-std::string encode_report(const std::vector<Coord>& relayers) {
-  std::string out;
-  out.reserve(relayers.size() * 8);
-  for (const Coord c : relayers) {
-    for (int shift = 0; shift < 32; shift += 8) {
-      out.push_back(static_cast<char>(
-          (static_cast<std::uint32_t>(c.x) >> shift) & 0xFF));
-    }
-    for (int shift = 0; shift < 32; shift += 8) {
-      out.push_back(static_cast<char>(
-          (static_cast<std::uint32_t>(c.y) >> shift) & 0xFF));
-    }
+constexpr std::size_t kMaxRelayers = 3;  // "up to three intermediate nodes"
+
+/// Packed dedup key of a report: chain length plus 8-bit two's-complement
+/// components of each origin-relative delta. Plausible chains keep every
+/// component within 3r (each hop moves at most r), so the encoding is
+/// injective for r <= 42 — far beyond the r <= 7 the mask id space supports.
+std::uint64_t pack_report_key(
+    const std::array<Offset, RelayerChain::kCapacity>& rel, std::size_t n) {
+  std::uint64_t key = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    key = (key << 16) |
+          (static_cast<std::uint64_t>(static_cast<std::uint8_t>(rel[i].dx))
+           << 8) |
+          static_cast<std::uint64_t>(static_cast<std::uint8_t>(rel[i].dy));
   }
-  return out;
+  return key;
 }
 
-constexpr std::size_t kMaxRelayers = 3;  // "up to three intermediate nodes"
+/// Injective 32-bit packing of a small offset (16-bit components).
+std::uint32_t pack_offset32(Offset o) {
+  return (static_cast<std::uint32_t>(static_cast<std::uint16_t>(o.dx))
+          << 16) |
+         static_cast<std::uint16_t>(o.dy);
+}
 
 }  // namespace
 
@@ -37,6 +43,10 @@ BvIndirectBehavior::BvIndirectBehavior(const ProtocolParams& params,
       r_(r),
       m_(m),
       mode_(mode),
+      table_(NeighborhoodTable::get(r, m)),
+      earmarks_(mode == RelayMode::kEarmarked ? &EarmarkPlan::get(r)
+                                              : nullptr),
+      offset_exact_(torus.width() >= 8 * r && torus.height() >= 8 * r),
       counter_(torus, r, m, params.t) {}
 
 void BvIndirectBehavior::commit(NodeContext& ctx, std::uint8_t value) {
@@ -93,15 +103,18 @@ void BvIndirectBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
   if (origin == self) return;
 
   // Plausibility of the claimed chain: consecutive hops within radius,
-  // all nodes distinct, and the chain does not pass through us.
-  std::vector<Coord> chain;
-  chain.reserve(msg.relayers.size());
+  // all nodes distinct, and the chain does not pass through us. The
+  // origin-relative deltas are captured alongside for the dedup key, the
+  // earmark lookup, and the offset-space geometry below.
+  RelayerChain chain;
+  std::array<Offset, RelayerChain::kCapacity> rel{};
   Coord prev = origin;
   for (const Coord raw : msg.relayers) {
     const Coord c = torus.wrap(raw);
     if (c == origin || c == self) return;
     if (std::find(chain.begin(), chain.end(), c) != chain.end()) return;
     if (!torus.within(prev, c, r_, m_)) return;
+    rel[chain.size()] = torus.delta(origin, c);
     chain.push_back(c);
     prev = c;
   }
@@ -117,10 +130,11 @@ void BvIndirectBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
     ev.origin = origin;
     auto& per_first = ev.per_first_relayer[chain.front()];
     if (per_first < kReportsPerFirstRelayer &&
-        ev.dedup.insert(encode_report(chain)).second) {
+        ev.dedup.insert(pack_report_key(rel, chain.size())).second) {
       ++per_first;
       Evidence::Report report;
       report.relayers = chain;
+      report.rel = rel;
       bool mask_ok = true;
       for (const Coord c : chain) {
         auto bit = ev.node_bits.find(c);
@@ -139,7 +153,7 @@ void BvIndirectBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
         report.mask.set(static_cast<std::size_t>(bit->second));
       }
       if (mask_ok) {
-        ev.reports.push_back(std::move(report));
+        ev.reports.push_back(report);
         dirty_.insert(key);
       }
     }
@@ -148,36 +162,50 @@ void BvIndirectBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
   // Relay with ourselves appended, if depth allows and the extended chain is
   // still potentially useful.
   if (chain.size() >= kMaxRelayers) return;
-  std::vector<Coord> extended = chain;
+  RelayerChain extended = chain;
   extended.push_back(self);
+  rel[chain.size()] = torus.delta(origin, self);
+  const std::size_t n = extended.size();
   if (mode_ == RelayMode::kEarmarked) {
-    std::vector<Offset> rel;
-    rel.reserve(extended.size());
-    for (const Coord c : extended) rel.push_back(torus.delta(origin, c));
-    if (!EarmarkPlan::get(r_).allows(rel)) return;
+    if (!earmarks_->allows(std::span<const Offset>(rel.data(), n))) return;
   } else {
     // Usefulness filter: a decider only ever accepts a chain whose nodes plus
     // the committer fit in one neighborhood, so drop extensions that already
     // cannot.
     bool fits = false;
-    const auto& table = NeighborhoodTable::get(r_, m_);
-    for (const Offset off : table.offsets()) {
-      const Coord c = torus.wrap(origin + off);
-      bool all_in = true;
-      for (const Coord node : extended) {
-        if (node == c || !torus.within(c, node, r_, m_)) {
-          all_in = false;
+    if (offset_exact_) {
+      for (const Offset off : table_.offsets()) {
+        bool all_in = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (rel[i] == off || !within_radius(rel[i] - off, r_, m_)) {
+            all_in = false;
+            break;
+          }
+        }
+        if (all_in) {
+          fits = true;
           break;
         }
       }
-      if (all_in) {
-        fits = true;
-        break;
+    } else {
+      for (const Offset off : table_.offsets()) {
+        const Coord c = torus.wrap(origin + off);
+        bool all_in = true;
+        for (const Coord node : extended) {
+          if (node == c || !torus.within(c, node, r_, m_)) {
+            all_in = false;
+            break;
+          }
+        }
+        if (all_in) {
+          fits = true;
+          break;
+        }
       }
     }
     if (!fits) return;
   }
-  ctx.broadcast(make_heard(std::move(extended), origin, v));
+  ctx.broadcast(make_heard(extended, origin, v));
 }
 
 bool BvIndirectBehavior::try_determine_from_reports(const Torus& torus,
@@ -186,33 +214,54 @@ bool BvIndirectBehavior::try_determine_from_reports(const Torus& torus,
   if (static_cast<std::int64_t>(ev.reports.size()) < params_.t + 1) {
     return false;
   }
-  const auto& table = NeighborhoodTable::get(r_, m_);
-  for (const Offset off : table.offsets()) {
-    const Coord c = torus.wrap(origin + off);  // candidate center: origin in nbd(c)
-    // Masks of the reports fully contained in nbd(c).
-    std::vector<NodeMask> masks;
-    masks.reserve(ev.reports.size());
-    std::unordered_set<Coord> first_relayers;
-    for (const auto& report : ev.reports) {
-      bool inside = true;
-      for (const Coord node : report.relayers) {
-        if (node == c || !torus.within(c, node, r_, m_)) {
-          inside = false;
-          break;
+  for (const Offset off : table_.offsets()) {
+    // Candidate center c = origin + off (so origin lies in nbd(c)). Collect
+    // masks of the reports fully contained in nbd(c) into reusable scratch.
+    scratch_masks_.clear();
+    scratch_first_.clear();
+    if (offset_exact_) {
+      for (const auto& report : ev.reports) {
+        bool inside = true;
+        const std::size_t n = report.relayers.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (report.rel[i] == off ||
+              !within_radius(report.rel[i] - off, r_, m_)) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) {
+          scratch_masks_.push_back(report.mask);
+          scratch_first_.push_back(pack_offset32(report.rel[0]));
         }
       }
-      if (inside) {
-        masks.push_back(report.mask);
-        first_relayers.insert(report.relayers.front());
+    } else {
+      const Coord c = torus.wrap(origin + off);
+      for (const auto& report : ev.reports) {
+        bool inside = true;
+        for (const Coord node : report.relayers) {
+          if (node == c || !torus.within(c, node, r_, m_)) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) {
+          scratch_masks_.push_back(report.mask);
+          scratch_first_.push_back(pack_offset32(report.rel[0]));
+        }
       }
     }
     // Disjoint reports need distinct first relayers: a cheap upper bound
     // that skips hopeless (and potentially expensive) packing calls.
-    if (static_cast<std::int64_t>(first_relayers.size()) < params_.t + 1) {
+    std::sort(scratch_first_.begin(), scratch_first_.end());
+    const auto distinct_first = std::distance(
+        scratch_first_.begin(),
+        std::unique(scratch_first_.begin(), scratch_first_.end()));
+    if (static_cast<std::int64_t>(distinct_first) < params_.t + 1) {
       continue;
     }
     const PackingResult packing = max_disjoint_packing(
-        masks, static_cast<int>(params_.t + 1));
+        scratch_masks_, static_cast<int>(params_.t + 1));
     if (packing.count >= params_.t + 1) return true;
   }
   return false;
@@ -229,10 +278,11 @@ void BvIndirectBehavior::on_round_end(NodeContext& ctx) {
   const Torus& torus = ctx.torus();
   // Move out: determine() mutates evidence_ and new dirt belongs to the next
   // round anyway.
-  std::vector<std::uint64_t> keys(dirty_.begin(), dirty_.end());
-  std::sort(keys.begin(), keys.end());  // deterministic evaluation order
+  scratch_keys_.clear();
+  scratch_keys_.insert(scratch_keys_.end(), dirty_.begin(), dirty_.end());
+  std::sort(scratch_keys_.begin(), scratch_keys_.end());  // deterministic
   dirty_.clear();
-  for (const std::uint64_t key : keys) {
+  for (const std::uint64_t key : scratch_keys_) {
     const auto it = evidence_.find(key);
     if (it == evidence_.end()) continue;  // already determined
     const std::uint8_t v = static_cast<std::uint8_t>(key & 1);

@@ -25,18 +25,21 @@
 //                (protocols/earmark.h); same commit outcomes, far less
 //                traffic. L∞ only.
 
+#include <array>
 #include <cstdint>
 #include <optional>
-#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "radiobcast/grid/neighborhood.h"
 #include "radiobcast/net/network.h"
 #include "radiobcast/paths/packing.h"
 #include "radiobcast/protocols/common.h"
 
 namespace rbcast {
+
+class EarmarkPlan;
 
 enum class RelayMode : std::uint8_t { kFlood, kEarmarked };
 
@@ -80,11 +83,17 @@ class BvIndirectBehavior final : public NodeBehavior {
     std::unordered_map<Coord, int> node_bits;
     std::vector<Coord> bit_coords;  // inverse of node_bits
     struct Report {
-      std::vector<Coord> relayers;
+      RelayerChain relayers;
+      // Origin-relative torus deltas of the relayers (rel[i] = delta(origin,
+      // relayers[i])): the geometry tests below run in offset space with no
+      // per-node wrap calls, and the packed dedup key is built from these.
+      std::array<Offset, RelayerChain::kCapacity> rel{};
       NodeMask mask;
     };
     std::vector<Report> reports;
-    std::unordered_set<std::string> dedup;
+    // Deduplicated by the packed origin-relative encoding of the chain (a
+    // uint64; see pack_report_key in the .cpp) — no per-HEARD string builds.
+    std::unordered_set<std::uint64_t> dedup;
     std::unordered_map<Coord, int> per_first_relayer;
     // Re-evaluation memo: reports.size() at the last on_round_end check.
     std::size_t evaluated_at = 0;
@@ -103,12 +112,26 @@ class BvIndirectBehavior final : public NodeBehavior {
   std::int32_t r_;
   Metric m_;
   RelayMode mode_;
+  // Hoisted per-message lookups: the neighborhood table and (for kEarmarked)
+  // the relay plan are resolved once at construction instead of through a
+  // mutex-guarded cache on every HEARD.
+  const NeighborhoodTable& table_;
+  const EarmarkPlan* earmarks_;  // non-null iff mode == kEarmarked
+  // True when the torus is large enough (width, height >= 8r) that offset
+  // arithmetic up to 4r never wraps ambiguously, so containment tests can
+  // run on origin-relative deltas; tiny tori fall back to coord-space tests.
+  const bool offset_exact_;
   std::optional<std::uint8_t> committed_;
   std::optional<std::int64_t> commit_round_;
   NeighborhoodCommitCounter counter_;
   std::unordered_map<Coord, std::uint8_t> first_committed_;
   std::unordered_map<std::uint64_t, Evidence> evidence_;  // by (origin,value)
   std::unordered_set<std::uint64_t> dirty_;               // keys to re-check
+  // Reusable scratch for try_determine_from_reports / on_round_end; cleared
+  // per use, capacity retained (no per-candidate-center allocations).
+  mutable std::vector<NodeMask> scratch_masks_;
+  mutable std::vector<std::uint32_t> scratch_first_;  // packed first relayers
+  std::vector<std::uint64_t> scratch_keys_;
 };
 
 }  // namespace rbcast

@@ -16,7 +16,12 @@ std::uint64_t pair_key(std::int32_t a, std::int32_t b) {
 BvTwoHopBehavior::BvTwoHopBehavior(const ProtocolParams& params,
                                    const Torus& torus, std::int32_t r,
                                    Metric m)
-    : params_(params), r_(r), m_(m), counter_(torus, r, m, params.t) {}
+    : params_(params),
+      r_(r),
+      m_(m),
+      table_(NeighborhoodTable::get(r, m)),
+      offset_exact_(torus.width() >= 4 * r && torus.height() >= 4 * r),
+      counter_(torus, r, m, params.t) {}
 
 void BvTwoHopBehavior::commit(NodeContext& ctx, std::uint8_t value) {
   if (committed_.has_value()) return;
@@ -90,16 +95,33 @@ void BvTwoHopBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
   // contains both the committer and the reporter (c itself excluded from
   // nbd(c)). t+1 distinct reporters under one center are t+1 node-disjoint
   // evidence chains confined to that neighborhood.
-  auto& centers = reporter_counts_[origin_value_key(origin, v)];
-  const auto& table = NeighborhoodTable::get(r_, m_);
   bool determined = false;
-  for (const Offset off : table.offsets()) {
-    const Coord c = torus.wrap(origin + off);
-    if (c == reporter) continue;           // reporter must lie in nbd(c)
-    if (!torus.within(c, reporter, r_, m_)) continue;
-    auto& count = centers[c];
-    count += 1;
-    if (count >= params_.t + 1) determined = true;
+  if (offset_exact_) {
+    // Offset-space counting: center k is origin + off_k, the reporter sits at
+    // d = delta(origin, reporter) with |d| <= r, so "reporter in nbd(c)" is
+    // within_radius(d - off_k) and "c == reporter" is off_k == d — all raw
+    // arithmetic (|components| <= 2r), exact because the torus spans >= 4r.
+    auto& counts = reporter_counts_[origin_value_key(origin, v)];
+    if (counts.empty()) counts.assign(static_cast<std::size_t>(table_.size()), 0);
+    const Offset d = torus.delta(origin, reporter);
+    const std::span<const Offset> offs = table_.offsets();
+    for (std::size_t k = 0; k < offs.size(); ++k) {
+      const Offset off = offs[k];
+      if (off == d) continue;             // reporter must lie in nbd(c)
+      if (!within_radius(d - off, r_, m_)) continue;
+      counts[k] += 1;
+      if (counts[k] >= params_.t + 1) determined = true;
+    }
+  } else {
+    auto& centers = reporter_counts_legacy_[origin_value_key(origin, v)];
+    for (const Offset off : table_.offsets()) {
+      const Coord c = torus.wrap(origin + off);
+      if (c == reporter) continue;         // reporter must lie in nbd(c)
+      if (!torus.within(c, reporter, r_, m_)) continue;
+      auto& count = centers[c];
+      count += 1;
+      if (count >= params_.t + 1) determined = true;
+    }
   }
   if (determined) determine(ctx, origin, v);
 }

@@ -21,7 +21,9 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "radiobcast/grid/neighborhood.h"
 #include "radiobcast/net/network.h"
 #include "radiobcast/protocols/common.h"
 
@@ -61,6 +63,12 @@ class BvTwoHopBehavior final : public NodeBehavior {
   ProtocolParams params_;
   std::int32_t r_;
   Metric m_;
+  // Hoisted per-message lookup (no mutex-guarded cache hit per HEARD).
+  const NeighborhoodTable& table_;
+  // True when the torus is large enough (width, height >= 4r) that offset
+  // arithmetic up to 2r never wraps ambiguously; the reporter counting then
+  // runs entirely in offset space with flat per-offset-index count arrays.
+  const bool offset_exact_;
   std::optional<std::uint8_t> committed_;
   std::optional<std::int64_t> commit_round_;
   NeighborhoodCommitCounter counter_;
@@ -68,9 +76,15 @@ class BvTwoHopBehavior final : public NodeBehavior {
   std::unordered_map<Coord, std::uint8_t> first_committed_;
   // (reporter, origin) pairs whose first HEARD has been consumed.
   std::unordered_set<std::uint64_t> heard_consumed_;
-  // Per (origin, value): count of accepted reporters per candidate center.
-  std::unordered_map<std::uint64_t, std::unordered_map<Coord, std::int32_t>>
+  // Per (origin, value): count of accepted reporters per candidate center,
+  // indexed by the center's position in the neighborhood offset table
+  // (offset_exact_ path; candidate centers are exactly origin + offset).
+  std::unordered_map<std::uint64_t, std::vector<std::int32_t>>
       reporter_counts_;
+  // Coord-keyed fallback for tiny tori where distinct offsets can wrap to
+  // the same canonical center and counts must merge.
+  std::unordered_map<std::uint64_t, std::unordered_map<Coord, std::int32_t>>
+      reporter_counts_legacy_;
 };
 
 }  // namespace rbcast

@@ -40,9 +40,9 @@ void LyingBehavior::on_receive(NodeContext& ctx, const Envelope& env) {
     lie = make_heard({ctx.self()}, env.sender, flipped);
   } else {
     if (env.msg.relayers.size() >= 3) return;  // depth cap keeps volume finite
-    std::vector<Coord> chain = env.msg.relayers;
+    RelayerChain chain = env.msg.relayers;
     chain.push_back(ctx.self());
-    lie = make_heard(std::move(chain), env.msg.origin, flipped);
+    lie = make_heard(chain, env.msg.origin, flipped);
   }
   if (sent_.insert(fingerprint(lie)).second) ctx.broadcast(std::move(lie));
 }

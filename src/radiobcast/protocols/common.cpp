@@ -1,7 +1,5 @@
 #include "radiobcast/protocols/common.h"
 
-#include "radiobcast/grid/neighborhood.h"
-
 namespace rbcast {
 
 std::uint64_t origin_value_key(Coord origin, std::uint8_t value) {
@@ -15,7 +13,11 @@ std::uint64_t origin_value_key(Coord origin, std::uint8_t value) {
 NeighborhoodCommitCounter::NeighborhoodCommitCounter(const Torus& torus,
                                                      std::int32_t r, Metric m,
                                                      std::int64_t t)
-    : torus_(torus), r_(r), m_(m), t_(t) {}
+    : torus_(torus),
+      r_(r),
+      m_(m),
+      t_(t),
+      table_(&NeighborhoodTable::get(r, m)) {}
 
 bool NeighborhoodCommitCounter::is_determined(Coord origin,
                                               std::uint8_t value) const {
@@ -32,8 +34,7 @@ std::optional<std::uint8_t> NeighborhoodCommitCounter::record(
   // (centers are nodes; origin itself is not a center of a neighborhood that
   // contains it, since nbd(c) excludes c).
   std::optional<std::uint8_t> fired;
-  const auto& table = NeighborhoodTable::get(r_, m_);
-  for (const Offset off : table.offsets()) {
+  for (const Offset off : table_->offsets()) {
     const Coord c = torus_.wrap(o + off);
     auto& counts = center_counts_[c];
     counts[value & 1] += 1;

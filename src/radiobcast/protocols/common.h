@@ -16,6 +16,7 @@
 
 #include "radiobcast/grid/coord.h"
 #include "radiobcast/grid/metric.h"
+#include "radiobcast/grid/neighborhood.h"
 #include "radiobcast/grid/torus.h"
 
 namespace rbcast {
@@ -56,6 +57,9 @@ class NeighborhoodCommitCounter {
   std::int32_t r_;
   Metric m_;
   std::int64_t t_;
+  // Hoisted out of record(): tables are process-lifetime, so one lookup at
+  // construction replaces a mutex-guarded cache hit per determination.
+  const NeighborhoodTable* table_;
   // (origin, value) pairs already recorded; value packed in the low bit.
   std::unordered_set<std::uint64_t> determined_;
   // Per-center counts of determined committers, one slot per value.

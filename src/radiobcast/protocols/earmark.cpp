@@ -3,26 +3,24 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "radiobcast/grid/metric.h"
 #include "radiobcast/paths/construction.h"
 
 namespace rbcast {
 
-std::string EarmarkPlan::encode(const std::vector<Offset>& offsets) {
-  std::string out;
-  out.reserve(offsets.size() * 8);
+std::uint64_t EarmarkPlan::encode(std::span<const Offset> offsets) {
+  // Chain length plus 8-bit two's-complement components per offset. Chains
+  // hold at most 3 relayers, each within 2r of the committer along a
+  // designated path, so the packing is injective for r <= 63.
+  std::uint64_t key = offsets.size();
   for (const Offset o : offsets) {
-    const std::uint32_t ux = static_cast<std::uint32_t>(o.dx);
-    const std::uint32_t uy = static_cast<std::uint32_t>(o.dy);
-    for (int shift = 0; shift < 32; shift += 8) {
-      out.push_back(static_cast<char>((ux >> shift) & 0xFF));
-    }
-    for (int shift = 0; shift < 32; shift += 8) {
-      out.push_back(static_cast<char>((uy >> shift) & 0xFF));
-    }
+    key = (key << 16) |
+          (static_cast<std::uint64_t>(static_cast<std::uint8_t>(o.dx)) << 8) |
+          static_cast<std::uint64_t>(static_cast<std::uint8_t>(o.dy));
   }
-  return out;
+  return key;
 }
 
 EarmarkPlan::EarmarkPlan(std::int32_t r) {
@@ -60,8 +58,7 @@ const EarmarkPlan& EarmarkPlan::get(std::int32_t r) {
   return *it->second;
 }
 
-bool EarmarkPlan::allows(
-    const std::vector<Offset>& relayers_from_origin) const {
+bool EarmarkPlan::allows(std::span<const Offset> relayers_from_origin) const {
   return prefixes_.count(encode(relayers_from_origin)) > 0;
 }
 

@@ -14,9 +14,9 @@
 // while preserving the completeness proof verbatim. L∞ metric only.
 
 #include <cstdint>
-#include <string>
+#include <initializer_list>
+#include <span>
 #include <unordered_set>
-#include <vector>
 
 #include "radiobcast/grid/coord.h"
 
@@ -29,17 +29,22 @@ class EarmarkPlan {
 
   /// True iff a chain of relayers at the given offsets from the committer
   /// (in forwarding order, the candidate relayer last) is a prefix of some
-  /// designated path.
-  bool allows(const std::vector<Offset>& relayers_from_origin) const;
+  /// designated path. Allocation-free: the lookup hashes a packed uint64.
+  bool allows(std::span<const Offset> relayers_from_origin) const;
+  bool allows(std::initializer_list<Offset> relayers_from_origin) const {
+    return allows(
+        std::span<const Offset>(relayers_from_origin.begin(),
+                                relayers_from_origin.size()));
+  }
 
   std::size_t prefix_count() const { return prefixes_.size(); }
 
  private:
   explicit EarmarkPlan(std::int32_t r);
 
-  static std::string encode(const std::vector<Offset>& offsets);
+  static std::uint64_t encode(std::span<const Offset> offsets);
 
-  std::unordered_set<std::string> prefixes_;
+  std::unordered_set<std::uint64_t> prefixes_;
 };
 
 }  // namespace rbcast

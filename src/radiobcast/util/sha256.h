@@ -1,0 +1,40 @@
+#pragma once
+// Minimal SHA-256 (FIPS 180-4), dependency-free. Used by the golden
+// determinism tests to pin campaign JSON/CSV/trace bytes: a 64-hex-digit
+// digest embeds compactly in a test file where the multi-kilobyte payloads
+// themselves would not.
+//
+// This is not a security boundary — it fingerprints test vectors — but the
+// implementation is the standard one and matches `sha256sum` output, so
+// recorded goldens can be re-derived from the command line.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rbcast {
+
+/// Hex-encoded (lowercase) SHA-256 digest of `data`.
+std::string sha256_hex(std::string_view data);
+
+/// Incremental variant for hashing multiple buffers without concatenating.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::string_view data);
+
+  /// Finalizes and returns the lowercase hex digest. The object must not be
+  /// updated afterwards.
+  std::string hex_digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,176 @@
+// Golden determinism-across-refactor regression (the bit-identical contract
+// of docs/PERF.md): a fixed-seed mini-campaign per protocol, run with
+// counters and a per-trial trace sink, must serialize to byte-identical
+// JSON / CSV / trace files forever — across refactors, optimization PRs, and
+// worker counts. The SHA-256 digests below were recorded from the
+// pre-optimization round engine (the PR 5 seed state); any hot-path change
+// that alters a single byte of any export fails here.
+//
+// If a digest changes *intentionally* (schema bump, new counter), re-record
+// by running this test and copying the "actual" digests from the failure
+// output — but first make sure the change is a schema change, not an
+// accidental loss of determinism: the w=1 and w=8 runs must at least agree
+// with each other.
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/campaign/engine.h"
+#include "radiobcast/campaign/report.h"
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/util/sha256.h"
+
+namespace rbcast {
+namespace {
+
+/// Digest of every trace file in `dir`, folded in sorted-filename order as
+/// "name\n<bytes>" — one digest pins the whole trace directory.
+std::string hash_trace_dir(const std::filesystem::path& dir) {
+  std::map<std::string, std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    files.emplace(entry.path().filename().string(), entry.path());
+  }
+  Sha256 hash;
+  for (const auto& [name, path] : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    hash.update(name);
+    hash.update("\n");
+    hash.update(bytes.str());
+  }
+  return hash.hex_digest();
+}
+
+struct CampaignHashes {
+  std::string json;
+  std::string csv;
+  std::string traces;
+};
+
+/// One deterministic mini-campaign for `protocol`: silent + lying (+spoofing
+/// for bv-2hop) adversaries, a perfect and a lossy channel cell each, with
+/// retransmissions so the repeat-delivery path is pinned too.
+CampaignHashes run_golden_campaign(ProtocolKind protocol, std::int64_t t,
+                                   int workers, const std::string& tag) {
+  CampaignSpec spec;
+  spec.base.width = spec.base.height = 12;
+  spec.base.r = 1;
+  spec.base.protocol = protocol;
+  spec.base.t = t;
+  spec.base.retransmissions = 2;
+  spec.adversaries = {AdversaryKind::kSilent, AdversaryKind::kLying};
+  if (protocol == ProtocolKind::kBvTwoHop) {
+    // One protocol also pins the spoofed-broadcast queue path.
+    spec.adversaries.push_back(AdversaryKind::kSpoofing);
+  }
+  spec.placements = {PlacementKind::kRandomBounded};
+  spec.loss_ps = {0.0, 0.25};
+  spec.reps = 3;
+  spec.base_seed = 20260806;
+
+  const std::filesystem::path trace_dir =
+      std::filesystem::path(testing::TempDir()) /
+      ("golden_" + tag + "_w" + std::to_string(workers));
+  std::filesystem::remove_all(trace_dir);
+
+  CampaignOptions options;
+  options.workers = workers;
+  options.trace_dir = trace_dir.string();
+  const CampaignResult result = run_campaign(spec, options);
+
+  CampaignHashes hashes;
+  hashes.json = sha256_hex(to_json(result));
+  hashes.csv = sha256_hex(to_csv(result));
+  hashes.traces = hash_trace_dir(trace_dir);
+  std::filesystem::remove_all(trace_dir);
+  return hashes;
+}
+
+struct GoldenRow {
+  ProtocolKind protocol;
+  std::int64_t t;
+  const char* json_sha;
+  const char* csv_sha;
+  const char* trace_sha;
+};
+
+// Recorded from the pre-PR-5 engine (see header comment).
+const GoldenRow kGolden[] = {
+    {ProtocolKind::kCrashFlood, 3,
+     "d110e85b19c72ad8e11e3958a13499b0363ca24cf706a3e0d0270eaaae376b96",
+     "dddee9dda6c360679398381d0f4443c332a050bc9f4a119650c41886845bc606",
+     "102189cc5240713ab49e6fb74e9a17a981d5ed4c02a5b3955408d5f9eff60ddc"},
+    {ProtocolKind::kCpa, 1,
+     "2b8c3b66ebcb6ba09c3f521e8a547beb3b52b4f97e3606475b2b72c400d1116f",
+     "1fb9d38bd8849ff2d9379d8f4ed4caf9cd6d63ea603c1b3245e6be2b6d0e354d",
+     "20df3a755dac1411923306328f544bedbdcbf59eb35bd7de496b74d6c3dca92b"},
+    {ProtocolKind::kBvTwoHop, 1,
+     "e57299971a137566394ae16ea21f923120a16d9f281815f12942c1ab3bc8f009",
+     "7dfdd68cf55186b0d29850d7e26a5e75e9a91b8b1b8d9f26c5072197d9c9afbf",
+     "249ced1b5baa733926ca02b77c87fb2ea4da4e4ad05811eb3fd7b7863e68b8db"},
+    {ProtocolKind::kBvIndirectFlood, 1,
+     "7652b9cbdf89e6dc68c2410ed50b4a1d98214d86c425acbcc2a9377762e6465b",
+     "b6df73080fbd069a19a387d0f2b0f9be6e7ab7e1986f5d8ee2f64bc7e3e0a23b",
+     "dbcb5c458c2906f9585378a34857bd49b554dea3dd64149179d33d47d08058ad"},
+    {ProtocolKind::kBvIndirectEarmarked, 1,
+     "4a063da48babfa663a22f830dd216971154531b0a074c73173f257986eb22212",
+     "7fc09608ca366c7af2c935f4370f5cc7c856d73d5f5eda0a7808f875d58b2921",
+     "3dba37c6cee5ba895874b233b976532f3e29342b76ed70c9f3cbfcfd61599a95"},
+};
+
+class GoldenDeterminism : public testing::TestWithParam<GoldenRow> {};
+
+TEST_P(GoldenDeterminism, CampaignBytesMatchRecordedDigests) {
+  const GoldenRow& row = GetParam();
+  const std::string tag = to_string(row.protocol);
+  const CampaignHashes w1 = run_golden_campaign(row.protocol, row.t, 1, tag);
+  const CampaignHashes w8 = run_golden_campaign(row.protocol, row.t, 8, tag);
+
+  // Worker-count independence first: if these disagree, determinism itself
+  // broke (worse than a schema change).
+  EXPECT_EQ(w1.json, w8.json) << tag << ": JSON differs across worker counts";
+  EXPECT_EQ(w1.csv, w8.csv) << tag << ": CSV differs across worker counts";
+  EXPECT_EQ(w1.traces, w8.traces)
+      << tag << ": trace bytes differ across worker counts";
+
+  // Then the recorded goldens: byte-identical to the pre-optimization engine.
+  EXPECT_EQ(w1.json, row.json_sha) << tag << ": JSON golden mismatch";
+  EXPECT_EQ(w1.csv, row.csv_sha) << tag << ": CSV golden mismatch";
+  EXPECT_EQ(w1.traces, row.trace_sha) << tag << ": trace golden mismatch";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, GoldenDeterminism, testing::ValuesIn(kGolden),
+    [](const testing::TestParamInfo<GoldenRow>& info) {
+      std::string name = to_string(info.param.protocol);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Sha256, MatchesKnownVectors) {
+  // FIPS 180-4 test vectors — guards the hasher the goldens depend on.
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // Incremental updates across block boundaries agree with one-shot hashing.
+  Sha256 h;
+  const std::string million_a(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(million_a);
+  EXPECT_EQ(h.hex_digest(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+}  // namespace
+}  // namespace rbcast
