@@ -25,6 +25,7 @@
 #include "radiobcast/campaign/thread_pool.h"
 #include "radiobcast/core/analysis.h"
 #include "radiobcast/util/cli.h"
+#include "radiobcast/util/shutdown.h"
 #include "radiobcast/util/table.h"
 
 namespace {
@@ -210,6 +211,13 @@ int main(int argc, char** argv) {
               << " workers\n";
   }
 
+  // Graceful shutdown: on SIGINT/SIGTERM the engine stops scheduling new
+  // trials, in-flight trials finish (keeping the journal sealed), and the
+  // partial results are still tabulated and exported below before exiting
+  // with the conventional 128+signal code.
+  ShutdownGuard shutdown;
+  options.cancel = [&shutdown] { return shutdown.requested(); };
+
   CampaignResult result;
   try {
     result = run_cells(cells, options);
@@ -286,6 +294,16 @@ int main(int argc, char** argv) {
       return EXIT_FAILURE;
     }
     write_csv(os, result);
+  }
+  if (result.interrupted()) {
+    std::cerr << "campaign interrupted: " << result.skipped_trials
+              << " trial(s) skipped"
+              << (options.journal_path.empty()
+                      ? ""
+                      : "; resume with --resume --journal=" +
+                            options.journal_path)
+              << "\n";
+    return shutdown.exit_code();
   }
   return EXIT_SUCCESS;
 }

@@ -54,6 +54,7 @@ struct TrialSlot {
   int attempts = 1;
   bool failed = false;
   bool replayed = false;
+  bool skipped = false;  // cancel fired before this trial started
   FailureKind kind = FailureKind::kPermanent;
   std::string what;
   std::exception_ptr error;  // fresh failures only; null for replayed ones
@@ -226,8 +227,18 @@ CampaignResult run_cells(const std::vector<CampaignCell>& cells,
   }
 
   const auto run_trial = [&](std::size_t i) {
-    TrialSlot local;
     const CampaignCell& cell = cells[trials[i].cell];
+    if (options.cancel && options.cancel()) {
+      // Skipped, not failed: the trial never ran, nothing reaches the
+      // journal, and a resume executes it fresh.
+      const std::lock_guard<std::mutex> lock(mutex);
+      slots[i].skipped = true;
+      slots[i].seed = trial_seed(cell.sim.seed, trials[i].rep, 0);
+      ++done;
+      if (options.progress) options.progress(done, trials.size());
+      return;
+    }
+    TrialSlot local;
     for (int attempt = 0;; ++attempt) {
       local.seed = trial_seed(cell.sim.seed, trials[i].rep, attempt);
       local.attempts = attempt + 1;
@@ -346,7 +357,9 @@ CampaignResult run_cells(const std::vector<CampaignCell>& cells,
     CellResult& cell = result.cells[trials[i].cell];
     const TrialSlot& slot = slots[i];
     cell.seeds.push_back(slot.seed);
-    if (slot.failed) {
+    if (slot.skipped) {
+      ++result.skipped_trials;
+    } else if (slot.failed) {
       cell.failures.push_back({trials[i].cell, trials[i].rep, slot.attempts,
                                slot.seed, slot.kind, slot.what});
       Counters& counters = cell.aggregate.counters_total;

@@ -140,6 +140,13 @@ struct CampaignOptions {
   /// (cell index, rep, attempt); a throw is handled exactly like a trial
   /// failure. Called from worker threads — must be thread-safe.
   std::function<void(std::size_t, int, int)> fault_injection;
+  /// Cooperative cancellation probe (e.g. a ShutdownGuard's requested()),
+  /// polled before each trial starts. Once it returns true, not-yet-started
+  /// trials are skipped (recorded in CampaignResult::skipped_trials, not as
+  /// failures), in-flight trials finish normally, and the journal stays
+  /// sealed — so a cancelled campaign with a journal resumes exactly where
+  /// it stopped. Called from worker threads — must be thread-safe.
+  std::function<bool()> cancel;
 };
 
 /// One cell's outcome: the resolved cell, the per-trial seeds actually used
@@ -162,6 +169,12 @@ struct CampaignResult {
   /// Trials restored from the journal instead of executed (resume runs).
   /// Execution metadata like workers_used, not part of the payload.
   std::size_t replayed_trials = 0;
+  /// Trials skipped because CampaignOptions::cancel fired. Nonzero means the
+  /// run was interrupted: aggregates cover only the trials that completed.
+  std::size_t skipped_trials = 0;
+
+  /// True when the run was cut short by the cancel hook.
+  bool interrupted() const { return skipped_trials > 0; }
 
   double trials_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(trial_count) / wall_seconds

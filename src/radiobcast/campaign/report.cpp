@@ -126,7 +126,9 @@ void write_csv(std::ostream& os, const CampaignResult& result) {
         "mean_transmissions,mean_fault_count,broadcasts_queued,spoofed_sends,"
         "committed_queued,heard_queued,retransmission_copies,"
         "envelopes_delivered,envelopes_dropped,commits,trial_retries,"
-        "trial_timeouts,trial_failures,last_commit_round\n";
+        "trial_timeouts,trial_failures,packets_sent,packets_retransmitted,"
+        "packets_acked,duplicates_dropped,barrier_timeouts,barrier_wait_us,"
+        "last_commit_round\n";
   for (const CellResult& cell : result.cells) {
     const SimConfig& sim = cell.cell.sim;
     const Aggregate& agg = cell.aggregate;
@@ -159,6 +161,12 @@ void write_csv(std::ostream& os, const CampaignResult& result) {
        << agg.counters_total.trial_retries << ','
        << agg.counters_total.trial_timeouts << ','
        << agg.counters_total.trial_failures << ','
+       << agg.counters_total.packets_sent << ','
+       << agg.counters_total.packets_retransmitted << ','
+       << agg.counters_total.packets_acked << ','
+       << agg.counters_total.duplicates_dropped << ','
+       << agg.counters_total.barrier_timeouts << ','
+       << agg.counters_total.barrier_wait_us << ','
        << agg.counters_total.last_commit_round << '\n';
   }
 }

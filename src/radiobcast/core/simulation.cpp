@@ -124,6 +124,22 @@ std::unique_ptr<NodeBehavior> make_faulty(const SimConfig& cfg,
   throw std::logic_error("unknown adversary");
 }
 
+}  // namespace
+
+std::unique_ptr<NodeBehavior> make_node_behavior(const SimConfig& cfg,
+                                                 const Torus& torus,
+                                                 NodeRole role) {
+  switch (role) {
+    case NodeRole::kSource:
+      return std::make_unique<SourceBehavior>(cfg.value);
+    case NodeRole::kHonest:
+      return make_honest(cfg, torus);
+    case NodeRole::kFaulty:
+      return make_faulty(cfg, torus);
+  }
+  throw std::logic_error("unknown node role");
+}
+
 std::int64_t default_round_bound(const SimConfig& cfg) {
   // Generous: diameter in hops times slack for the multi-round evidence
   // accumulation of the BV protocols.
@@ -133,8 +149,6 @@ std::int64_t default_round_bound(const SimConfig& cfg) {
   // rounds.
   return (8 * diameter_hops + 40) * cfg.retransmissions;
 }
-
-}  // namespace
 
 SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults) {
   return run_simulation(cfg, faults, ObsOptions{});
@@ -180,13 +194,10 @@ SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults,
     net.set_retransmissions(cfg.retransmissions);
   }
   for (const Coord c : torus.all_coords()) {
-    if (c == source) {
-      net.set_behavior(c, std::make_unique<SourceBehavior>(cfg.value));
-    } else if (faults.contains(c)) {
-      net.set_behavior(c, make_faulty(cfg, torus));
-    } else {
-      net.set_behavior(c, make_honest(cfg, torus));
-    }
+    const NodeRole role = c == source         ? NodeRole::kSource
+                          : faults.contains(c) ? NodeRole::kFaulty
+                                               : NodeRole::kHonest;
+    net.set_behavior(c, make_node_behavior(cfg, torus, role));
   }
 
   result.timers.setup_seconds = stopwatch.lap();

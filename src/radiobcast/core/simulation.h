@@ -9,6 +9,7 @@
 // this is zero in every run, and the test-suite enforces it.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string_view>
@@ -147,6 +148,25 @@ struct ObsOptions {
   /// The sink is enabled for the duration of the run.
   RoundTrace* trace = nullptr;
 };
+
+/// The role a node plays in a trial, used to pick its behavior.
+enum class NodeRole : std::uint8_t { kSource, kHonest, kFaulty };
+
+/// Builds the behavior a node of the given role runs under `config`. This is
+/// the single node-population recipe shared by the simulator and the
+/// networked runtime (runtime/node.h), which is what makes their verdicts
+/// comparable: same config + same roles = same protocol objects.
+/// Forward-declared NodeBehavior lives in net/backend.h.
+class NodeBehavior;
+std::unique_ptr<NodeBehavior> make_node_behavior(const SimConfig& config,
+                                                 const Torus& torus,
+                                                 NodeRole role);
+
+/// The automatic round budget used when SimConfig::max_rounds is 0: generous
+/// diameter-in-hops times slack for multi-round evidence accumulation. The
+/// runtime harness uses the same bound so both backends observe the same
+/// horizon.
+std::int64_t default_round_bound(const SimConfig& config);
 
 /// Runs one simulation. Throws std::invalid_argument if the fault set
 /// contains the source, or if the torus is too small for unambiguous

@@ -14,24 +14,6 @@ std::int32_t checked_radius(std::int32_t r) {
 
 }  // namespace
 
-const Torus& NodeContext::torus() const { return net_->torus(); }
-std::int32_t NodeContext::radius() const { return net_->radius(); }
-Metric NodeContext::metric() const { return net_->metric(); }
-std::int64_t NodeContext::round() const { return net_->round(); }
-Rng& NodeContext::rng() { return net_->rng(); }
-
-void NodeContext::broadcast(Message msg) {
-  net_->queue_broadcast(self_, std::move(msg));
-}
-
-void NodeContext::broadcast_as(Coord claimed_sender, Message msg) {
-  net_->queue_spoofed_broadcast(self_, claimed_sender, std::move(msg));
-}
-
-void NodeContext::note_commit(std::uint8_t value) {
-  net_->record_commit(self_, value);
-}
-
 RadioNetwork::RadioNetwork(Torus torus, std::int32_t r, Metric metric,
                            std::uint64_t seed)
     : torus_(std::move(torus)),

@@ -22,6 +22,7 @@
 #include "radiobcast/grid/metric.h"
 #include "radiobcast/grid/neighborhood.h"
 #include "radiobcast/grid/torus.h"
+#include "radiobcast/net/backend.h"
 #include "radiobcast/net/channel.h"
 #include "radiobcast/net/message.h"
 #include "radiobcast/obs/counters.h"
@@ -29,73 +30,6 @@
 #include "radiobcast/util/rng.h"
 
 namespace rbcast {
-
-class RadioNetwork;
-
-/// A delivered transmission: `sender` is the true transmitter (unspoofable).
-struct Envelope {
-  Coord sender;
-  Message msg;
-};
-
-/// Capabilities handed to a behavior during its callbacks.
-class NodeContext {
- public:
-  NodeContext(RadioNetwork& net, Coord self) : net_(&net), self_(self) {}
-
-  Coord self() const { return self_; }
-  const Torus& torus() const;
-  std::int32_t radius() const;
-  Metric metric() const;
-  std::int64_t round() const;
-  Rng& rng();
-
-  /// Queues a local broadcast; every neighbor receives it next round.
-  void broadcast(Message msg);
-
-  /// Queues a broadcast whose Envelope::sender claims to be
-  /// `claimed_sender` — address spoofing (Section X). Only legal after
-  /// RadioNetwork::allow_spoofing(true); honest behaviors never call this.
-  /// Receivers are still the *actual* transmitter's neighbors.
-  void broadcast_as(Coord claimed_sender, Message msg);
-
-  /// Observability hook: protocols call this exactly when their commit rule
-  /// fires (see protocols/*::commit). Bumps the network's commit counter and
-  /// emits a node_committed trace event; has no effect on the simulation.
-  void note_commit(std::uint8_t value);
-
- private:
-  RadioNetwork* net_;
-  Coord self_;
-};
-
-/// A node's protocol logic (honest or adversarial). Behaviors are
-/// message-driven; all callbacks receive a context bound to this node.
-class NodeBehavior {
- public:
-  virtual ~NodeBehavior() = default;
-
-  /// Called once before the first round.
-  virtual void on_start(NodeContext& /*ctx*/) {}
-
-  /// Called for each transmission heard (deliveries of the previous round).
-  virtual void on_receive(NodeContext& ctx, const Envelope& env) = 0;
-
-  /// Called once per round after all of this round's deliveries.
-  virtual void on_round_end(NodeContext& /*ctx*/) {}
-
-  /// The value this node has committed to, if any. Adversarial behaviors may
-  /// return anything; the simulation scores only honest nodes.
-  virtual std::optional<std::uint8_t> committed_value() const {
-    return std::nullopt;
-  }
-
-  /// The round in which committed_value() became set (for propagation-stage
-  /// analyses, Figs 9-10 and 14-19). Unset iff committed_value() is unset.
-  virtual std::optional<std::int64_t> commit_round() const {
-    return std::nullopt;
-  }
-};
 
 /// Per-network traffic statistics.
 struct TrafficStats {
@@ -109,15 +43,17 @@ struct TrafficStats {
   std::uint64_t payload_units = 0;
 };
 
-class RadioNetwork {
+/// The synchronous simulator backend (see net/backend.h for the interface
+/// contract and runtime/node.h for the networked sibling).
+class RadioNetwork final : public BroadcastBackend {
  public:
   RadioNetwork(Torus torus, std::int32_t r, Metric metric, std::uint64_t seed);
 
-  const Torus& torus() const { return torus_; }
-  std::int32_t radius() const { return r_; }
-  Metric metric() const { return metric_; }
-  std::int64_t round() const { return round_; }
-  Rng& rng() { return rng_; }
+  const Torus& torus() const override { return torus_; }
+  std::int32_t radius() const override { return r_; }
+  Metric metric() const override { return metric_; }
+  std::int64_t round() const override { return round_; }
+  Rng& rng() override { return rng_; }
 
   /// Installs the behavior for a node (replacing any previous one). All nodes
   /// must have behaviors before run() is called.
@@ -133,7 +69,7 @@ class RadioNetwork {
   void set_retransmissions(int count);
 
   /// Observability hook backing NodeContext::note_commit.
-  void record_commit(Coord node, std::uint8_t value);
+  void record_commit(Coord node, std::uint8_t value) override;
 
   /// Permits NodeContext::broadcast_as (Section X's address-spoofing
   /// adversary). Off by default: the paper's model has no spoofing, and the
@@ -174,10 +110,11 @@ class RadioNetwork {
   std::uint64_t transmissions_of(Coord c) const;
 
  private:
-  friend class NodeContext;
-  void queue_broadcast(Coord sender, Message msg);
+  // BroadcastBackend send hooks: reachable only through a NodeContext (or the
+  // base interface), mirroring the historical friend-only access.
+  void queue_broadcast(Coord sender, Message msg) override;
   void queue_spoofed_broadcast(Coord actual_sender, Coord claimed_sender,
-                               Message msg);
+                               Message msg) override;
   void count_queued(const Message& msg);
 
   /// A transmission awaiting delivery; `repeats_left` further copies will be

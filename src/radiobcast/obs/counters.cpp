@@ -16,6 +16,12 @@ void Counters::merge(const Counters& other) {
   trial_retries += other.trial_retries;
   trial_timeouts += other.trial_timeouts;
   trial_failures += other.trial_failures;
+  packets_sent += other.packets_sent;
+  packets_retransmitted += other.packets_retransmitted;
+  packets_acked += other.packets_acked;
+  duplicates_dropped += other.duplicates_dropped;
+  barrier_timeouts += other.barrier_timeouts;
+  barrier_wait_us += other.barrier_wait_us;
   last_commit_round = std::max(last_commit_round, other.last_commit_round);
 }
 
@@ -39,6 +45,12 @@ std::string to_json(const Counters& c) {
   field("trial_retries", c.trial_retries, false);
   field("trial_timeouts", c.trial_timeouts, false);
   field("trial_failures", c.trial_failures, false);
+  field("packets_sent", c.packets_sent, false);
+  field("packets_retransmitted", c.packets_retransmitted, false);
+  field("packets_acked", c.packets_acked, false);
+  field("duplicates_dropped", c.duplicates_dropped, false);
+  field("barrier_timeouts", c.barrier_timeouts, false);
+  field("barrier_wait_us", c.barrier_wait_us, false);
   out += ",\"last_commit_round\":";
   out += std::to_string(c.last_commit_round);
   out += '}';

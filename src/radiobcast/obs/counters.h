@@ -50,6 +50,22 @@ struct Counters {
   std::uint64_t trial_retries = 0;
   std::uint64_t trial_timeouts = 0;
   std::uint64_t trial_failures = 0;
+  /// Networked-runtime tier (runtime/, docs/RUNTIME.md): always zero inside
+  /// the synchronous simulator. Unlike the simulator counters these are NOT
+  /// deterministic — retransmissions and barrier waits depend on real packet
+  /// timing — but they remain merge-exact integer sums.
+  /// UDP datagrams handed to the transport (data + ack packets alike).
+  std::uint64_t packets_sent = 0;
+  /// Datagrams that carried at least one retransmitted (timed-out) message.
+  std::uint64_t packets_retransmitted = 0;
+  /// Link messages confirmed by an incoming ack.
+  std::uint64_t packets_acked = 0;
+  /// Received link messages dropped as duplicates (already delivered or held).
+  std::uint64_t duplicates_dropped = 0;
+  /// Round barriers that advanced on timeout instead of full traffic.
+  std::uint64_t barrier_timeouts = 0;
+  /// Microseconds spent waiting at round barriers, cumulative.
+  std::uint64_t barrier_wait_us = 0;
   /// Round in which the last note_commit fired (0 = none beyond the source's
   /// round-0 commit). "In which round did the last node commit?" — this one.
   std::int64_t last_commit_round = 0;

@@ -1,0 +1,240 @@
+#include "radiobcast/runtime/harness.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace rbcast {
+
+RuntimeNode::Options node_options(const Scenario& scenario,
+                                  std::int32_t index) {
+  const Torus torus(scenario.sim.width, scenario.sim.height);
+  const Coord self = torus.coord(index);
+  const Coord source = torus.wrap(scenario.sim.source);
+  const FaultSet faults = scenario.fault_set();
+  RuntimeNode::Options opts;
+  opts.sim = scenario.sim;
+  opts.self = self;
+  opts.role = self == source          ? NodeRole::kSource
+              : faults.contains(self) ? NodeRole::kFaulty
+                                      : NodeRole::kHonest;
+  opts.max_rounds = scenario.sim.max_rounds;
+  opts.round_timeout = std::chrono::milliseconds(scenario.round_timeout_ms);
+  opts.linger_timeout = std::chrono::milliseconds(scenario.linger_timeout_ms);
+  return opts;
+}
+
+RuntimeResult score_verdicts(const Scenario& scenario,
+                             std::vector<RuntimeVerdict> verdicts) {
+  const Torus torus(scenario.sim.width, scenario.sim.height);
+  const std::int64_t n = torus.node_count();
+  if (static_cast<std::int64_t>(verdicts.size()) != n) {
+    throw std::invalid_argument("score_verdicts: expected " +
+                                std::to_string(n) + " verdicts, got " +
+                                std::to_string(verdicts.size()));
+  }
+  std::sort(verdicts.begin(), verdicts.end(),
+            [](const RuntimeVerdict& a, const RuntimeVerdict& b) {
+              return a.index < b.index;
+            });
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (verdicts[static_cast<std::size_t>(i)].index != i) {
+      throw std::invalid_argument(
+          "score_verdicts: missing or duplicate verdict for node " +
+          std::to_string(i));
+    }
+  }
+  RuntimeResult result;
+  for (const RuntimeVerdict& v : verdicts) {
+    result.rounds = std::max(result.rounds, v.rounds);
+    result.any_interrupted = result.any_interrupted || v.interrupted;
+    result.counters.merge(v.counters);
+    if (v.role != NodeRole::kHonest) continue;
+    result.honest_nodes += 1;
+    if (!v.committed.has_value()) {
+      result.undecided += 1;
+    } else if (*v.committed == scenario.sim.value) {
+      result.correct_commits += 1;
+    } else {
+      result.wrong_commits += 1;
+    }
+  }
+  result.verdicts = std::move(verdicts);
+  return result;
+}
+
+RuntimeResult run_scenario_threads(
+    const Scenario& scenario,
+    const std::function<void(RuntimeNode::Options&)>& tweak) {
+  const Torus torus(scenario.sim.width, scenario.sim.height);
+  const std::int64_t n = torus.node_count();
+  // Pre-warm the process-wide geometry caches on this thread: the
+  // NeighborhoodTable cache is populated lazily without synchronization, so
+  // it must be resolved before node threads race into it.
+  const NeighborhoodTable& table =
+      NeighborhoodTable::get(scenario.sim.r, scenario.sim.metric);
+  (void)Adjacency::get(torus, table);
+
+  // Bind every socket first (ephemeral ports), then tell everyone about
+  // everyone: the peer table must be complete before any node transmits.
+  std::vector<std::unique_ptr<UdpTransport>> transports;
+  std::vector<std::uint16_t> ports;
+  transports.reserve(static_cast<std::size_t>(n));
+  ports.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    transports.push_back(std::make_unique<UdpTransport>(0));
+    ports.push_back(transports.back()->local_port());
+  }
+  for (auto& transport : transports) transport->set_peers(ports);
+
+  std::vector<RuntimeVerdict> verdicts(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (std::int64_t i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        RuntimeNode::Options opts =
+            node_options(scenario, static_cast<std::int32_t>(i));
+        if (tweak) tweak(opts);
+        RuntimeNode node(std::move(opts),
+                         *transports[static_cast<std::size_t>(i)]);
+        verdicts[static_cast<std::size_t>(i)] = node.run();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return score_verdicts(scenario, std::move(verdicts));
+}
+
+namespace {
+
+const char* role_name(NodeRole role) {
+  switch (role) {
+    case NodeRole::kSource: return "source";
+    case NodeRole::kHonest: return "honest";
+    case NodeRole::kFaulty: return "faulty";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_verdict(std::ostream& out, const RuntimeVerdict& v) {
+  out << "index " << v.index << '\n'
+      << "self " << v.self.x << ' ' << v.self.y << '\n'
+      << "role " << role_name(v.role) << '\n'
+      << "committed " << (v.committed ? static_cast<int>(*v.committed) : -1)
+      << '\n'
+      << "commit_round " << v.commit_round << '\n'
+      << "rounds " << v.rounds << '\n'
+      << "lingered_clean " << (v.lingered_clean ? 1 : 0) << '\n'
+      << "interrupted " << (v.interrupted ? 1 : 0) << '\n'
+      << "commits " << v.counters.commits << '\n'
+      << "broadcasts_queued " << v.counters.broadcasts_queued << '\n'
+      << "envelopes_delivered " << v.counters.envelopes_delivered << '\n'
+      << "packets_sent " << v.counters.packets_sent << '\n'
+      << "packets_retransmitted " << v.counters.packets_retransmitted << '\n'
+      << "packets_acked " << v.counters.packets_acked << '\n'
+      << "duplicates_dropped " << v.counters.duplicates_dropped << '\n'
+      << "barrier_timeouts " << v.counters.barrier_timeouts << '\n'
+      << "barrier_wait_us " << v.counters.barrier_wait_us << '\n'
+      << "last_commit_round " << v.counters.last_commit_round << '\n';
+}
+
+RuntimeVerdict parse_verdict(std::istream& in) {
+  RuntimeVerdict v;
+  std::string line;
+  bool saw_index = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    const auto want_i64 = [&](std::int64_t& out) {
+      if (!(ls >> out)) {
+        throw std::invalid_argument("verdict: bad value for '" + key + "'");
+      }
+    };
+    std::int64_t x = 0;
+    if (key == "index") {
+      want_i64(x);
+      v.index = static_cast<std::int32_t>(x);
+      saw_index = true;
+    } else if (key == "self") {
+      want_i64(x);
+      v.self.x = static_cast<std::int32_t>(x);
+      want_i64(x);
+      v.self.y = static_cast<std::int32_t>(x);
+    } else if (key == "role") {
+      std::string name;
+      ls >> name;
+      if (name == "source") {
+        v.role = NodeRole::kSource;
+      } else if (name == "honest") {
+        v.role = NodeRole::kHonest;
+      } else if (name == "faulty") {
+        v.role = NodeRole::kFaulty;
+      } else {
+        throw std::invalid_argument("verdict: unknown role '" + name + "'");
+      }
+    } else if (key == "committed") {
+      want_i64(x);
+      if (x >= 0) v.committed = static_cast<std::uint8_t>(x);
+    } else if (key == "commit_round") {
+      want_i64(v.commit_round);
+    } else if (key == "rounds") {
+      want_i64(v.rounds);
+    } else if (key == "lingered_clean") {
+      want_i64(x);
+      v.lingered_clean = x != 0;
+    } else if (key == "interrupted") {
+      want_i64(x);
+      v.interrupted = x != 0;
+    } else if (key == "commits") {
+      want_i64(x);
+      v.counters.commits = static_cast<std::uint64_t>(x);
+    } else if (key == "broadcasts_queued") {
+      want_i64(x);
+      v.counters.broadcasts_queued = static_cast<std::uint64_t>(x);
+    } else if (key == "envelopes_delivered") {
+      want_i64(x);
+      v.counters.envelopes_delivered = static_cast<std::uint64_t>(x);
+    } else if (key == "packets_sent") {
+      want_i64(x);
+      v.counters.packets_sent = static_cast<std::uint64_t>(x);
+    } else if (key == "packets_retransmitted") {
+      want_i64(x);
+      v.counters.packets_retransmitted = static_cast<std::uint64_t>(x);
+    } else if (key == "packets_acked") {
+      want_i64(x);
+      v.counters.packets_acked = static_cast<std::uint64_t>(x);
+    } else if (key == "duplicates_dropped") {
+      want_i64(x);
+      v.counters.duplicates_dropped = static_cast<std::uint64_t>(x);
+    } else if (key == "barrier_timeouts") {
+      want_i64(x);
+      v.counters.barrier_timeouts = static_cast<std::uint64_t>(x);
+    } else if (key == "barrier_wait_us") {
+      want_i64(x);
+      v.counters.barrier_wait_us = static_cast<std::uint64_t>(x);
+    } else if (key == "last_commit_round") {
+      want_i64(v.counters.last_commit_round);
+    } else {
+      throw std::invalid_argument("verdict: unknown key '" + key + "'");
+    }
+  }
+  if (!saw_index) throw std::invalid_argument("verdict: missing index");
+  return v;
+}
+
+}  // namespace rbcast

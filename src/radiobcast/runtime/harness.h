@@ -1,0 +1,68 @@
+#pragma once
+// Runtime harnesses: launch every node of a scenario and score the verdicts.
+//
+// Two launch modes share all scoring code:
+//
+//  * run_scenario_threads — one std::thread per node, ephemeral UDP ports
+//    discovered after binding, caches pre-warmed before any thread starts
+//    (NeighborhoodTable's lazy cache is not synchronized). This is what the
+//    tests and benchmarks use: no subprocess machinery, real sockets.
+//  * process mode — the radiobcast-runtime orchestrator fork/execs one
+//    radiobcast-node per node on fixed ports (scenario base_port + index);
+//    each child serializes its RuntimeVerdict into a per-node file that the
+//    orchestrator collects and scores with the same score_verdicts().
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "radiobcast/runtime/node.h"
+#include "radiobcast/runtime/scenario.h"
+
+namespace rbcast {
+
+/// Scenario-wide outcome, scored exactly like SimResult's verdict section so
+/// the equivalence test can compare field-for-field.
+struct RuntimeResult {
+  std::vector<RuntimeVerdict> verdicts;  // by node index
+  std::int64_t honest_nodes = 0;         // excluding the source
+  std::int64_t correct_commits = 0;
+  std::int64_t wrong_commits = 0;
+  std::int64_t undecided = 0;
+  std::int64_t rounds = 0;  // max over nodes
+  bool any_interrupted = false;
+  Counters counters;  // merged over nodes
+
+  bool success() const {
+    return wrong_commits == 0 && correct_commits == honest_nodes;
+  }
+};
+
+/// Scores collected per-node verdicts against the scenario's ground truth.
+/// Throws std::invalid_argument if verdicts are missing or duplicated.
+RuntimeResult score_verdicts(const Scenario& scenario,
+                             std::vector<RuntimeVerdict> verdicts);
+
+/// Runs every node of the scenario as a thread in this process over real
+/// loopback UDP sockets (ephemeral ports). `tweak`, when set, may adjust
+/// each node's options before construction (test hook: behavior factories,
+/// timeouts, trace sinks). Propagates the first node exception, if any.
+RuntimeResult run_scenario_threads(
+    const Scenario& scenario,
+    const std::function<void(RuntimeNode::Options&)>& tweak = nullptr);
+
+/// Serializes a verdict as line-based `key value` text (the per-node file of
+/// process mode).
+void write_verdict(std::ostream& out, const RuntimeVerdict& verdict);
+
+/// Inverse of write_verdict. Throws std::invalid_argument on malformed input.
+RuntimeVerdict parse_verdict(std::istream& in);
+
+/// Builds the RuntimeNode options a given node index runs with — the single
+/// recipe shared by the thread harness and the radiobcast-node binary, so
+/// both modes configure nodes identically.
+RuntimeNode::Options node_options(const Scenario& scenario,
+                                  std::int32_t index);
+
+}  // namespace rbcast

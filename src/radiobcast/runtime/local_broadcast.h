@@ -1,0 +1,47 @@
+#pragma once
+// Local broadcast over perfect links.
+//
+// The paper's primitive is a radio broadcast heard by every node within
+// distance r. The runtime realizes it as a unicast fan-out: one PerfectLink
+// send per neighbor, with the neighbor set taken from the same process-wide
+// cached CSR Adjacency the simulator delivers from — so both backends agree
+// exactly on who hears whom.
+
+#include <cstdint>
+
+#include "radiobcast/grid/adjacency.h"
+#include "radiobcast/runtime/perfect_link.h"
+
+namespace rbcast {
+
+class LocalBroadcast {
+ public:
+  /// `link` and `adjacency` are borrowed and must outlive this object.
+  /// `self_index` is this node's dense torus index.
+  LocalBroadcast(PerfectLink& link, const Adjacency& adjacency,
+                 std::int32_t self_index)
+      : link_(&link), adjacency_(&adjacency), self_index_(self_index) {}
+
+  /// Queues `msg` to every neighbor of this node (not to itself — offsets
+  /// exclude distance 0, matching the simulator's delivery rule).
+  void broadcast(const WireMessage& msg) {
+    for (const std::int32_t receiver : adjacency_->receivers(self_index_)) {
+      link_->send(static_cast<std::uint32_t>(receiver), msg);
+    }
+  }
+
+  /// Sends `msg` to a single neighbor (used for barrier markers, which must
+  /// reach every neighbor too — provided for symmetry and tests).
+  void send_to(std::uint32_t receiver, const WireMessage& msg) {
+    link_->send(receiver, msg);
+  }
+
+  std::int32_t degree() const { return adjacency_->degree(); }
+
+ private:
+  PerfectLink* link_;
+  const Adjacency* adjacency_;
+  std::int32_t self_index_;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,216 @@
+#include "radiobcast/runtime/node.h"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace rbcast {
+
+namespace {
+
+std::vector<std::uint32_t> neighbor_indices(const Adjacency& adjacency,
+                                            std::int32_t self_index) {
+  std::vector<std::uint32_t> out;
+  const auto receivers = adjacency.receivers(self_index);
+  out.reserve(receivers.size());
+  // On a torus the radio graph is symmetric: the nodes hearing me are the
+  // nodes I hear, so my barrier peers are exactly my CSR receivers.
+  for (const std::int32_t r : receivers) {
+    out.push_back(static_cast<std::uint32_t>(r));
+  }
+  return out;
+}
+
+const Adjacency& adjacency_for(const Torus& torus, const SimConfig& sim) {
+  return Adjacency::get(torus, NeighborhoodTable::get(sim.r, sim.metric));
+}
+
+void validate(const RuntimeNode::Options& opts) {
+  if (opts.sim.loss_p != 0.0) {
+    throw std::invalid_argument("runtime: loss_p must be 0 (perfect links)");
+  }
+  if (opts.sim.retransmissions != 1) {
+    throw std::invalid_argument(
+        "runtime: retransmissions are a link-layer concern here; set 1");
+  }
+  if (opts.sim.adversary == AdversaryKind::kSpoofing ||
+      opts.sim.adversary == AdversaryKind::kJamming) {
+    throw std::invalid_argument(
+        "runtime: spoofing/jamming adversaries live in the simulated "
+        "channel and have no socket analogue");
+  }
+}
+
+}  // namespace
+
+RuntimeNode::RuntimeNode(Options opts, Transport& transport)
+    : opts_((validate(opts), std::move(opts))),
+      torus_(opts_.sim.width, opts_.sim.height),
+      self_index_(torus_.index(torus_.wrap(opts_.self))),
+      // Per-node generator: the simulator's single shared stream cannot be
+      // replicated across processes, and no shipped behavior draws from it;
+      // hash_seeds keeps distinct nodes decorrelated.
+      rng_(hash_seeds(opts_.sim.seed,
+                      static_cast<std::uint64_t>(self_index_))),
+      link_(static_cast<std::uint32_t>(self_index_), transport, opts_.link),
+      broadcast_(link_, adjacency_for(torus_, opts_.sim), self_index_),
+      sync_(neighbor_indices(adjacency_for(torus_, opts_.sim), self_index_),
+            RoundSynchronizer::Options{opts_.round_timeout}) {
+  opts_.self = torus_.wrap(opts_.self);
+}
+
+void RuntimeNode::record_commit(Coord node, std::uint8_t value) {
+  counters_.commits += 1;
+  if (round_ > counters_.last_commit_round) {
+    counters_.last_commit_round = round_;
+  }
+  if (opts_.trace != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kNodeCommitted;
+    e.round = round_;
+    e.node = torus_.wrap(node);
+    e.value = value;
+    opts_.trace->record(e);
+  }
+}
+
+void RuntimeNode::queue_broadcast(Coord sender, Message msg) {
+  (void)sender;  // always this node; identity is enforced by the socket layer
+  counters_.broadcasts_queued += 1;
+  if (msg.type == MsgType::kCommitted) {
+    counters_.committed_queued += 1;
+  } else {
+    counters_.heard_queued += 1;
+  }
+  outbox_.push_back(std::move(msg));
+}
+
+void RuntimeNode::queue_spoofed_broadcast(Coord, Coord, Message) {
+  throw std::logic_error(
+      "address spoofing is impossible in the networked runtime: datagram "
+      "origin is resolved from the socket source address");
+}
+
+void RuntimeNode::pump() {
+  rx_buffer_.clear();
+  link_.poll(rx_buffer_);
+  for (const ReceivedMessage& rm : rx_buffer_) {
+    sync_.on_message(rm.from, rm.msg);
+  }
+  link_.tick(std::chrono::steady_clock::now());
+}
+
+void RuntimeNode::finish_round(std::int64_t k) {
+  for (const Message& msg : outbox_) {
+    WireMessage wm;
+    wm.kind = WireKind::kProtocol;
+    wm.round = k;
+    wm.msg = msg;
+    broadcast_.broadcast(wm);
+  }
+  WireMessage marker;
+  marker.kind = WireKind::kRoundDone;
+  marker.round = k;
+  marker.done_count = static_cast<std::uint32_t>(outbox_.size());
+  broadcast_.broadcast(marker);
+  outbox_.clear();
+  link_.flush();
+}
+
+RuntimeVerdict RuntimeNode::run() {
+  using clock = std::chrono::steady_clock;
+  behavior_ = opts_.behavior_factory
+                  ? opts_.behavior_factory(opts_.sim, torus_, opts_.role)
+                  : make_node_behavior(opts_.sim, torus_, opts_.role);
+  RuntimeVerdict verdict;
+  verdict.index = self_index_;
+  verdict.self = opts_.self;
+  verdict.role = opts_.role;
+
+  NodeContext ctx(*this, opts_.self);
+  round_ = 0;
+  behavior_->on_start(ctx);
+  finish_round(0);
+
+  const std::int64_t bound = opts_.max_rounds > 0
+                                 ? opts_.max_rounds
+                                 : default_round_bound(opts_.sim);
+  std::int64_t rounds_run = 0;
+  for (std::int64_t k = 1; k <= bound; ++k) {
+    // Barrier: wait until every neighbor's round-(k-1) traffic is in.
+    const auto wait_start = clock::now();
+    sync_.begin_round(k - 1, wait_start);
+    while (!sync_.complete(k - 1)) {
+      if (stop_requested()) {
+        verdict.interrupted = true;
+        break;
+      }
+      pump();
+      if (sync_.timed_out(k - 1, clock::now())) break;
+      // The poll cadence bounds added latency per round; 50us keeps a
+      // loopback torus running thousands of rounds per second while staying
+      // polite to the scheduler.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    counters_.barrier_wait_us += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                              wait_start)
+            .count());
+    if (verdict.interrupted) break;
+
+    round_ = k;
+    if (opts_.trace != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kRoundStarted;
+      e.round = k;
+      opts_.trace->record(e);
+    }
+    // Deliver round k-1's traffic in the simulator's TDMA order.
+    for (const RoundMessage& rm : sync_.take(k - 1)) {
+      const Coord sender =
+          torus_.coord(static_cast<std::int32_t>(rm.sender));
+      counters_.envelopes_delivered += 1;
+      if (opts_.trace != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kMessageDelivered;
+        e.round = k;
+        e.node = opts_.self;
+        e.sender = sender;
+        e.origin = torus_.wrap(rm.msg.origin);
+        e.value = rm.msg.value;
+        e.msg_type = rm.msg.type == MsgType::kCommitted ? 0 : 1;
+        opts_.trace->record(e);
+      }
+      behavior_->on_receive(ctx, Envelope{sender, rm.msg});
+    }
+    behavior_->on_round_end(ctx);
+    finish_round(k);
+    rounds_run = k;
+  }
+
+  // Linger: our last DATA batches may still be unacked, and peers may still
+  // be retransmitting at us. Keep the link alive until everything we sent
+  // landed (or the deadline passes), so no peer barrier-waits on a ghost.
+  const auto linger_deadline = clock::now() + opts_.linger_timeout;
+  while (!link_.all_acked() && clock::now() < linger_deadline &&
+         !stop_requested()) {
+    pump();
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  verdict.lingered_clean = link_.all_acked();
+
+  verdict.rounds = rounds_run;
+  if (const auto v = behavior_->committed_value(); v.has_value()) {
+    verdict.committed = v;
+    verdict.commit_round = behavior_->commit_round().value_or(-1);
+  }
+  counters_.packets_sent = link_.stats().packets_sent;
+  counters_.packets_retransmitted = link_.stats().packets_retransmitted;
+  counters_.packets_acked = link_.stats().packets_acked;
+  counters_.duplicates_dropped = link_.stats().duplicates_dropped;
+  counters_.barrier_timeouts = sync_.timeouts();
+  verdict.counters = counters_;
+  return verdict;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,132 @@
+#pragma once
+// One node of the networked runtime.
+//
+// RuntimeNode is the UDP-backed sibling of RadioNetwork: it implements the
+// BroadcastBackend interface (net/backend.h), so the very same protocol
+// objects the simulator hosts run here unmodified. The stack underneath is
+//
+//   NodeBehavior (protocols/*)      — unchanged protocol logic
+//   RuntimeNode                      — event loop, round mapping, verdicts
+//   RoundSynchronizer                — TDMA rounds on real time
+//   LocalBroadcast                   — CSR-neighbor fan-out
+//   PerfectLink                      — ack/retransmit, dedup, FIFO
+//   Transport (UDP or fault shim)    — unreliable datagrams
+//
+// Round mapping mirrors the simulator exactly: everything a behavior
+// broadcasts while round() == k is tagged round k and delivered to every
+// neighbor at round k+1, after the barrier confirms all round-k traffic is
+// in; deliveries are replayed in the simulator's TDMA order (sender index
+// ascending, per-sender FIFO). That, plus a shared node-population recipe
+// (core/simulation.h's make_node_behavior), is what makes sim and runtime
+// verdicts comparable bit-for-bit (tests/test_runtime_equivalence.cpp).
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/net/backend.h"
+#include "radiobcast/obs/counters.h"
+#include "radiobcast/obs/trace.h"
+#include "radiobcast/runtime/local_broadcast.h"
+#include "radiobcast/runtime/perfect_link.h"
+#include "radiobcast/runtime/round_sync.h"
+#include "radiobcast/runtime/transport.h"
+
+namespace rbcast {
+
+/// The outcome one runtime node reports when its event loop exits.
+struct RuntimeVerdict {
+  std::int32_t index = 0;
+  Coord self{};
+  NodeRole role = NodeRole::kHonest;
+  std::optional<std::uint8_t> committed;
+  std::int64_t commit_round = -1;
+  std::int64_t rounds = 0;
+  /// All of this node's transmissions were acked before the linger deadline.
+  bool lingered_clean = false;
+  /// The loop exited early on a shutdown request (SIGINT/SIGTERM).
+  bool interrupted = false;
+  Counters counters;
+};
+
+class RuntimeNode final : public BroadcastBackend {
+ public:
+  struct Options {
+    /// Protocol / topology configuration, interpreted exactly as
+    /// run_simulation does. The runtime realizes the paper's perfect TDMA
+    /// model only: loss_p must be 0, retransmissions 1, and the adversary
+    /// must not be kSpoofing or kJamming (those live in the simulated
+    /// channel, which has no socket analogue).
+    SimConfig sim;
+    Coord self{};
+    NodeRole role = NodeRole::kHonest;
+    /// Rounds to run; 0 = default_round_bound(sim), the simulator's horizon.
+    std::int64_t max_rounds = 0;
+    PerfectLink::Options link{};
+    /// Barrier timeout per round (0 = wait forever). Equivalence runs use 0;
+    /// deployments set a generous bound so one dead process cannot wedge the
+    /// whole torus.
+    std::chrono::milliseconds round_timeout{0};
+    /// After the last round, keep acking/retransmitting until every peer got
+    /// our traffic, at most this long.
+    std::chrono::milliseconds linger_timeout{2000};
+    /// Optional event sink (round_started / message_delivered /
+    /// node_committed, same schema as the simulator's). Not owned.
+    RoundTrace* trace = nullptr;
+    /// Cooperative shutdown probe, polled once per pump. Null = never stop.
+    std::function<bool()> stop_requested;
+    /// Test hook: overrides make_node_behavior (e.g. to wrap a behavior with
+    /// an artificial delay for the slow-node test). Null = the shared recipe.
+    std::function<std::unique_ptr<NodeBehavior>(const SimConfig&,
+                                                const Torus&, NodeRole)>
+        behavior_factory;
+  };
+
+  /// `transport` is borrowed and must outlive the node. Throws
+  /// std::invalid_argument on configurations the runtime cannot realize.
+  RuntimeNode(Options opts, Transport& transport);
+
+  /// Runs the event loop to completion and reports the verdict. Blocking;
+  /// call from the thread that owns the transport.
+  RuntimeVerdict run();
+
+  // BroadcastBackend:
+  const Torus& torus() const override { return torus_; }
+  std::int32_t radius() const override { return opts_.sim.r; }
+  Metric metric() const override { return opts_.sim.metric; }
+  std::int64_t round() const override { return round_; }
+  Rng& rng() override { return rng_; }
+  void record_commit(Coord node, std::uint8_t value) override;
+
+ private:
+  void queue_broadcast(Coord sender, Message msg) override;
+  void queue_spoofed_broadcast(Coord actual_sender, Coord claimed_sender,
+                               Message msg) override;
+
+  /// Drains the link (feeding the synchronizer) and runs retransmissions.
+  void pump();
+  /// Sends round k's queued broadcasts plus the ROUND_DONE(k) marker.
+  void finish_round(std::int64_t k);
+  bool stop_requested() const {
+    return opts_.stop_requested && opts_.stop_requested();
+  }
+
+  Options opts_;
+  Torus torus_;
+  std::int32_t self_index_;
+  Rng rng_;
+  PerfectLink link_;
+  LocalBroadcast broadcast_;
+  RoundSynchronizer sync_;
+  std::unique_ptr<NodeBehavior> behavior_;
+  std::int64_t round_ = 0;
+  std::vector<Message> outbox_;
+  std::vector<ReceivedMessage> rx_buffer_;
+  Counters counters_;
+};
+
+}  // namespace rbcast

@@ -1,0 +1,116 @@
+// radiobcast-node: one node of a networked deployment.
+//
+// Reads the shared scenario file, binds loopback port base_port + index,
+// runs its RuntimeNode event loop, and reports its verdict — to stdout and,
+// with --out, to <out>/verdict-<index>.txt for the orchestrator to collect.
+//
+// Exit codes: 0 success, 130/143 on SIGINT/SIGTERM (after flushing the
+// verdict and trace), 2 on bad usage, 1 on runtime errors.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "radiobcast/runtime/harness.h"
+#include "radiobcast/runtime/node.h"
+#include "radiobcast/runtime/scenario.h"
+#include "radiobcast/runtime/transport.h"
+#include "radiobcast/util/cli.h"
+#include "radiobcast/util/shutdown.h"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace rbcast;
+  const CliArgs args(argc, argv,
+                     {"scenario", "index", "out", "trace", "quiet", "help"});
+  if (!args.ok()) {
+    std::cerr << "radiobcast-node: " << args.error() << "\n";
+    return 2;
+  }
+  if (args.get_bool("help", false)) {
+    std::cout
+        << "usage: radiobcast-node --scenario <file> --index <i> "
+           "[--out <dir>] [--trace <file.jsonl>] [--quiet]\n"
+           "Runs node <i> of the scenario over UDP loopback (port "
+           "base_port+i)\nand prints its verdict.\n";
+    return 0;
+  }
+  const std::string scenario_path = args.get("scenario", "");
+  const std::int64_t index = args.get_int("index", -1);
+  if (scenario_path.empty() || index < 0) {
+    std::cerr << "radiobcast-node: --scenario and --index are required "
+                 "(--help for usage)\n";
+    return 2;
+  }
+
+  const Scenario scenario = load_scenario(scenario_path);
+  const Torus torus(scenario.sim.width, scenario.sim.height);
+  if (index >= torus.node_count()) {
+    std::cerr << "radiobcast-node: index " << index << " out of range for a "
+              << scenario.sim.width << "x" << scenario.sim.height
+              << " torus\n";
+    return 2;
+  }
+
+  ShutdownGuard shutdown;
+  RoundTrace trace;
+  const std::string trace_path = args.get("trace", "");
+
+  UdpTransport transport(
+      static_cast<std::uint16_t>(scenario.base_port + index));
+  std::vector<std::uint16_t> peers;
+  peers.reserve(static_cast<std::size_t>(torus.node_count()));
+  for (std::int64_t i = 0; i < torus.node_count(); ++i) {
+    peers.push_back(static_cast<std::uint16_t>(scenario.base_port + i));
+  }
+  transport.set_peers(std::move(peers));
+
+  RuntimeNode::Options opts =
+      node_options(scenario, static_cast<std::int32_t>(index));
+  opts.stop_requested = [&shutdown] { return shutdown.requested(); };
+  if (!trace_path.empty()) {
+    trace.set_enabled(true);
+    opts.trace = &trace;
+  }
+
+  RuntimeNode node(std::move(opts), transport);
+  const RuntimeVerdict verdict = node.run();
+
+  // Flush everything before deciding the exit code: an interrupted node
+  // still reports what it saw.
+  const std::string out_dir = args.get("out", "");
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    const std::string path =
+        out_dir + "/verdict-" + std::to_string(index) + ".txt";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "radiobcast-node: cannot write " << path << "\n";
+      return 1;
+    }
+    write_verdict(out, verdict);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (out) trace.write_jsonl(out);
+  }
+  if (!args.get_bool("quiet", false)) {
+    write_verdict(std::cout, verdict);
+  }
+  if (verdict.interrupted) return shutdown.exit_code();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "radiobcast-node: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,216 @@
+// radiobcast-runtime: orchestrates a full networked deployment on loopback.
+//
+// Launches one radiobcast-node process per torus node from a shared scenario
+// file (or runs them as in-process threads with --in-process), collects every
+// per-node verdict, scores the outcome like run_simulation would, and prints
+// a summary.
+//
+// Exit codes: 0 success, 3 when --expect-all-commit fails, 130/143 on
+// SIGINT/SIGTERM (children are forwarded SIGTERM and reaped first), 2 on bad
+// usage, 1 on runtime errors.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "radiobcast/runtime/harness.h"
+#include "radiobcast/runtime/scenario.h"
+#include "radiobcast/util/cli.h"
+#include "radiobcast/util/shutdown.h"
+
+namespace {
+
+using namespace rbcast;
+
+std::string sibling_binary(const char* argv0, const std::string& name) {
+  std::string path(argv0);
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return name;  // rely on PATH
+  return path.substr(0, slash + 1) + name;
+}
+
+void print_summary(std::ostream& os, const Scenario& scenario,
+                   const RuntimeResult& result) {
+  os << "runtime: " << scenario.sim.width << "x" << scenario.sim.height
+     << " torus, protocol " << to_string(scenario.sim.protocol)
+     << ", adversary " << to_string(scenario.sim.adversary) << ", "
+     << scenario.faults.size() << " faults\n"
+     << "rounds " << result.rounds << ", honest " << result.honest_nodes
+     << ", correct " << result.correct_commits << ", wrong "
+     << result.wrong_commits << ", undecided " << result.undecided << "\n"
+     << "packets sent " << result.counters.packets_sent << " (retransmitted "
+     << result.counters.packets_retransmitted << "), acked "
+     << result.counters.packets_acked << ", duplicates dropped "
+     << result.counters.duplicates_dropped << ", barrier timeouts "
+     << result.counters.barrier_timeouts << "\n"
+     << (result.success() ? "RELIABLE BROADCAST ACHIEVED"
+                          : "reliable broadcast NOT achieved")
+     << "\n";
+}
+
+int run_processes(const Scenario& scenario, const std::string& scenario_path,
+                  const std::string& node_bin, const std::string& out_dir,
+                  ShutdownGuard& shutdown, RuntimeResult& result) {
+  const Torus torus(scenario.sim.width, scenario.sim.height);
+  const std::int64_t n = torus.node_count();
+  std::vector<pid_t> children;
+  children.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::cerr << "radiobcast-runtime: fork: " << std::strerror(errno)
+                << "\n";
+      for (const pid_t child : children) ::kill(child, SIGTERM);
+      for (const pid_t child : children) ::waitpid(child, nullptr, 0);
+      return 1;
+    }
+    if (pid == 0) {
+      const std::string index = std::to_string(i);
+      ::execl(node_bin.c_str(), node_bin.c_str(), "--scenario",
+              scenario_path.c_str(), "--index", index.c_str(), "--out",
+              out_dir.c_str(), "--quiet", static_cast<char*>(nullptr));
+      // Only reached when exec fails.
+      std::cerr << "radiobcast-runtime: exec " << node_bin << ": "
+                << std::strerror(errno) << "\n";
+      ::_exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  bool forwarded = false;
+  int failures = 0;
+  std::vector<bool> reaped(children.size(), false);
+  std::size_t live = children.size();
+  while (live > 0) {
+    if (shutdown.requested() && !forwarded) {
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (!reaped[i]) ::kill(children[i], SIGTERM);
+      }
+      forwarded = true;
+    }
+    int status = 0;
+    const pid_t done = ::waitpid(-1, &status, WNOHANG);
+    if (done == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    if (done < 0) break;  // no children left
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (children[i] == done && !reaped[i]) {
+        reaped[i] = true;
+        --live;
+        const bool clean =
+            WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (!clean && !forwarded) ++failures;
+        break;
+      }
+    }
+  }
+  if (shutdown.requested()) return shutdown.exit_code();
+  if (failures > 0) {
+    std::cerr << "radiobcast-runtime: " << failures
+              << " node process(es) exited abnormally\n";
+    return 1;
+  }
+
+  std::vector<RuntimeVerdict> verdicts;
+  verdicts.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::string path =
+        out_dir + "/verdict-" + std::to_string(i) + ".txt";
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "radiobcast-runtime: missing verdict file " << path
+                << "\n";
+      return 1;
+    }
+    verdicts.push_back(parse_verdict(in));
+  }
+  result = score_verdicts(scenario, std::move(verdicts));
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const CliArgs args(argc, argv,
+                     {"scenario", "node-bin", "out", "in-process",
+                      "expect-all-commit", "quiet", "help"});
+  if (!args.ok()) {
+    std::cerr << "radiobcast-runtime: " << args.error() << "\n";
+    return 2;
+  }
+  if (args.get_bool("help", false)) {
+    std::cout
+        << "usage: radiobcast-runtime --scenario <file> [options]\n"
+           "  --node-bin <path>    radiobcast-node binary (default: sibling "
+           "of this binary)\n"
+           "  --out <dir>          verdict directory (default: scenario "
+           "dir)\n"
+           "  --in-process         run nodes as threads instead of "
+           "processes\n"
+           "  --expect-all-commit  exit 3 unless every honest node committed "
+           "the source value\n"
+           "  --quiet              suppress the summary\n";
+    return 0;
+  }
+  const std::string scenario_path = args.get("scenario", "");
+  if (scenario_path.empty()) {
+    std::cerr
+        << "radiobcast-runtime: --scenario is required (--help for usage)\n";
+    return 2;
+  }
+  const Scenario scenario = load_scenario(scenario_path);
+
+  ShutdownGuard shutdown;
+  RuntimeResult result;
+  if (args.get_bool("in-process", false)) {
+    result = run_scenario_threads(scenario);
+    if (result.any_interrupted || shutdown.requested()) {
+      return shutdown.exit_code();
+    }
+  } else {
+    std::string out_dir = args.get("out", "");
+    if (out_dir.empty()) {
+      const auto slash = scenario_path.find_last_of('/');
+      out_dir = slash == std::string::npos ? "."
+                                           : scenario_path.substr(0, slash);
+    }
+    std::filesystem::create_directories(out_dir);
+    const std::string node_bin =
+        args.get("node-bin", sibling_binary(argv[0], "radiobcast-node"));
+    const int rc = run_processes(scenario, scenario_path, node_bin, out_dir,
+                                 shutdown, result);
+    if (rc != 0) return rc;
+  }
+
+  if (!args.get_bool("quiet", false)) {
+    print_summary(std::cout, scenario, result);
+  }
+  if (args.get_bool("expect-all-commit", false) && !result.success()) {
+    std::cerr << "radiobcast-runtime: expected every honest node to commit "
+                 "the source value\n";
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "radiobcast-runtime: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,145 @@
+#include "radiobcast/runtime/perfect_link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rbcast {
+
+PerfectLink::PerfectLink(std::uint32_t self, Transport& transport)
+    : PerfectLink(self, transport, Options()) {}
+
+PerfectLink::PerfectLink(std::uint32_t self, Transport& transport,
+                         Options opts)
+    : self_(self), transport_(&transport), opts_(opts) {}
+
+void PerfectLink::send(std::uint32_t to, const WireMessage& msg) {
+  // Sequence numbers are per-destination so the receiver's contiguity check
+  // (PeerIn::next_seq) sees no gaps from traffic addressed elsewhere.
+  auto& pending = pending_[to];
+  pending.push_back(WireEntry{pack_message_id(self_, out_seq_[to]++), msg});
+  ++pending_total_;
+  if (pending.size() >= kMaxBatch) flush_pending(to);
+}
+
+void PerfectLink::flush() {
+  // Collect keys first: flush_pending mutates pending_.
+  std::vector<std::uint32_t> peers;
+  peers.reserve(pending_.size());
+  for (const auto& [to, entries] : pending_) {
+    if (!entries.empty()) peers.push_back(to);
+  }
+  for (const std::uint32_t to : peers) flush_pending(to);
+}
+
+void PerfectLink::flush_pending(std::uint32_t to) {
+  auto& pending = pending_[to];
+  while (!pending.empty()) {
+    const std::size_t n = std::min(pending.size(), kMaxBatch);
+    OutgoingBatch batch;
+    batch.to = to;
+    batch.entries.assign(pending.begin(),
+                         pending.begin() + static_cast<std::ptrdiff_t>(n));
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(n));
+    pending_total_ -= n;
+    batch.rto = opts_.initial_rto;
+    transmit(batch, /*is_retransmit=*/false);
+    unacked_.push_back(std::move(batch));
+  }
+}
+
+void PerfectLink::transmit(OutgoingBatch& batch, bool is_retransmit) {
+  Packet packet;
+  packet.kind = PacketKind::kData;
+  packet.sender = self_;
+  packet.entries = batch.entries;
+  transport_->send(batch.to, encode_packet(packet));
+  ++stats_.packets_sent;
+  if (is_retransmit) ++stats_.packets_retransmitted;
+  batch.next_retransmit = std::chrono::steady_clock::now() + batch.rto;
+}
+
+void PerfectLink::tick(std::chrono::steady_clock::time_point now) {
+  for (OutgoingBatch& batch : unacked_) {
+    if (now >= batch.next_retransmit) {
+      batch.rto = std::min(batch.rto * 2, opts_.max_rto);
+      transmit(batch, /*is_retransmit=*/true);
+    }
+  }
+}
+
+void PerfectLink::poll(std::vector<ReceivedMessage>& out) {
+  Datagram datagram;
+  Packet packet;
+  while (transport_->try_receive(datagram)) {
+    if (!decode_packet(datagram.bytes, packet)) continue;
+    // The authenticated transmitter is datagram.from (resolved by the
+    // transport from the socket source address); the header's sender field is
+    // advisory and ignored when they disagree.
+    const std::uint32_t from = datagram.from;
+    if (packet.kind == PacketKind::kAck) {
+      for (const std::uint64_t id : packet.acks) {
+        for (OutgoingBatch& batch : unacked_) {
+          if (batch.to != from) continue;
+          auto it = std::find_if(
+              batch.entries.begin(), batch.entries.end(),
+              [id](const WireEntry& e) { return e.id == id; });
+          if (it != batch.entries.end()) {
+            batch.entries.erase(it);
+            ++stats_.packets_acked;
+            break;
+          }
+        }
+      }
+      unacked_.erase(std::remove_if(unacked_.begin(), unacked_.end(),
+                                    [](const OutgoingBatch& b) {
+                                      return b.entries.empty();
+                                    }),
+                     unacked_.end());
+      continue;
+    }
+    PeerIn& in = inbound_[from];
+    auto& owed = acks_owed_[from];
+    for (const WireEntry& entry : packet.entries) {
+      // Ack every copy, including duplicates: the ack for the first copy may
+      // itself have been lost, and only a fresh ack stops the retransmits.
+      owed.push_back(entry.id);
+      const std::uint32_t seq = message_id_seq(entry.id);
+      if (seq < in.next_seq || in.seen_ahead.contains(seq)) {
+        ++stats_.duplicates_dropped;
+        continue;
+      }
+      in.seen_ahead.insert(seq);
+      in.reorder.emplace(seq, entry.payload);
+    }
+    // Release the contiguous prefix in per-sender FIFO order.
+    while (true) {
+      auto it = in.reorder.find(in.next_seq);
+      if (it == in.reorder.end()) break;
+      out.push_back(ReceivedMessage{from, std::move(it->second)});
+      in.seen_ahead.erase(in.next_seq);
+      in.reorder.erase(it);
+      ++in.next_seq;
+    }
+  }
+  send_acks();
+}
+
+void PerfectLink::send_acks() {
+  for (auto& [to, ids] : acks_owed_) {
+    std::size_t i = 0;
+    while (i < ids.size()) {
+      Packet packet;
+      packet.kind = PacketKind::kAck;
+      packet.sender = self_;
+      const std::size_t n = std::min(ids.size() - i, kMaxAcksPerPacket);
+      packet.acks.assign(ids.begin() + static_cast<std::ptrdiff_t>(i),
+                         ids.begin() + static_cast<std::ptrdiff_t>(i + n));
+      transport_->send(to, encode_packet(packet));
+      i += n;
+    }
+    ids.clear();
+  }
+}
+
+}  // namespace rbcast

@@ -1,0 +1,74 @@
+#include "radiobcast/runtime/round_sync.h"
+
+#include <utility>
+
+namespace rbcast {
+
+RoundSynchronizer::RoundSynchronizer(std::vector<std::uint32_t> expected,
+                                     Options opts)
+    : expected_(std::move(expected)), opts_(opts) {}
+
+void RoundSynchronizer::begin_round(
+    std::int64_t round, std::chrono::steady_clock::time_point now) {
+  RoundState& state = rounds_[round];
+  if (!state.clock_running) {
+    state.started = now;
+    state.clock_running = true;
+  }
+}
+
+void RoundSynchronizer::on_message(std::uint32_t from,
+                                   const WireMessage& msg) {
+  PeerRound& peer = rounds_[msg.round].peers[from];
+  if (msg.kind == WireKind::kRoundDone) {
+    peer.done_count = msg.done_count;
+  } else {
+    peer.msgs.push_back(msg.msg);
+  }
+}
+
+bool RoundSynchronizer::complete(std::int64_t round) const {
+  const auto it = rounds_.find(round);
+  for (const std::uint32_t peer : expected_) {
+    if (it == rounds_.end()) return expected_.empty();
+    const auto pit = it->second.peers.find(peer);
+    if (pit == it->second.peers.end() || !pit->second.done_count.has_value()) {
+      return false;
+    }
+    // FIFO makes this an invariant rather than a wait condition, but check
+    // defensively: the marker counts the peer's round transmissions.
+    if (pit->second.msgs.size() < *pit->second.done_count) return false;
+  }
+  return true;
+}
+
+bool RoundSynchronizer::timed_out(
+    std::int64_t round, std::chrono::steady_clock::time_point now) const {
+  if (opts_.timeout.count() == 0) return false;
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end() || !it->second.clock_running) return false;
+  return now - it->second.started >= opts_.timeout;
+}
+
+std::vector<RoundMessage> RoundSynchronizer::take(std::int64_t round) {
+  std::vector<RoundMessage> out;
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end()) return out;
+  if (!complete(round)) ++timeouts_;
+  for (auto& [sender, peer] : it->second.peers) {
+    // Under a timeout a peer may have sent messages without its marker; only
+    // marker-covered messages are released so a late burst from a wedged
+    // process cannot straddle the barrier.
+    const std::size_t n = peer.done_count.has_value()
+                              ? std::min<std::size_t>(peer.msgs.size(),
+                                                      *peer.done_count)
+                              : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(RoundMessage{sender, std::move(peer.msgs[i])});
+    }
+  }
+  rounds_.erase(it);
+  return out;
+}
+
+}  // namespace rbcast

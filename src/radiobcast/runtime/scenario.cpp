@@ -1,0 +1,148 @@
+#include "radiobcast/runtime/scenario.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rbcast {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("scenario line " + std::to_string(line) + ": " +
+                              what);
+}
+
+}  // namespace
+
+FaultSet Scenario::fault_set() const {
+  const Torus torus(sim.width, sim.height);
+  return FaultSet(torus, faults);
+}
+
+Scenario parse_scenario(std::istream& in) {
+  Scenario s;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+
+    const auto want_i64 = [&](std::int64_t& out) {
+      if (!(ls >> out)) fail(lineno, "expected an integer after '" + key + "'");
+    };
+    const auto want_i32 = [&](std::int32_t& out) {
+      std::int64_t v = 0;
+      want_i64(v);
+      out = static_cast<std::int32_t>(v);
+    };
+
+    if (key == "protocol") {
+      std::string name;
+      ls >> name;
+      const auto p = protocol_from_string(name);
+      if (!p) fail(lineno, "unknown protocol '" + name + "'");
+      s.sim.protocol = *p;
+    } else if (key == "adversary") {
+      std::string name;
+      ls >> name;
+      const auto a = adversary_from_string(name);
+      if (!a) fail(lineno, "unknown adversary '" + name + "'");
+      s.sim.adversary = *a;
+    } else if (key == "metric") {
+      std::string name;
+      ls >> name;
+      const auto m = metric_from_string(name);
+      if (!m) fail(lineno, "unknown metric '" + name + "'");
+      s.sim.metric = *m;
+    } else if (key == "width") {
+      want_i32(s.sim.width);
+    } else if (key == "height") {
+      want_i32(s.sim.height);
+    } else if (key == "r") {
+      want_i32(s.sim.r);
+    } else if (key == "t") {
+      want_i64(s.sim.t);
+    } else if (key == "value") {
+      std::int64_t v = 0;
+      want_i64(v);
+      if (v != 0 && v != 1) fail(lineno, "value must be 0 or 1");
+      s.sim.value = static_cast<std::uint8_t>(v);
+    } else if (key == "source") {
+      want_i32(s.sim.source.x);
+      want_i32(s.sim.source.y);
+    } else if (key == "seed") {
+      std::int64_t v = 0;
+      want_i64(v);
+      s.sim.seed = static_cast<std::uint64_t>(v);
+    } else if (key == "crash_round") {
+      want_i64(s.sim.crash_round);
+    } else if (key == "max_rounds") {
+      want_i64(s.sim.max_rounds);
+    } else if (key == "round_timeout_ms") {
+      want_i64(s.round_timeout_ms);
+    } else if (key == "linger_timeout_ms") {
+      want_i64(s.linger_timeout_ms);
+    } else if (key == "base_port") {
+      std::int64_t v = 0;
+      want_i64(v);
+      if (v < 1024 || v > 65535) fail(lineno, "base_port out of range");
+      s.base_port = static_cast<std::uint16_t>(v);
+    } else if (key == "fault") {
+      Coord c{};
+      want_i32(c.x);
+      want_i32(c.y);
+      s.faults.push_back(c);
+    } else {
+      fail(lineno, "unknown key '" + key + "'");
+    }
+    std::string trailing;
+    if (ls >> trailing) fail(lineno, "trailing tokens after '" + key + "'");
+  }
+  if (s.sim.width < 1 || s.sim.height < 1) {
+    throw std::invalid_argument("scenario: torus dimensions must be positive");
+  }
+  const Torus torus(s.sim.width, s.sim.height);
+  for (Coord& c : s.faults) c = torus.wrap(c);
+  s.sim.source = torus.wrap(s.sim.source);
+  return s;
+}
+
+Scenario parse_scenario_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in);
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open scenario file: " + path);
+  return parse_scenario(in);
+}
+
+void write_scenario(std::ostream& out, const Scenario& s) {
+  out << "protocol " << to_string(s.sim.protocol) << '\n'
+      << "adversary " << to_string(s.sim.adversary) << '\n'
+      << "width " << s.sim.width << '\n'
+      << "height " << s.sim.height << '\n'
+      << "r " << s.sim.r << '\n'
+      << "metric " << to_string(s.sim.metric) << '\n'
+      << "t " << s.sim.t << '\n'
+      << "value " << static_cast<int>(s.sim.value) << '\n'
+      << "source " << s.sim.source.x << ' ' << s.sim.source.y << '\n'
+      << "seed " << s.sim.seed << '\n'
+      << "crash_round " << s.sim.crash_round << '\n'
+      << "max_rounds " << s.sim.max_rounds << '\n'
+      << "round_timeout_ms " << s.round_timeout_ms << '\n'
+      << "linger_timeout_ms " << s.linger_timeout_ms << '\n'
+      << "base_port " << s.base_port << '\n';
+  for (const Coord& c : s.faults) {
+    out << "fault " << c.x << ' ' << c.y << '\n';
+  }
+}
+
+}  // namespace rbcast

@@ -1,0 +1,57 @@
+#pragma once
+// Scenario files: the shared ground truth a runtime deployment launches from.
+//
+// The orchestrator and every radiobcast-node process read the same scenario
+// file, so they agree on topology, protocol, fault placement, and timing
+// without any runtime negotiation. The format is a line-based `key value`
+// text file (order-insensitive, `#` comments, one `fault x y` line per
+// faulty node), chosen over JSON so a scenario can be written by hand in a
+// CI yaml block or a shell heredoc.
+//
+//   protocol bv-2hop          adversary silent
+//   width 8                   height 8
+//   r 1                       metric linf
+//   t 1                       value 1
+//   source 0 0                seed 42
+//   crash_round 1             max_rounds 0
+//   round_timeout_ms 5000     linger_timeout_ms 2000
+//   base_port 47000
+//   fault 3 3
+//   fault 6 1
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/fault/fault_set.h"
+
+namespace rbcast {
+
+struct Scenario {
+  SimConfig sim;
+  /// Faulty node coordinates (canonicalized at parse time).
+  std::vector<Coord> faults;
+  /// Node i binds loopback port base_port + i (process mode). The in-process
+  /// harness ignores this and uses ephemeral ports.
+  std::uint16_t base_port = 47000;
+  std::int64_t round_timeout_ms = 5000;
+  std::int64_t linger_timeout_ms = 2000;
+
+  /// Rebuilds the FaultSet on the scenario's torus.
+  FaultSet fault_set() const;
+};
+
+/// Parses a scenario from text. Throws std::invalid_argument with a
+/// line-numbered message on unknown keys or malformed values.
+Scenario parse_scenario(std::istream& in);
+Scenario parse_scenario_string(const std::string& text);
+
+/// Loads from a file. Throws std::runtime_error if unreadable.
+Scenario load_scenario(const std::string& path);
+
+/// Serializes a scenario in the format parse_scenario reads
+/// (round-tripping: parse(write(s)) == s for every representable field).
+void write_scenario(std::ostream& out, const Scenario& scenario);
+
+}  // namespace rbcast

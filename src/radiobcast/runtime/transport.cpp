@@ -1,0 +1,145 @@
+#include "radiobcast/runtime/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "radiobcast/runtime/wire.h"
+
+namespace rbcast {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("bind");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  local_port_ = ntohs(bound.sin_port);
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::set_peers(std::vector<std::uint16_t> ports) {
+  peer_ports_ = std::move(ports);
+}
+
+void UdpTransport::send(std::uint32_t to,
+                        const std::vector<std::uint8_t>& bytes) {
+  if (to >= peer_ports_.size()) {
+    throw std::out_of_range("UdpTransport::send: unknown peer index");
+  }
+  const sockaddr_in addr = loopback_addr(peer_ports_[to]);
+  // Best-effort by contract: EWOULDBLOCK / transient buffer exhaustion is a
+  // drop, exactly the failure PerfectLink's retransmission recovers from.
+  (void)::sendto(fd_, bytes.data(), bytes.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+}
+
+bool UdpTransport::try_receive(Datagram& out) {
+  std::uint8_t buf[kMaxDatagram];
+  sockaddr_in src{};
+  socklen_t src_len = sizeof(src);
+  const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), 0,
+                               reinterpret_cast<sockaddr*>(&src), &src_len);
+  if (n < 0) return false;  // EWOULDBLOCK and friends: nothing pending
+  const std::uint16_t src_port = ntohs(src.sin_port);
+  // Resolve the transmitter from the source port. The peer table is the
+  // runtime's identity authority; datagrams from unknown ports are dropped,
+  // which enforces the no-spoofing model at the transport seam.
+  for (std::uint32_t i = 0; i < peer_ports_.size(); ++i) {
+    if (peer_ports_[i] == src_port) {
+      out.from = i;
+      out.bytes.assign(buf, buf + n);
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjectionTransport::FaultInjectionTransport(std::uint32_t self,
+                                                 Options opts)
+    : self_(self), opts_(opts), rng_(hash_seeds(opts.seed, self)) {}
+
+void FaultInjectionTransport::set_peers(
+    std::vector<FaultInjectionTransport*> peers) {
+  peers_ = std::move(peers);
+  held_.clear();
+  held_.resize(peers_.size());
+}
+
+void FaultInjectionTransport::enqueue_at(std::uint32_t to, Datagram d) {
+  peers_.at(to)->inbox_.push_back(std::move(d));
+}
+
+void FaultInjectionTransport::send(std::uint32_t to,
+                                   const std::vector<std::uint8_t>& bytes) {
+  if (rng_.chance(opts_.drop_p)) return;
+  Datagram d{self_, bytes};
+  const bool duplicate = rng_.chance(opts_.duplicate_p);
+  if (rng_.chance(opts_.reorder_p) && held_[to] == nullptr) {
+    // Hold this datagram back; it is released behind the next send to `to`.
+    held_[to] = std::make_unique<Datagram>(std::move(d));
+    return;
+  }
+  enqueue_at(to, d);
+  if (duplicate) enqueue_at(to, std::move(d));
+  if (held_[to] != nullptr) {
+    enqueue_at(to, std::move(*held_[to]));
+    held_[to].reset();
+  }
+}
+
+bool FaultInjectionTransport::try_receive(Datagram& out) {
+  if (inbox_.empty()) return false;
+  out = std::move(inbox_.front());
+  inbox_.pop_front();
+  return true;
+}
+
+}  // namespace rbcast

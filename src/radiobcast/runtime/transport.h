@@ -1,0 +1,108 @@
+#pragma once
+// Datagram transports for the networked runtime.
+//
+// Transport is the narrow seam beneath PerfectLink: an unreliable,
+// unordered, possibly-duplicating datagram service addressed by node index.
+// UdpTransport is the real thing (nonblocking UDP sockets on loopback or any
+// configured peer table); FaultInjectionTransport wraps another transport and
+// deterministically drops / reorders / duplicates datagrams so the
+// perfect-link tests can prove no-loss / no-dup / FIFO under adversarial
+// conditions without flaky timing.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "radiobcast/util/rng.h"
+
+namespace rbcast {
+
+/// A received datagram plus the node index of its transmitter.
+struct Datagram {
+  std::uint32_t from = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Unreliable datagram service addressed by node index.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Best-effort send to node `to`. May silently drop.
+  virtual void send(std::uint32_t to, const std::vector<std::uint8_t>& bytes) = 0;
+
+  /// Non-blocking receive; returns false when nothing is pending.
+  virtual bool try_receive(Datagram& out) = 0;
+};
+
+/// UDP/IPv4 transport. Each node owns one nonblocking socket; peers are
+/// addressed through a (host, port) table indexed by node index. Datagram
+/// origin is resolved by matching the source address against the peer table,
+/// which is what makes sender identity unspoofable in the runtime model
+/// (Section II's no-spoofing assumption, realized by the socket layer).
+class UdpTransport final : public Transport {
+ public:
+  /// Binds a nonblocking UDP socket on 127.0.0.1:`port` (0 = ephemeral).
+  /// Throws std::system_error on socket failures.
+  explicit UdpTransport(std::uint16_t port);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// The locally bound port (resolved after an ephemeral bind).
+  std::uint16_t local_port() const { return local_port_; }
+
+  /// Installs the peer table: peers[i] is the loopback port of node i.
+  /// Must be called before send/try_receive resolve anything.
+  void set_peers(std::vector<std::uint16_t> ports);
+
+  void send(std::uint32_t to, const std::vector<std::uint8_t>& bytes) override;
+  bool try_receive(Datagram& out) override;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  std::vector<std::uint16_t> peer_ports_;
+};
+
+/// Deterministic failure shim for tests: wraps delivery queues per
+/// destination and applies seeded drop / duplicate / reorder decisions on
+/// send. All traffic stays in-process; `deliver_to` hands a queue's datagrams
+/// to the destination's FaultInjectionTransport, so a test wires N of these
+/// together as a lossy in-memory fabric.
+class FaultInjectionTransport final : public Transport {
+ public:
+  struct Options {
+    double drop_p = 0.0;       // per-datagram drop probability
+    double duplicate_p = 0.0;  // per-datagram duplication probability
+    /// With this probability a sent datagram is held back and released after
+    /// the next send to the same destination (pairwise reorder).
+    double reorder_p = 0.0;
+    std::uint64_t seed = 1;
+  };
+
+  explicit FaultInjectionTransport(std::uint32_t self, Options opts);
+
+  /// Connects this transport to its peers; index i must be peer i's shim.
+  /// Peers are not owned and must outlive this object.
+  void set_peers(std::vector<FaultInjectionTransport*> peers);
+
+  void send(std::uint32_t to, const std::vector<std::uint8_t>& bytes) override;
+  bool try_receive(Datagram& out) override;
+
+ private:
+  void enqueue_at(std::uint32_t to, Datagram d);
+
+  std::uint32_t self_;
+  Options opts_;
+  Rng rng_;
+  std::vector<FaultInjectionTransport*> peers_;
+  std::deque<Datagram> inbox_;
+  /// Held-back datagram per destination awaiting the reorder release.
+  std::vector<std::unique_ptr<Datagram>> held_;
+};
+
+}  // namespace rbcast

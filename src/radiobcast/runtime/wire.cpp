@@ -1,0 +1,189 @@
+#include "radiobcast/runtime/wire.h"
+
+#include <stdexcept>
+
+namespace rbcast {
+namespace {
+
+// Datagram layout (all integers little-endian):
+//   magic 'R' | version | kind | count | sender u32
+//   DATA entries: id u64 | wire-kind u8 | round i64 | payload
+//     kProtocol payload: type u8 | value u8 | origin i32 i32 |
+//                        nrelay u8 | (relayer i32 i32) * nrelay
+//     kRoundDone payload: done_count u32
+//   ACK entries: id u64
+constexpr std::uint8_t kMagic = 'R';
+constexpr std::uint8_t kVersion = 1;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+// Cursor-based reader; every get_* checks remaining length.
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+
+  bool get_u8(std::uint8_t& v) {
+    if (pos + 1 > data.size()) return false;
+    v = data[pos++];
+    return true;
+  }
+  bool get_u32(std::uint32_t& v) {
+    if (pos + 4 > data.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+    return true;
+  }
+  bool get_u64(std::uint64_t& v) {
+    if (pos + 8 > data.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+    return true;
+  }
+  bool get_i32(std::int32_t& v) {
+    std::uint32_t u = 0;
+    if (!get_u32(u)) return false;
+    v = static_cast<std::int32_t>(u);
+    return true;
+  }
+  bool get_i64(std::int64_t& v) {
+    std::uint64_t u = 0;
+    if (!get_u64(u)) return false;
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+};
+
+void encode_message(std::vector<std::uint8_t>& out, const Message& msg) {
+  put_u8(out, static_cast<std::uint8_t>(msg.type));
+  put_u8(out, msg.value);
+  put_i32(out, msg.origin.x);
+  put_i32(out, msg.origin.y);
+  put_u8(out, static_cast<std::uint8_t>(msg.relayers.size()));
+  for (const Coord hop : msg.relayers) {
+    put_i32(out, hop.x);
+    put_i32(out, hop.y);
+  }
+}
+
+bool decode_message(Reader& r, Message& msg) {
+  std::uint8_t type = 0;
+  if (!r.get_u8(type)) return false;
+  if (type > static_cast<std::uint8_t>(MsgType::kHeard)) return false;
+  msg.type = static_cast<MsgType>(type);
+  if (!r.get_u8(msg.value)) return false;
+  if (!r.get_i32(msg.origin.x) || !r.get_i32(msg.origin.y)) return false;
+  std::uint8_t nrelay = 0;
+  if (!r.get_u8(nrelay)) return false;
+  if (nrelay > RelayerChain::kCapacity) return false;
+  msg.relayers = RelayerChain{};
+  for (std::uint8_t i = 0; i < nrelay; ++i) {
+    Coord hop{};
+    if (!r.get_i32(hop.x) || !r.get_i32(hop.y)) return false;
+    msg.relayers.push_back(hop);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_packet(const Packet& packet) {
+  if (packet.kind == PacketKind::kData && packet.entries.size() > kMaxBatch) {
+    throw std::length_error("DATA packet exceeds kMaxBatch entries");
+  }
+  if (packet.kind == PacketKind::kAck &&
+      packet.acks.size() > kMaxAcksPerPacket) {
+    throw std::length_error("ACK packet exceeds kMaxAcksPerPacket ids");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  put_u8(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(packet.kind));
+  put_u8(out, static_cast<std::uint8_t>(packet.kind == PacketKind::kData
+                                            ? packet.entries.size()
+                                            : packet.acks.size()));
+  put_u32(out, packet.sender);
+  if (packet.kind == PacketKind::kData) {
+    for (const WireEntry& entry : packet.entries) {
+      put_u64(out, entry.id);
+      put_u8(out, static_cast<std::uint8_t>(entry.payload.kind));
+      put_i64(out, entry.payload.round);
+      if (entry.payload.kind == WireKind::kProtocol) {
+        encode_message(out, entry.payload.msg);
+      } else {
+        put_u32(out, entry.payload.done_count);
+      }
+    }
+  } else {
+    for (const std::uint64_t id : packet.acks) put_u64(out, id);
+  }
+  if (out.size() > kMaxDatagram) {
+    throw std::length_error("encoded packet exceeds kMaxDatagram");
+  }
+  return out;
+}
+
+bool decode_packet(std::span<const std::uint8_t> datagram, Packet& out) {
+  Reader r{datagram};
+  std::uint8_t magic = 0, version = 0, kind = 0, count = 0;
+  if (!r.get_u8(magic) || magic != kMagic) return false;
+  if (!r.get_u8(version) || version != kVersion) return false;
+  if (!r.get_u8(kind) || kind > static_cast<std::uint8_t>(PacketKind::kAck)) {
+    return false;
+  }
+  if (!r.get_u8(count)) return false;
+  out.kind = static_cast<PacketKind>(kind);
+  if (!r.get_u32(out.sender)) return false;
+  out.entries.clear();
+  out.acks.clear();
+  if (out.kind == PacketKind::kData) {
+    if (count > kMaxBatch) return false;
+    out.entries.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) {
+      WireEntry entry;
+      if (!r.get_u64(entry.id)) return false;
+      std::uint8_t wkind = 0;
+      if (!r.get_u8(wkind) ||
+          wkind > static_cast<std::uint8_t>(WireKind::kRoundDone)) {
+        return false;
+      }
+      entry.payload.kind = static_cast<WireKind>(wkind);
+      if (!r.get_i64(entry.payload.round)) return false;
+      if (entry.payload.kind == WireKind::kProtocol) {
+        if (!decode_message(r, entry.payload.msg)) return false;
+      } else {
+        if (!r.get_u32(entry.payload.done_count)) return false;
+      }
+      out.entries.push_back(entry);
+    }
+  } else {
+    if (count > kMaxAcksPerPacket) return false;
+    out.acks.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) {
+      std::uint64_t id = 0;
+      if (!r.get_u64(id)) return false;
+      out.acks.push_back(id);
+    }
+  }
+  return r.pos == datagram.size();
+}
+
+}  // namespace rbcast

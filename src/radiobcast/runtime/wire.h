@@ -1,0 +1,96 @@
+#pragma once
+// Wire format of the networked runtime (docs/RUNTIME.md).
+//
+// One UDP datagram carries one Packet: either a DATA batch of up to
+// kMaxBatch link messages, or an ACK batch of up to kMaxAcksPerPacket packed
+// 64-bit message ids. A link message id packs (sender node index, per-link
+// sequence number) into one uint64 — the same packed-key idiom as the PR 5
+// HEARD dedup keys — so duplicate suppression and ack bookkeeping are flat
+// integer-set operations.
+//
+// Payloads are either a protocol Message (COMMITTED / HEARD, tagged with the
+// TDMA round it belongs to) or a ROUND_DONE barrier marker announcing how
+// many protocol messages its sender broadcast in that round; the round
+// synchronizer (runtime/round_sync.h) consumes both.
+//
+// Encoding is explicit little-endian byte packing: no struct casts, no
+// padding leaks, malformed datagrams decode to false instead of UB.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radiobcast/net/message.h"
+
+namespace rbcast {
+
+/// Datagram kinds.
+enum class PacketKind : std::uint8_t { kData = 0, kAck = 1 };
+
+/// Link-message payload kinds.
+enum class WireKind : std::uint8_t { kProtocol = 0, kRoundDone = 1 };
+
+/// At most this many link messages are batched into one DATA datagram
+/// (mirroring the classic perfect-link stacks this layer is modeled on).
+inline constexpr std::size_t kMaxBatch = 8;
+/// At most this many message ids per ACK datagram.
+inline constexpr std::size_t kMaxAcksPerPacket = 64;
+/// Upper bound on an encoded datagram; comfortably under every MTU.
+inline constexpr std::size_t kMaxDatagram = 1280;
+
+/// Packs (sender node index, per-link sequence number) into a message id.
+constexpr std::uint64_t pack_message_id(std::uint32_t sender,
+                                        std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(sender) << 32) | seq;
+}
+constexpr std::uint32_t message_id_sender(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+constexpr std::uint32_t message_id_seq(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id);
+}
+
+/// One link message: a round-tagged protocol Message or a barrier marker.
+struct WireMessage {
+  WireKind kind = WireKind::kProtocol;
+  /// TDMA round this payload belongs to (the sender's round when queued).
+  std::int64_t round = 0;
+  /// kProtocol: the protocol message being broadcast.
+  Message msg{};
+  /// kRoundDone: protocol messages the sender broadcast in `round`.
+  std::uint32_t done_count = 0;
+
+  friend bool operator==(const WireMessage&, const WireMessage&) = default;
+};
+
+/// A message plus its link-level identity.
+struct WireEntry {
+  std::uint64_t id = 0;
+  WireMessage payload;
+
+  friend bool operator==(const WireEntry&, const WireEntry&) = default;
+};
+
+/// One datagram's worth of traffic.
+struct Packet {
+  PacketKind kind = PacketKind::kData;
+  /// Node index of the transmitter (the runtime's unspoofable identity: the
+  /// orchestrator binds each index to one socket, so a datagram's origin is
+  /// authenticated by the socket layer rather than by this field alone).
+  std::uint32_t sender = 0;
+  std::vector<WireEntry> entries;     // kData
+  std::vector<std::uint64_t> acks;    // kAck
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+/// Encodes into a flat datagram. Throws std::length_error if the packet
+/// exceeds the batch bounds above.
+std::vector<std::uint8_t> encode_packet(const Packet& packet);
+
+/// Decodes a received datagram. Returns false (leaving `out` unspecified) on
+/// any malformed input: wrong magic, truncation, oversized counts.
+bool decode_packet(std::span<const std::uint8_t> datagram, Packet& out);
+
+}  // namespace rbcast

@@ -1,0 +1,47 @@
+#include "radiobcast/util/shutdown.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace rbcast {
+
+namespace {
+
+// Handler state must be process-global and async-signal-safe: plain
+// volatile sig_atomic_t for the flag read in handlers, and an atomic guard
+// count so double construction fails loudly instead of silently clobbering
+// handler state.
+volatile std::sig_atomic_t g_signal = 0;
+std::atomic<int> g_guards{0};
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+
+void handle(int signo) { g_signal = signo; }
+
+}  // namespace
+
+ShutdownGuard::ShutdownGuard() {
+  if (g_guards.fetch_add(1) != 0) {
+    g_guards.fetch_sub(1);
+    throw std::logic_error("only one ShutdownGuard may be live at a time");
+  }
+  g_signal = 0;
+  struct sigaction action {};
+  action.sa_handler = handle;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls too
+  sigaction(SIGINT, &action, &g_prev_int);
+  sigaction(SIGTERM, &action, &g_prev_term);
+}
+
+ShutdownGuard::~ShutdownGuard() {
+  sigaction(SIGINT, &g_prev_int, nullptr);
+  sigaction(SIGTERM, &g_prev_term, nullptr);
+  g_guards.fetch_sub(1);
+}
+
+bool ShutdownGuard::requested() const { return g_signal != 0; }
+
+int ShutdownGuard::signal_number() const { return static_cast<int>(g_signal); }
+
+}  // namespace rbcast

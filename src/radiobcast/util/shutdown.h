@@ -1,0 +1,40 @@
+#pragma once
+// Graceful SIGINT/SIGTERM handling for long-running binaries.
+//
+// ShutdownGuard installs async-signal-safe handlers that only set a flag;
+// the binary's main loop polls requested() at safe points, flushes whatever
+// it owns (journals, trace sinks, verdict files), and exits with the
+// conventional 128+signal code (130 for SIGINT, 143 for SIGTERM) so callers
+// can tell an interrupted run from a failed one.
+//
+// Process-global by necessity (signal disposition is process state); only
+// one guard may be live at a time, and the constructor enforces that.
+
+#include <csignal>
+
+namespace rbcast {
+
+class ShutdownGuard {
+ public:
+  /// Installs handlers for SIGINT and SIGTERM. Throws std::logic_error if
+  /// another guard is alive.
+  ShutdownGuard();
+  /// Restores the previous handlers.
+  ~ShutdownGuard();
+
+  ShutdownGuard(const ShutdownGuard&) = delete;
+  ShutdownGuard& operator=(const ShutdownGuard&) = delete;
+
+  /// True once either signal arrived.
+  bool requested() const;
+
+  /// The signal number that arrived (0 if none yet; if both arrived, the
+  /// most recent one).
+  int signal_number() const;
+
+  /// Conventional exit code for the received signal: 128 + signo
+  /// (130 = SIGINT, 143 = SIGTERM). Unspecified if requested() is false.
+  int exit_code() const { return 128 + signal_number(); }
+};
+
+}  // namespace rbcast

@@ -443,6 +443,46 @@ TEST(Journal, KillAndResumeEmitsByteIdenticalExports) {
   std::filesystem::remove(full_path);
 }
 
+// Cooperative cancellation (the campaign CLI wires a ShutdownGuard here):
+// once the cancel hook fires, remaining trials are skipped — not failed, not
+// journaled — and a resume completes exactly the trials the cancelled run
+// never started, emitting byte-identical exports to an uninterrupted run.
+TEST(Journal, CancelSkipsCleanlyAndResumeFinishesTheRest) {
+  std::vector<CampaignCell> cells;
+  for (int i = 0; i < 2; ++i) {
+    CampaignCell cell = healthy_cell(300 + static_cast<std::uint64_t>(i), 6);
+    cell.sim.t = 1 + i;
+    cells.push_back(cell);
+  }
+
+  CampaignOptions plain;
+  plain.workers = 1;
+  const CampaignResult reference = run_cells(cells, plain);
+  const std::string ref_json = to_json(reference);
+  EXPECT_FALSE(reference.interrupted());
+
+  const auto path = temp_path("rbcast_ft_cancel.jsonl");
+  CampaignOptions cancelled = plain;
+  cancelled.journal_path = path.string();
+  std::size_t done = 0;
+  cancelled.progress = [&](std::size_t, std::size_t) { ++done; };
+  cancelled.cancel = [&] { return done >= 4; };  // "SIGINT" after 4 trials
+  const CampaignResult partial = run_cells(cells, cancelled);
+  EXPECT_TRUE(partial.interrupted());
+  EXPECT_EQ(partial.skipped_trials, 8u);
+  // Skipped trials are not journaled: header + the 4 completed records.
+  EXPECT_EQ(file_lines(path).size(), 5u);
+
+  CampaignOptions resume = plain;
+  resume.journal_path = path.string();
+  resume.resume = true;
+  const CampaignResult resumed = run_cells(cells, resume);
+  EXPECT_FALSE(resumed.interrupted());
+  EXPECT_EQ(resumed.replayed_trials, 4u);
+  EXPECT_EQ(to_json(resumed), ref_json);
+  std::filesystem::remove(path);
+}
+
 TEST(Journal, ResumeReplaysRecordedFailuresByteIdentically) {
   const std::vector<CampaignCell> cells = {tiny_torus_cell(2),
                                            healthy_cell(77, 3)};

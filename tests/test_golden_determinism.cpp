@@ -100,27 +100,29 @@ struct GoldenRow {
   const char* trace_sha;
 };
 
-// Recorded from the pre-PR-5 engine (see header comment).
+// JSON/CSV digests re-recorded when the runtime's link/barrier counters were
+// added to the counter schema (see header comment); trace digests are
+// unchanged since trace events carry no counters.
 const GoldenRow kGolden[] = {
     {ProtocolKind::kCrashFlood, 3,
-     "d110e85b19c72ad8e11e3958a13499b0363ca24cf706a3e0d0270eaaae376b96",
-     "dddee9dda6c360679398381d0f4443c332a050bc9f4a119650c41886845bc606",
+     "8b01fb8939f4b87718b502fe59ffda3e35ddc22208f9358794e67f89ffe80339",
+     "41dc0d19d34bae8697d5498112f3521964a07be672b6b3d57eb85c93703022dc",
      "102189cc5240713ab49e6fb74e9a17a981d5ed4c02a5b3955408d5f9eff60ddc"},
     {ProtocolKind::kCpa, 1,
-     "2b8c3b66ebcb6ba09c3f521e8a547beb3b52b4f97e3606475b2b72c400d1116f",
-     "1fb9d38bd8849ff2d9379d8f4ed4caf9cd6d63ea603c1b3245e6be2b6d0e354d",
+     "87a4b0872f19f0519fe87675e4b025c9ab282e0996ea463881a877b83769cb4c",
+     "587a54d4c6be3067632d1216fe52f1324e6e322444e9ae138f722af09d96b83d",
      "20df3a755dac1411923306328f544bedbdcbf59eb35bd7de496b74d6c3dca92b"},
     {ProtocolKind::kBvTwoHop, 1,
-     "e57299971a137566394ae16ea21f923120a16d9f281815f12942c1ab3bc8f009",
-     "7dfdd68cf55186b0d29850d7e26a5e75e9a91b8b1b8d9f26c5072197d9c9afbf",
+     "0196e9c0d686c0972542753ba30e7b5c0c06f796041fbc80fad622668789e72e",
+     "de24d97d606b1dda67e6279f8064a1f0ec30bc958dc2f604153d25d6bb96087d",
      "249ced1b5baa733926ca02b77c87fb2ea4da4e4ad05811eb3fd7b7863e68b8db"},
     {ProtocolKind::kBvIndirectFlood, 1,
-     "7652b9cbdf89e6dc68c2410ed50b4a1d98214d86c425acbcc2a9377762e6465b",
-     "b6df73080fbd069a19a387d0f2b0f9be6e7ab7e1986f5d8ee2f64bc7e3e0a23b",
+     "5c9157ef733de37a992da1e191ea921505272098cbb0d26aaed1ebd7433f1aba",
+     "3305bf21013d2018bcebf91d1a5596f9effde182b7e3a708b82a54649e6cba20",
      "dbcb5c458c2906f9585378a34857bd49b554dea3dd64149179d33d47d08058ad"},
     {ProtocolKind::kBvIndirectEarmarked, 1,
-     "4a063da48babfa663a22f830dd216971154531b0a074c73173f257986eb22212",
-     "7fc09608ca366c7af2c935f4370f5cc7c856d73d5f5eda0a7808f875d58b2921",
+     "54a88aa1e661d60b690b4629706d17880abf25938f36620debb935e5913ebf70",
+     "77d0d5bcc668172b1271739cd69260c3c7ea24b9f8ab048ad9fa93d8960fcb59",
      "3dba37c6cee5ba895874b233b976532f3e29342b76ed70c9f3cbfcfd61599a95"},
 };
 

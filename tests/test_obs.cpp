@@ -147,6 +147,8 @@ TEST(Counters, JsonRenderingIsFixedOrder) {
   Counters c;
   c.broadcasts_queued = 1;
   c.commits = 9;
+  c.packets_sent = 12;
+  c.barrier_wait_us = 77;
   c.last_commit_round = 3;
   EXPECT_EQ(to_json(c),
             "{\"broadcasts_queued\":1,\"spoofed_sends\":0,"
@@ -154,6 +156,9 @@ TEST(Counters, JsonRenderingIsFixedOrder) {
             "\"retransmission_copies\":0,\"envelopes_delivered\":0,"
             "\"envelopes_dropped\":0,\"commits\":9,\"trial_retries\":0,"
             "\"trial_timeouts\":0,\"trial_failures\":0,"
+            "\"packets_sent\":12,\"packets_retransmitted\":0,"
+            "\"packets_acked\":0,\"duplicates_dropped\":0,"
+            "\"barrier_timeouts\":0,\"barrier_wait_us\":77,"
             "\"last_commit_round\":3}");
 }
 

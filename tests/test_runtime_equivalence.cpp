@@ -1,0 +1,146 @@
+// Sim/runtime equivalence: the same protocol objects, run once under the
+// discrete-event simulator and once as threads over real loopback UDP
+// sockets, must produce identical per-node verdicts — same committed value,
+// same commit round, for every node.
+//
+// Why this holds (docs/RUNTIME.md has the full argument): the runtime tags
+// every broadcast with its TDMA round, the perfect link delivers per-sender
+// FIFO, and the round synchronizer releases each round's traffic in the
+// simulator's delivery order (sender index ascending, per-sender FIFO) only
+// after every neighbor's ROUND_DONE marker confirms the round is complete.
+// Both backends populate nodes with the same make_node_behavior recipe and
+// run the same default_round_bound horizon, so each behavior observes a
+// byte-identical event sequence on both backends.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/runtime/harness.h"
+
+namespace rbcast {
+namespace {
+
+struct EquivalenceCase {
+  const char* name;
+  ProtocolKind protocol;
+  AdversaryKind adversary;
+  std::int64_t t;
+  std::vector<Coord> faults;
+};
+
+class RuntimeEquivalence : public testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(RuntimeEquivalence, VerdictsMatchTheSimulatorNodeForNode) {
+  const EquivalenceCase& param = GetParam();
+
+  Scenario scenario;
+  scenario.sim.width = 8;
+  scenario.sim.height = 8;
+  scenario.sim.r = 1;
+  scenario.sim.metric = Metric::kLInf;
+  scenario.sim.t = param.t;
+  scenario.sim.protocol = param.protocol;
+  scenario.sim.adversary = param.adversary;
+  scenario.sim.value = 1;
+  scenario.sim.source = {0, 0};
+  scenario.sim.seed = 12345;
+  scenario.sim.max_rounds = 0;  // both backends use default_round_bound
+  scenario.faults = param.faults;
+  // Equivalence runs barrier forever: on loopback with threads all peers are
+  // alive, and a timeout would make delivery timing-dependent.
+  scenario.round_timeout_ms = 0;
+  scenario.linger_timeout_ms = 2000;
+
+  const SimResult sim = run_simulation(scenario.sim, scenario.fault_set());
+  const RuntimeResult rt = run_scenario_threads(scenario);
+
+  // Aggregate verdicts agree.
+  EXPECT_EQ(rt.honest_nodes, sim.honest_nodes);
+  EXPECT_EQ(rt.correct_commits, sim.correct_commits);
+  EXPECT_EQ(rt.wrong_commits, sim.wrong_commits);
+  EXPECT_EQ(rt.undecided, sim.undecided);
+  EXPECT_FALSE(rt.any_interrupted);
+
+  // Node-for-node: same committed value, same commit round.
+  const Torus torus(scenario.sim.width, scenario.sim.height);
+  ASSERT_EQ(rt.verdicts.size(), static_cast<std::size_t>(torus.node_count()));
+  for (const RuntimeVerdict& v : rt.verdicts) {
+    const std::size_t i = static_cast<std::size_t>(v.index);
+    const NodeOutcome expected = sim.outcomes[i];
+    const std::string where = "node " + std::to_string(v.index) + " (" +
+                              std::to_string(v.self.x) + "," +
+                              std::to_string(v.self.y) + ") under " +
+                              param.name;
+    switch (expected) {
+      case NodeOutcome::kSource:
+        EXPECT_EQ(v.role, NodeRole::kSource) << where;
+        break;
+      case NodeOutcome::kFaulty:
+        EXPECT_EQ(v.role, NodeRole::kFaulty) << where;
+        break;
+      case NodeOutcome::kUndecided:
+        EXPECT_EQ(v.role, NodeRole::kHonest) << where;
+        EXPECT_FALSE(v.committed.has_value()) << where;
+        EXPECT_EQ(v.commit_round, -1) << where;
+        break;
+      case NodeOutcome::kCommitted0:
+      case NodeOutcome::kCommitted1: {
+        const std::uint8_t value =
+            expected == NodeOutcome::kCommitted1 ? 1 : 0;
+        EXPECT_EQ(v.role, NodeRole::kHonest) << where;
+        ASSERT_TRUE(v.committed.has_value()) << where;
+        EXPECT_EQ(*v.committed, value) << where;
+        EXPECT_EQ(v.commit_round, sim.commit_rounds[i]) << where;
+        break;
+      }
+    }
+  }
+
+  // The protocol-level traffic counters agree too: both backends host the
+  // same behaviors observing the same event sequences, so they queue the
+  // same broadcasts and commit the same number of times. (Link-level packet
+  // counters are timing-dependent and deliberately not compared.)
+  EXPECT_EQ(rt.counters.commits, sim.counters.commits);
+  EXPECT_EQ(rt.counters.broadcasts_queued, sim.counters.broadcasts_queued);
+  EXPECT_EQ(rt.counters.committed_queued, sim.counters.committed_queued);
+  EXPECT_EQ(rt.counters.heard_queued, sim.counters.heard_queued);
+  EXPECT_EQ(rt.counters.last_commit_round, sim.counters.last_commit_round);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, RuntimeEquivalence,
+    testing::Values(
+        // Crash-flood tolerates silent faults anywhere; t is the assumed
+        // local bound.
+        EquivalenceCase{"crash_flood", ProtocolKind::kCrashFlood,
+                        AdversaryKind::kSilent, 3,
+                        std::vector<Coord>{{3, 3}, {6, 2}, {1, 6}}},
+        EquivalenceCase{"cpa", ProtocolKind::kCpa, AdversaryKind::kSilent, 1,
+                        std::vector<Coord>{{4, 4}}},
+        EquivalenceCase{"bv_2hop", ProtocolKind::kBvTwoHop,
+                        AdversaryKind::kLying, 1,
+                        std::vector<Coord>{{4, 4}}},
+        EquivalenceCase{"bv_4hop_flood", ProtocolKind::kBvIndirectFlood,
+                        AdversaryKind::kLying, 1,
+                        std::vector<Coord>{{4, 4}}},
+        EquivalenceCase{"bv_4hop_earmarked",
+                        ProtocolKind::kBvIndirectEarmarked,
+                        AdversaryKind::kSilent, 1,
+                        std::vector<Coord>{{4, 4}}},
+        // Crash-at-round exercises mid-run behavior changes on both
+        // backends (the adversary is honest until its crash round).
+        EquivalenceCase{"crash_flood_crash_at_round",
+                        ProtocolKind::kCrashFlood,
+                        AdversaryKind::kCrashAtRound, 3,
+                        std::vector<Coord>{{3, 3}, {6, 2}}}),
+    [](const testing::TestParamInfo<EquivalenceCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace rbcast

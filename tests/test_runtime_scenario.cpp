@@ -1,0 +1,213 @@
+// Scenario-file and verdict-file tests (runtime/scenario.h,
+// runtime/harness.h): parse/write roundtrips, line-numbered parse errors,
+// the shared node-option recipe, and the runtime's rejection of
+// configurations it cannot realize.
+
+#include "radiobcast/runtime/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "radiobcast/runtime/harness.h"
+#include "radiobcast/runtime/node.h"
+#include "radiobcast/runtime/transport.h"
+
+namespace rbcast {
+namespace {
+
+TEST(Scenario, ParsesEveryKey) {
+  const Scenario s = parse_scenario_string(R"(# comment line
+protocol bv-2hop
+adversary crash-at-round
+metric l2
+width 10
+height 12
+r 2
+t 1
+value 0
+source 3 4
+seed 99
+crash_round 5
+max_rounds 30
+round_timeout_ms 123
+linger_timeout_ms 456
+base_port 48000
+fault 7 7
+fault 1 2
+)");
+  EXPECT_EQ(s.sim.protocol, ProtocolKind::kBvTwoHop);
+  EXPECT_EQ(s.sim.adversary, AdversaryKind::kCrashAtRound);
+  EXPECT_EQ(s.sim.metric, Metric::kL2);
+  EXPECT_EQ(s.sim.width, 10);
+  EXPECT_EQ(s.sim.height, 12);
+  EXPECT_EQ(s.sim.r, 2);
+  EXPECT_EQ(s.sim.t, 1);
+  EXPECT_EQ(s.sim.value, 0);
+  EXPECT_EQ(s.sim.source, (Coord{3, 4}));
+  EXPECT_EQ(s.sim.seed, 99u);
+  EXPECT_EQ(s.sim.crash_round, 5);
+  EXPECT_EQ(s.sim.max_rounds, 30);
+  EXPECT_EQ(s.round_timeout_ms, 123);
+  EXPECT_EQ(s.linger_timeout_ms, 456);
+  EXPECT_EQ(s.base_port, 48000);
+  ASSERT_EQ(s.faults.size(), 2u);
+  EXPECT_EQ(s.faults[0], (Coord{7, 7}));
+  EXPECT_EQ(s.faults[1], (Coord{1, 2}));
+}
+
+TEST(Scenario, WriteParseRoundtrips) {
+  Scenario s;
+  s.sim.width = 8;
+  s.sim.height = 8;
+  s.sim.r = 1;
+  s.sim.t = 1;
+  s.sim.protocol = ProtocolKind::kBvIndirectFlood;
+  s.sim.adversary = AdversaryKind::kLying;
+  s.sim.value = 0;
+  s.sim.source = {2, 2};
+  s.sim.seed = 7;
+  s.faults = {{5, 5}, {0, 7}};
+  s.base_port = 50123;
+  s.round_timeout_ms = 777;
+  s.linger_timeout_ms = 888;
+
+  std::ostringstream out;
+  write_scenario(out, s);
+  const Scenario back = parse_scenario_string(out.str());
+  EXPECT_EQ(back.sim.protocol, s.sim.protocol);
+  EXPECT_EQ(back.sim.adversary, s.sim.adversary);
+  EXPECT_EQ(back.sim.width, s.sim.width);
+  EXPECT_EQ(back.sim.source, s.sim.source);
+  EXPECT_EQ(back.sim.seed, s.sim.seed);
+  EXPECT_EQ(back.faults, s.faults);
+  EXPECT_EQ(back.base_port, s.base_port);
+  EXPECT_EQ(back.round_timeout_ms, s.round_timeout_ms);
+  EXPECT_EQ(back.linger_timeout_ms, s.linger_timeout_ms);
+}
+
+TEST(Scenario, ErrorsCarryLineNumbers) {
+  try {
+    parse_scenario_string("width 8\nbogus_key 1\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(parse_scenario_string("width\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario_string("protocol no-such\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_string("fault 1\n"), std::invalid_argument);
+}
+
+TEST(Scenario, NodeOptionsAssignsRoles) {
+  Scenario s;
+  s.sim.width = 6;
+  s.sim.height = 6;
+  s.sim.r = 1;
+  s.sim.source = {0, 0};
+  s.faults = {{3, 3}};
+  const Torus torus(6, 6);
+
+  EXPECT_EQ(node_options(s, torus.index({0, 0})).role, NodeRole::kSource);
+  EXPECT_EQ(node_options(s, torus.index({3, 3})).role, NodeRole::kFaulty);
+  EXPECT_EQ(node_options(s, torus.index({1, 1})).role, NodeRole::kHonest);
+  EXPECT_EQ(node_options(s, torus.index({1, 1})).round_timeout.count(),
+            s.round_timeout_ms);
+}
+
+TEST(Verdict, WriteParseRoundtrips) {
+  RuntimeVerdict v;
+  v.index = 17;
+  v.self = {2, 3};
+  v.role = NodeRole::kHonest;
+  v.committed = 1;
+  v.commit_round = 4;
+  v.rounds = 40;
+  v.lingered_clean = true;
+  v.interrupted = false;
+  v.counters.commits = 1;
+  v.counters.broadcasts_queued = 9;
+  v.counters.envelopes_delivered = 123;
+  v.counters.packets_sent = 456;
+  v.counters.packets_retransmitted = 7;
+  v.counters.packets_acked = 455;
+  v.counters.duplicates_dropped = 3;
+  v.counters.barrier_timeouts = 0;
+  v.counters.barrier_wait_us = 98765;
+  v.counters.last_commit_round = 4;
+
+  std::stringstream io;
+  write_verdict(io, v);
+  const RuntimeVerdict back = parse_verdict(io);
+  EXPECT_EQ(back.index, v.index);
+  EXPECT_EQ(back.self, v.self);
+  EXPECT_EQ(back.role, v.role);
+  EXPECT_EQ(back.committed, v.committed);
+  EXPECT_EQ(back.commit_round, v.commit_round);
+  EXPECT_EQ(back.rounds, v.rounds);
+  EXPECT_EQ(back.lingered_clean, v.lingered_clean);
+  EXPECT_EQ(back.interrupted, v.interrupted);
+  EXPECT_EQ(back.counters.commits, v.counters.commits);
+  EXPECT_EQ(back.counters.broadcasts_queued, v.counters.broadcasts_queued);
+  EXPECT_EQ(back.counters.envelopes_delivered,
+            v.counters.envelopes_delivered);
+  EXPECT_EQ(back.counters.packets_sent, v.counters.packets_sent);
+  EXPECT_EQ(back.counters.packets_retransmitted,
+            v.counters.packets_retransmitted);
+  EXPECT_EQ(back.counters.packets_acked, v.counters.packets_acked);
+  EXPECT_EQ(back.counters.duplicates_dropped,
+            v.counters.duplicates_dropped);
+  EXPECT_EQ(back.counters.barrier_wait_us, v.counters.barrier_wait_us);
+  EXPECT_EQ(back.counters.last_commit_round, v.counters.last_commit_round);
+}
+
+TEST(Verdict, UncommittedSerializesAsMinusOne) {
+  RuntimeVerdict v;
+  v.index = 0;
+  std::stringstream io;
+  write_verdict(io, v);
+  EXPECT_NE(io.str().find("committed -1"), std::string::npos);
+  const RuntimeVerdict back = parse_verdict(io);
+  EXPECT_FALSE(back.committed.has_value());
+}
+
+TEST(Verdict, ParseRejectsMalformedInput) {
+  {
+    std::istringstream in("role honest\n");  // no index
+    EXPECT_THROW(parse_verdict(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("index 0\nrole emperor\n");
+    EXPECT_THROW(parse_verdict(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("index 0\nwat 1\n");
+    EXPECT_THROW(parse_verdict(in), std::invalid_argument);
+  }
+}
+
+TEST(RuntimeNode, RejectsConfigurationsWithoutASocketAnalogue) {
+  FaultInjectionTransport transport(0, {});
+  RuntimeNode::Options opts;
+  opts.sim.width = 6;
+  opts.sim.height = 6;
+  opts.sim.r = 1;
+
+  opts.sim.loss_p = 0.1;
+  EXPECT_THROW(RuntimeNode(opts, transport), std::invalid_argument);
+  opts.sim.loss_p = 0.0;
+
+  opts.sim.retransmissions = 3;
+  EXPECT_THROW(RuntimeNode(opts, transport), std::invalid_argument);
+  opts.sim.retransmissions = 1;
+
+  opts.sim.adversary = AdversaryKind::kSpoofing;
+  EXPECT_THROW(RuntimeNode(opts, transport), std::invalid_argument);
+  opts.sim.adversary = AdversaryKind::kJamming;
+  EXPECT_THROW(RuntimeNode(opts, transport), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbcast

@@ -1,0 +1,186 @@
+// Wire-format tests: encode/decode roundtrips for every packet shape and
+// rejection of malformed datagrams (runtime/wire.h).
+
+#include "radiobcast/runtime/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "radiobcast/net/message.h"
+
+namespace rbcast {
+namespace {
+
+WireMessage protocol_msg(Message msg, std::int64_t round) {
+  WireMessage wm;
+  wm.kind = WireKind::kProtocol;
+  wm.round = round;
+  wm.msg = msg;
+  return wm;
+}
+
+WireMessage round_done(std::int64_t round, std::uint32_t count) {
+  WireMessage wm;
+  wm.kind = WireKind::kRoundDone;
+  wm.round = round;
+  wm.done_count = count;
+  return wm;
+}
+
+TEST(MessageId, PacksAndUnpacksBothHalves) {
+  const std::uint64_t id = pack_message_id(0xDEADBEEFu, 0x01020304u);
+  EXPECT_EQ(message_id_sender(id), 0xDEADBEEFu);
+  EXPECT_EQ(message_id_seq(id), 0x01020304u);
+  EXPECT_EQ(pack_message_id(0, 0), 0u);
+  EXPECT_EQ(message_id_sender(pack_message_id(7, 0)), 7u);
+  EXPECT_EQ(message_id_seq(pack_message_id(0, 7)), 7u);
+}
+
+TEST(WireRoundtrip, DataPacketWithCommittedAndHeard) {
+  Packet packet;
+  packet.kind = PacketKind::kData;
+  packet.sender = 42;
+  packet.entries.push_back(
+      WireEntry{pack_message_id(42, 0),
+                protocol_msg(make_committed({3, 5}, 1), 7)});
+  packet.entries.push_back(WireEntry{
+      pack_message_id(42, 1),
+      protocol_msg(make_heard({{1, 2}, {3, 4}, {5, 6}}, {3, 5}, 0), 7)});
+  packet.entries.push_back(WireEntry{pack_message_id(42, 2), round_done(7, 2)});
+
+  const std::vector<std::uint8_t> bytes = encode_packet(packet);
+  ASSERT_LE(bytes.size(), kMaxDatagram);
+
+  Packet decoded;
+  ASSERT_TRUE(decode_packet(bytes, decoded));
+  EXPECT_EQ(decoded, packet);
+}
+
+TEST(WireRoundtrip, NegativeCoordsAndRoundsSurvive) {
+  Packet packet;
+  packet.sender = 0;
+  Message msg = make_committed({-3, -7}, 0);
+  packet.entries.push_back(WireEntry{1, protocol_msg(msg, -1)});
+  const std::vector<std::uint8_t> bytes = encode_packet(packet);
+  Packet decoded;
+  ASSERT_TRUE(decode_packet(bytes, decoded));
+  EXPECT_EQ(decoded, packet);
+}
+
+TEST(WireRoundtrip, AckPacket) {
+  Packet packet;
+  packet.kind = PacketKind::kAck;
+  packet.sender = 9;
+  for (std::uint32_t seq = 0; seq < 10; ++seq) {
+    packet.acks.push_back(pack_message_id(3, seq));
+  }
+  const std::vector<std::uint8_t> bytes = encode_packet(packet);
+  Packet decoded;
+  ASSERT_TRUE(decode_packet(bytes, decoded));
+  EXPECT_EQ(decoded, packet);
+}
+
+TEST(WireRoundtrip, FullBatchFitsInOneDatagram) {
+  Packet packet;
+  packet.sender = 1;
+  for (std::size_t i = 0; i < kMaxBatch; ++i) {
+    // Worst-case payload: a full relayer chain.
+    packet.entries.push_back(WireEntry{
+        pack_message_id(1, static_cast<std::uint32_t>(i)),
+        protocol_msg(
+            make_heard({{100, 100}, {-100, -100}, {7, 7}, {8, 8}}, {0, 0}, 1),
+            1 << 20)});
+  }
+  const std::vector<std::uint8_t> bytes = encode_packet(packet);
+  EXPECT_LE(bytes.size(), kMaxDatagram);
+  Packet decoded;
+  ASSERT_TRUE(decode_packet(bytes, decoded));
+  EXPECT_EQ(decoded, packet);
+}
+
+TEST(WireRoundtrip, FullAckBatchFitsInOneDatagram) {
+  Packet packet;
+  packet.kind = PacketKind::kAck;
+  packet.sender = 2;
+  for (std::size_t i = 0; i < kMaxAcksPerPacket; ++i) {
+    packet.acks.push_back(pack_message_id(2, static_cast<std::uint32_t>(i)));
+  }
+  const std::vector<std::uint8_t> bytes = encode_packet(packet);
+  EXPECT_LE(bytes.size(), kMaxDatagram);
+  Packet decoded;
+  ASSERT_TRUE(decode_packet(bytes, decoded));
+  EXPECT_EQ(decoded, packet);
+}
+
+TEST(WireEncode, RejectsOversizedBatches) {
+  Packet packet;
+  for (std::size_t i = 0; i <= kMaxBatch; ++i) {
+    packet.entries.push_back(WireEntry{i, round_done(0, 0)});
+  }
+  EXPECT_THROW(encode_packet(packet), std::length_error);
+
+  Packet acks;
+  acks.kind = PacketKind::kAck;
+  acks.acks.assign(kMaxAcksPerPacket + 1, 0);
+  EXPECT_THROW(encode_packet(acks), std::length_error);
+}
+
+TEST(WireDecode, RejectsMalformedDatagrams) {
+  Packet packet;
+  packet.sender = 5;
+  packet.entries.push_back(
+      WireEntry{pack_message_id(5, 0), protocol_msg(make_committed({1, 1}, 1), 3)});
+  const std::vector<std::uint8_t> good = encode_packet(packet);
+  Packet out;
+  ASSERT_TRUE(decode_packet(good, out));
+
+  // Empty datagram.
+  EXPECT_FALSE(decode_packet(std::vector<std::uint8_t>{}, out));
+
+  // Wrong magic byte.
+  std::vector<std::uint8_t> bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(decode_packet(bad, out));
+
+  // Unknown version.
+  bad = good;
+  bad[1] = 0xEE;
+  EXPECT_FALSE(decode_packet(bad, out));
+
+  // Every possible truncation must be rejected, never read out of bounds.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(decode_packet(
+        std::span<const std::uint8_t>(good.data(), len), out))
+        << "truncation at " << len << " bytes decoded";
+  }
+
+  // Trailing garbage (a datagram must be consumed exactly).
+  bad = good;
+  bad.push_back(0);
+  EXPECT_FALSE(decode_packet(bad, out));
+}
+
+TEST(WireDecode, RejectsCorruptedInteriorBytes) {
+  // Flip each byte of a valid encoding in turn; decode must either reject the
+  // datagram or produce *some* packet — but never crash or hang. (Most flips
+  // hit payload bytes and still decode; header/count flips must be caught.)
+  Packet packet;
+  packet.sender = 6;
+  packet.entries.push_back(WireEntry{
+      pack_message_id(6, 1),
+      protocol_msg(make_heard({{1, 1}, {2, 2}}, {0, 0}, 1), 2)});
+  const std::vector<std::uint8_t> good = encode_packet(packet);
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::vector<std::uint8_t> bad = good;
+    bad[i] ^= 0x5A;
+    Packet out;
+    (void)decode_packet(bad, out);  // must not crash; return value may vary
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rbcast
