@@ -18,6 +18,7 @@
 #include "radiobcast/paths/construction.h"
 #include "radiobcast/paths/disjoint.h"
 #include "radiobcast/paths/packing.h"
+#include "radiobcast/protocols/determination.h"
 #include "radiobcast/util/rng.h"
 
 namespace {
@@ -104,6 +105,75 @@ void BM_HeardFlood(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * cfg.width * cfg.height);
 }
 BENCHMARK(BM_HeardFlood)->Arg(1)->Arg(2);
+
+// Isolated cost of the incremental determination engine
+// (protocols/determination.h): a synthetic decider at r=2 / t=4 absorbing a
+// seeded stream of plausible relayer chains, with the round-end evaluation
+// every |nbd| reports. No network, no protocol dispatch — this pins
+// add_report (bitset AND + digest update), the dirty-center sweep, and the
+// packing memo, the three pieces BM_HeardFlood exercises end-to-end.
+void BM_Determination(benchmark::State& state) {
+  const std::int32_t r = 2;
+  const std::int64_t t = byz_linf_achievable_max(r);
+  const CenterTable& table = CenterTable::get(r, Metric::kLInf, 12, 12);
+  // Pre-generate plausible chains (each hop <= r, nodes distinct, nonzero):
+  // enough that the stream does not just saturate the dedup set.
+  Rng rng(1234);
+  struct Chain {
+    std::array<Offset, 4> rel{};
+    std::size_t n = 0;
+    std::uint64_t key = 0;
+  };
+  std::vector<Chain> chains;
+  while (chains.size() < 4096) {
+    Chain c;
+    c.n = 1 + rng.below(3);
+    Offset at{0, 0};
+    bool ok = true;
+    for (std::size_t i = 0; i < c.n; ++i) {
+      at.dx += static_cast<std::int32_t>(rng.below(2 * r + 1)) - r;
+      at.dy += static_cast<std::int32_t>(rng.below(2 * r + 1)) - r;
+      if (at == Offset{0, 0}) {
+        ok = false;
+        break;
+      }
+      c.rel[i] = at;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (c.rel[j] == at) ok = false;
+      }
+    }
+    if (!ok || !within_radius(c.rel[0], r, Metric::kLInf)) continue;
+    c.key = c.n;
+    for (std::size_t i = 0; i < c.n; ++i) {
+      c.key = (c.key << 16) |
+              (static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+                   c.rel[i].dx))
+               << 8) |
+              static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+                  c.rel[i].dy));
+    }
+    chains.push_back(c);
+  }
+  const std::uint64_t seed = det_digest_seed(r, Metric::kLInf, t);
+  PackingMemo& memo = PackingMemo::thread_instance();
+  std::int64_t reports = 0;
+  for (auto _ : state) {
+    IncrementalDetermination det(table, t, 8, seed);
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+      const Chain& c = chains[i];
+      if (det.add_report(std::span<const Offset>(c.rel.data(), c.n), c.key)) {
+        ++reports;
+      }
+      if ((i & 31) == 31) benchmark::DoNotOptimize(det.evaluate(memo));
+    }
+    benchmark::DoNotOptimize(det.evaluate(memo));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chains.size()));
+  state.counters["accepted"] =
+      static_cast<double>(reports) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Determination);
 
 void BM_BvEarmarkedFullTorus(benchmark::State& state) {
   const auto r = static_cast<std::int32_t>(state.range(0));

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over google-benchmark JSON output.
+
+Compares a freshly measured benchmark JSON against a curated baseline
+(bench/artifacts/) and fails (exit 1) if any gated benchmark slowed down by
+more than --max-slowdown after machine-speed normalization.
+
+Normalization: CI runners differ in absolute speed run-to-run, so raw
+nanosecond comparisons would flap. Instead the gate compares *normalized*
+ratios: each benchmark's current/baseline time ratio is divided by the
+median ratio across all shared benchmarks. The median tracks the overall
+machine-speed difference between the two runs; a genuine regression in one
+benchmark stands out against it. (A change that slows *every* benchmark by
+the same factor is invisible to this gate by construction — that is the
+price of running on shared runners; the interleaved pre/post numbers in
+bench/artifacts/BENCH_*.json cover absolute claims.)
+
+Baseline format: either google-benchmark JSON (context + benchmarks[]) or a
+curated BENCH_prN.json artifact ({"benchmarks": [{"name", "post_ns", ...}]});
+for the latter, post_ns is the baseline time.
+
+Exit codes: 0 ok, 1 regression (or selftest failure), 2 usage/IO error.
+
+Override: CI skips this gate when the PR carries the documented
+`perf-regression-ok` label (see .github/workflows/ci.yml) — use it for
+changes that knowingly trade benchmark speed for something else; the label
+leaves an audit trail in the PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_times(path):
+    """Returns {benchmark name: time in ns} from either supported format."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name:
+            continue
+        if bench.get("run_type") == "aggregate":
+            continue  # repetitions: use the raw iterations, not mean/median rows
+        if "post_ns" in bench:  # curated BENCH_prN.json artifact
+            times[name] = float(bench["post_ns"])
+        elif "real_time" in bench:
+            unit = bench.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+            times[name] = float(bench["real_time"]) * scale
+    return times
+
+
+def gated(name, patterns):
+    return any(name == p or name.startswith(p + "/") for p in patterns)
+
+
+def compare(current, baseline, patterns, max_slowdown):
+    """Returns (failures, report_lines). failures is a list of names."""
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        return None, ["no shared benchmarks between current and baseline"]
+    ratios = {n: current[n] / baseline[n] for n in shared if baseline[n] > 0}
+    if not ratios:
+        return None, ["baseline has no positive times for shared benchmarks"]
+    median = statistics.median(ratios.values())
+    lines = [
+        f"machine-speed normalization: median ratio {median:.3f} "
+        f"over {len(ratios)} shared benchmarks"
+    ]
+    failures = []
+    for name in shared:
+        if name not in ratios:
+            continue
+        normalized = ratios[name] / median
+        flag = ""
+        if gated(name, patterns):
+            if normalized > 1.0 + max_slowdown:
+                failures.append(name)
+                flag = "  <-- REGRESSION"
+            else:
+                flag = "  (gated)"
+        lines.append(
+            f"  {name}: {baseline[name]:.0f} ns -> {current[name]:.0f} ns"
+            f"  raw x{ratios[name]:.3f}  normalized x{normalized:.3f}{flag}"
+        )
+    return failures, lines
+
+
+def selftest(patterns, max_slowdown):
+    """Feeds the gate a synthetic ~30% regression; it must fire."""
+    base = {
+        "BM_RoundDeliveryFanout/1": 1000.0,
+        "BM_RoundDeliveryFanout/2": 5000.0,
+        "BM_HeardFlood/1": 9e6,
+        "BM_HeardFlood/2": 8e8,
+        "BM_Determination": 2e5,
+        "BM_SetPacking/8": 900.0,
+    }
+    # Whole-run 10% machine slowdown plus a real 30% regression in one
+    # gated benchmark: only that one may fire.
+    cur = {k: v * 1.10 for k, v in base.items()}
+    cur["BM_HeardFlood/2"] *= 1.30
+    failures, _ = compare(cur, base, patterns, max_slowdown)
+    if failures != ["BM_HeardFlood/2"]:
+        print(f"selftest FAILED: expected ['BM_HeardFlood/2'], got {failures}")
+        return 1
+    # And a clean run must pass.
+    failures, _ = compare(cur := {k: v * 0.95 for k, v in base.items()}, base,
+                          patterns, max_slowdown)
+    if failures:
+        print(f"selftest FAILED: clean run flagged {failures}")
+        return 1
+    print("selftest OK: synthetic 30% regression caught, clean run passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", nargs="?", help="google-benchmark JSON")
+    parser.add_argument("baseline", nargs="?", help="baseline JSON")
+    parser.add_argument(
+        "--max-slowdown", type=float, default=0.25,
+        help="allowed normalized slowdown fraction (default 0.25)")
+    parser.add_argument(
+        "--gate", action="append", default=None, metavar="NAME",
+        help="benchmark (family) name to gate; repeatable. Default: "
+             "BM_RoundDeliveryFanout, BM_HeardFlood, BM_Determination")
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify the gate catches an injected regression")
+    args = parser.parse_args()
+
+    patterns = args.gate or [
+        "BM_RoundDeliveryFanout", "BM_HeardFlood", "BM_Determination",
+    ]
+    if args.selftest:
+        sys.exit(selftest(patterns, args.max_slowdown))
+    if not args.current or not args.baseline:
+        parser.error("current and baseline JSON paths are required")
+
+    try:
+        current = load_times(args.current)
+        baseline = load_times(args.baseline)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_compare: cannot load inputs: {e}")
+        sys.exit(2)
+
+    failures, lines = compare(current, baseline, patterns, args.max_slowdown)
+    print("\n".join(lines))
+    if failures is None:
+        sys.exit(2)
+    if failures:
+        print(f"\nFAIL: {len(failures)} gated benchmark(s) regressed more "
+              f"than {args.max_slowdown:.0%} (normalized): "
+              + ", ".join(failures))
+        print("If the slowdown is intended, apply the 'perf-regression-ok' "
+              "label to the PR (documented in scripts/bench_compare.py) and "
+              "update the baseline artifact.")
+        sys.exit(1)
+    print(f"\nOK: no gated benchmark regressed more than "
+          f"{args.max_slowdown:.0%} (normalized)")
+
+
+if __name__ == "__main__":
+    main()

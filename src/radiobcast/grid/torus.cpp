@@ -5,16 +5,6 @@
 
 namespace rbcast {
 
-namespace {
-
-// Mathematical modulus (result in [0, m)).
-std::int32_t mod_floor(std::int32_t v, std::int32_t m) {
-  const std::int32_t r = v % m;
-  return r < 0 ? r + m : r;
-}
-
-}  // namespace
-
 Torus::Torus(std::int32_t width, std::int32_t height)
     : width_(width), height_(height) {
   if (width < 1 || height < 1) {
@@ -22,32 +12,6 @@ Torus::Torus(std::int32_t width, std::int32_t height)
                                 std::to_string(width) + "x" +
                                 std::to_string(height));
   }
-}
-
-Coord Torus::wrap(Coord c) const {
-  return {mod_floor(c.x, width_), mod_floor(c.y, height_)};
-}
-
-std::int32_t Torus::index(Coord c) const {
-  const Coord w = wrap(c);
-  return w.y * width_ + w.x;
-}
-
-Coord Torus::coord(std::int32_t idx) const {
-  return {idx % width_, idx / width_};
-}
-
-Offset Torus::delta(Coord from, Coord to) const {
-  const Coord a = wrap(from);
-  const Coord b = wrap(to);
-  std::int32_t dx = b.x - a.x;
-  std::int32_t dy = b.y - a.y;
-  // Fold into (-dim/2, dim/2].
-  if (2 * dx > width_) dx -= width_;
-  if (2 * dx <= -width_) dx += width_;
-  if (2 * dy > height_) dy -= height_;
-  if (2 * dy <= -height_) dy += height_;
-  return {dx, dy};
 }
 
 std::vector<Coord> Torus::all_coords() const {

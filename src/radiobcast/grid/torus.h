@@ -28,17 +28,37 @@ class Torus {
   }
 
   /// Canonical representative of a (possibly negative / out-of-range) coord.
-  Coord wrap(Coord c) const;
+  /// Inline: this and delta() sit on the per-delivery hot path (hundreds of
+  /// millions of calls per flood trial — see docs/PERF.md).
+  Coord wrap(Coord c) const {
+    return {mod_floor(c.x, width_), mod_floor(c.y, height_)};
+  }
 
   /// Dense index of a canonical coordinate, in [0, node_count()).
-  std::int32_t index(Coord c) const;
+  std::int32_t index(Coord c) const {
+    const Coord w = wrap(c);
+    return w.y * width_ + w.x;
+  }
 
   /// Inverse of index().
-  Coord coord(std::int32_t idx) const;
+  Coord coord(std::int32_t idx) const {
+    return {idx % width_, idx / width_};
+  }
 
   /// Minimal wrap-around displacement taking `from` to `to`; each component
   /// is in (-dim/2, dim/2].
-  Offset delta(Coord from, Coord to) const;
+  Offset delta(Coord from, Coord to) const {
+    const Coord a = wrap(from);
+    const Coord b = wrap(to);
+    std::int32_t dx = b.x - a.x;
+    std::int32_t dy = b.y - a.y;
+    // Fold into (-dim/2, dim/2].
+    if (2 * dx > width_) dx -= width_;
+    if (2 * dx <= -width_) dx += width_;
+    if (2 * dy > height_) dy -= height_;
+    if (2 * dy <= -height_) dy += height_;
+    return {dx, dy};
+  }
 
   /// Distance-r containment test under the torus metric.
   bool within(Coord a, Coord b, std::int32_t r, Metric m) const {
@@ -50,6 +70,12 @@ class Torus {
   std::vector<Coord> all_coords() const;
 
  private:
+  // Mathematical modulus (result in [0, m)).
+  static std::int32_t mod_floor(std::int32_t v, std::int32_t m) {
+    const std::int32_t r = v % m;
+    return r < 0 ? r + m : r;
+  }
+
   std::int32_t width_;
   std::int32_t height_;
 };

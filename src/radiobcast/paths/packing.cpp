@@ -50,6 +50,64 @@ struct Searcher {
   }
 };
 
+// Interior-based twin of Searcher. The recursion structure, bound, budget
+// accounting, and recording order are kept identical so both overloads
+// explore the same tree and return the same result for inputs with the same
+// conflict structure; only the compatibility primitive differs (pairwise
+// merge scans against the chosen set instead of a wide-mask AND).
+struct InteriorSearcher {
+  std::span<const Interior> items;
+  const std::vector<int>* order;  // indices of non-empty interiors, sorted
+  int target;                     // stop once best >= target (0 = exact)
+  std::int64_t budget;            // remaining search nodes
+  int best = 0;
+  std::vector<int> best_chosen;
+  std::vector<int> current;
+
+  bool done() const {
+    return (target > 0 && best >= target) || budget <= 0;
+  }
+
+  void record_current() {
+    if (static_cast<int>(current.size()) > best) {
+      best = static_cast<int>(current.size());
+      best_chosen = current;
+    }
+  }
+
+  bool compatible(int idx) const {
+    for (const int c : current) {
+      if (items[static_cast<std::size_t>(c)].intersects(
+              items[static_cast<std::size_t>(idx)])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void search(std::size_t pos) {
+    if (done()) return;
+    --budget;
+    const int remaining = static_cast<int>(order->size() - pos);
+    if (static_cast<int>(current.size()) + remaining <= best) return;  // bound
+    if (pos == order->size()) {
+      record_current();
+      return;
+    }
+    const int idx = (*order)[pos];
+    // Branch 1: take it if compatible.
+    if (compatible(idx)) {
+      current.push_back(idx);
+      record_current();  // keep partial results in case the budget runs out
+      search(pos + 1);
+      current.pop_back();
+      if (done()) return;
+    }
+    // Branch 2: skip it.
+    search(pos + 1);
+  }
+};
+
 }  // namespace
 
 PackingResult max_disjoint_packing(const std::vector<NodeMask>& masks,
@@ -99,6 +157,62 @@ PackingResult max_disjoint_packing(const std::vector<NodeMask>& masks,
 
   if (searcher.target == 0 || searcher.best < searcher.target) {
     searcher.search(0, NodeMask{});
+  }
+
+  result.count += searcher.best;
+  for (const int i : searcher.best_chosen) result.chosen.push_back(i);
+  return result;
+}
+
+PackingResult max_disjoint_packing(std::span<const Interior> interiors,
+                                   int target, std::int64_t node_budget) {
+  PackingResult result;
+  // Empty interiors conflict with nothing; take them all unconditionally.
+  std::vector<int> order;
+  for (std::size_t i = 0; i < interiors.size(); ++i) {
+    if (interiors[i].empty()) {
+      result.chosen.push_back(static_cast<int>(i));
+    } else {
+      order.push_back(static_cast<int>(i));
+    }
+  }
+  result.count = static_cast<int>(result.chosen.size());
+  if (target > 0 && result.count >= target) return result;
+
+  // Heuristic order: fewer interior nodes first (more likely to pack).
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto ca = interiors[static_cast<std::size_t>(a)].size();
+    const auto cb = interiors[static_cast<std::size_t>(b)].size();
+    return ca != cb ? ca < cb : a < b;
+  });
+
+  InteriorSearcher searcher;
+  searcher.items = interiors;
+  searcher.order = &order;
+  searcher.target = target > 0 ? target - result.count : 0;
+  searcher.budget = node_budget;
+
+  // Seed with the greedy packing along the heuristic order so that a
+  // truncated search still returns a sensible answer.
+  {
+    std::vector<int> greedy;
+    for (const int idx : order) {
+      bool compat = true;
+      for (const int g : greedy) {
+        if (interiors[static_cast<std::size_t>(g)].intersects(
+                interiors[static_cast<std::size_t>(idx)])) {
+          compat = false;
+          break;
+        }
+      }
+      if (compat) greedy.push_back(idx);
+    }
+    searcher.best = static_cast<int>(greedy.size());
+    searcher.best_chosen = std::move(greedy);
+  }
+
+  if (searcher.target == 0 || searcher.best < searcher.target) {
+    searcher.search(0);
   }
 
   result.count += searcher.best;

@@ -12,8 +12,10 @@
 // size <= 3), so an exact branch-and-bound with an early exit at the target
 // is both correct and fast.
 
+#include <array>
 #include <bitset>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace rbcast {
@@ -22,6 +24,50 @@ namespace rbcast {
 /// within 2r of the committer, so a (4r+1)^2 id space suffices; 1024 bits
 /// cover r <= 7.
 using NodeMask = std::bitset<1024>;
+
+/// Compact interior of a single report: up to four opaque 32-bit node ids,
+/// kept sorted. The incremental determination engine packs origin-relative
+/// relayer deltas into the ids; the solver only needs id equality. Chains
+/// are bounded at three relayers (+1 slack, mirroring RelayerChain), so the
+/// inline array replaces a 1024-bit mask per report — disjointness is a
+/// handful of integer compares instead of a wide AND.
+class Interior {
+ public:
+  static constexpr std::size_t kCapacity = 4;
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Inserts an id, keeping ids_ sorted. Ids within one report are distinct
+  /// (relayer chains never repeat a node).
+  void add(std::uint32_t id) {
+    std::size_t i = n_++;
+    while (i > 0 && ids_[i - 1] > id) {
+      ids_[i] = ids_[i - 1];
+      --i;
+    }
+    ids_[i] = id;
+  }
+
+  /// True iff the two interiors share any node id (merge scan over the
+  /// sorted arrays).
+  bool intersects(const Interior& o) const {
+    std::size_t i = 0, j = 0;
+    while (i < n_ && j < o.n_) {
+      if (ids_[i] == o.ids_[j]) return true;
+      if (ids_[i] < o.ids_[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::array<std::uint32_t, kCapacity> ids_{};
+  std::uint8_t n_ = 0;
+};
 
 struct PackingResult {
   int count = 0;             // size of the best packing found
@@ -40,6 +86,15 @@ struct PackingResult {
 /// a decider with junk reports can at worst delay determination, never forge
 /// one.
 PackingResult max_disjoint_packing(const std::vector<NodeMask>& masks,
+                                   int target = 0,
+                                   std::int64_t node_budget = 20000);
+
+/// Interior-based variant: identical search (same heuristic order, greedy
+/// seed, budget accounting, and early exit), so for inputs describing the
+/// same conflict structure it returns the same count and chosen indices as
+/// the NodeMask overload — the determination engine's hot path relies on
+/// that equivalence to keep results byte-identical.
+PackingResult max_disjoint_packing(std::span<const Interior> interiors,
                                    int target = 0,
                                    std::int64_t node_budget = 20000);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <span>
+#include <stdexcept>
+#include <string>
 
 #include "radiobcast/protocols/earmark.h"
 
@@ -10,6 +12,17 @@ namespace rbcast {
 namespace {
 
 constexpr std::size_t kMaxRelayers = 3;  // "up to three intermediate nodes"
+
+std::int32_t checked_radius(std::int32_t r) {
+  if (r < 1 || r > BvIndirectBehavior::kMaxReportKeyRadius) {
+    throw std::invalid_argument(
+        "BvIndirectBehavior: radius " + std::to_string(r) +
+        " outside [1, " +
+        std::to_string(BvIndirectBehavior::kMaxReportKeyRadius) +
+        "] (packed report keys would collide)");
+  }
+  return r;
+}
 
 /// Packed dedup key of a report: chain length plus 8-bit two's-complement
 /// components of each origin-relative delta. Plausible chains keep every
@@ -34,18 +47,90 @@ std::uint32_t pack_offset32(Offset o) {
          static_cast<std::uint16_t>(o.dy);
 }
 
+/// Receiver-independent validation of one HEARD transmission, cached
+/// per-thread across the ~|nbd| consecutive deliveries of the same
+/// broadcast. The chain's plausibility (no spoofing, hops within radius,
+/// nodes distinct), its wrapped coords, origin-relative deltas, packed
+/// dedup key, and admissible-center set depend only on (torus, r, metric,
+/// sender, message) — not on the receiver — so the CSR fan-out pays for
+/// them once instead of |nbd| times. Receiver-specific checks (origin ==
+/// self, self on the chain) stay in handle_heard. All cached fields are
+/// pure functions of the key, so reuse cannot change any output.
+struct HeardValidation {
+  // Key (raw, unwrapped fields — wrapping is deterministic).
+  std::int32_t width = -1, height = -1, r = -1;
+  Metric m{};
+  Coord sender{};
+  Coord raw_origin{};
+  RelayerChain raw_relayers;
+  // Cached results (valid iff the key matches).
+  bool plausible = false;
+  Coord origin{};
+  RelayerChain chain;                                // wrapped
+  std::array<Offset, RelayerChain::kCapacity> rel{};  // origin-relative
+  std::uint64_t report_key = 0;
+  CenterSet chain_centers;  // AND of containing(rel[i]) over the chain
+
+  bool matches(const Torus& torus, std::int32_t r_in, Metric m_in,
+               Coord sender_in, const Message& msg) const {
+    return width == torus.width() && height == torus.height() && r == r_in &&
+           m == m_in && sender == sender_in && raw_origin == msg.origin &&
+           raw_relayers == msg.relayers;
+  }
+
+  void fill(const Torus& torus, std::int32_t r_in, Metric m_in,
+            const CenterTable& table, Coord sender_in, const Message& msg) {
+    width = torus.width();
+    height = torus.height();
+    r = r_in;
+    m = m_in;
+    sender = sender_in;
+    raw_origin = msg.origin;
+    raw_relayers = msg.relayers;
+    plausible = false;
+    // The outermost relayer must be the actual transmitter (no spoofing).
+    if (torus.wrap(msg.relayers.back()) != sender_in) return;
+    origin = torus.wrap(msg.origin);
+    chain = RelayerChain{};
+    Coord prev = origin;
+    for (const Coord raw : msg.relayers) {
+      const Coord c = torus.wrap(raw);
+      if (c == origin) return;
+      if (std::find(chain.begin(), chain.end(), c) != chain.end()) return;
+      if (!torus.within(prev, c, r_in, m_in)) return;
+      rel[chain.size()] = torus.delta(origin, c);
+      chain.push_back(c);
+      prev = c;
+    }
+    report_key = pack_report_key(rel, chain.size());
+    CenterSet centers = table.containing(rel[0]);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      centers &= table.containing(rel[i]);
+    }
+    chain_centers = centers;
+    plausible = true;
+  }
+};
+
+thread_local HeardValidation g_heard_validation;
+
 }  // namespace
 
 BvIndirectBehavior::BvIndirectBehavior(const ProtocolParams& params,
                                        const Torus& torus, std::int32_t r,
                                        Metric m, RelayMode mode)
     : params_(params),
-      r_(r),
+      r_(checked_radius(r)),
       m_(m),
       mode_(mode),
       table_(NeighborhoodTable::get(r, m)),
       earmarks_(mode == RelayMode::kEarmarked ? &EarmarkPlan::get(r)
                                               : nullptr),
+      center_table_(CenterTable::supported(r, m)
+                        ? &CenterTable::get(r, m, torus.width(),
+                                            torus.height())
+                        : nullptr),
+      digest_seed_(det_digest_seed(r, m, params.t)),
       offset_exact_(torus.width() >= 8 * r && torus.height() >= 8 * r),
       counter_(torus, r, m, params.t) {}
 
@@ -61,7 +146,12 @@ void BvIndirectBehavior::determine(NodeContext& ctx, Coord origin,
                                    std::uint8_t value) {
   if (const auto fired = counter_.record(origin, value)) commit(ctx, *fired);
   // Evidence for a determined pair is no longer needed.
-  evidence_.erase(origin_value_key(ctx.torus().wrap(origin), value));
+  const std::uint64_t key = origin_value_key(ctx.torus().wrap(origin), value);
+  if (center_table_ != nullptr) {
+    fast_evidence_.erase(key);
+  } else {
+    evidence_.erase(key);
+  }
 }
 
 void BvIndirectBehavior::on_receive(NodeContext& ctx, const Envelope& env) {
@@ -92,6 +182,89 @@ void BvIndirectBehavior::handle_committed(NodeContext& ctx,
 }
 
 void BvIndirectBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
+  if (center_table_ == nullptr) {
+    handle_heard_legacy(ctx, env);
+    return;
+  }
+  const Torus& torus = ctx.torus();
+  const Message& msg = env.msg;
+  if (msg.relayers.empty() || msg.relayers.size() > kMaxRelayers) return;
+  // Evidence only feeds our own commit decision; relay duty is what others
+  // rely on, so post-commit we stop recording but keep relaying (unless
+  // full tracking is requested).
+  const bool recording =
+      !committed_.has_value() || params_.track_after_commit;
+  // A full-length chain cannot be extended, so once this node stops
+  // recording evidence such a delivery is a complete no-op — skip even the
+  // cached validation. Committed nodes receiving depth-3 floods are the
+  // dominant late-trial delivery, so this branch carries most of them.
+  if (!recording && msg.relayers.size() >= kMaxRelayers) return;
+
+  // Receiver-independent validation, computed once per transmission and
+  // reused across its ~|nbd| deliveries (see HeardValidation above).
+  HeardValidation& val = g_heard_validation;
+  if (!val.matches(torus, r_, m_, env.sender, msg)) {
+    val.fill(torus, r_, m_, *center_table_, env.sender, msg);
+  }
+  if (!val.plausible) return;
+
+  const Coord self = ctx.self();
+  if (val.origin == self) return;
+  // The chain must not pass through us.
+  for (const Coord c : val.chain) {
+    if (c == self) return;
+  }
+
+  const std::uint8_t v = msg.value & 1;
+  if (recording && !counter_.is_determined(val.origin, v)) {
+    const std::uint64_t key = origin_value_key(val.origin, v);
+    auto it = fast_evidence_.find(key);
+    if (it == fast_evidence_.end()) {
+      it = fast_evidence_
+               .emplace(key, FastEvidence{val.origin,
+                                          IncrementalDetermination(
+                                              *center_table_, params_.t,
+                                              kReportsPerFirstRelayer,
+                                              digest_seed_)})
+               .first;
+    }
+    if (it->second.det.add_report(
+            std::span<const Offset>(val.rel.data(), val.chain.size()),
+            val.report_key)) {
+      dirty_.insert(key);
+    }
+  }
+
+  // Relay with ourselves appended, if depth allows and the extended chain is
+  // still potentially useful.
+  if (val.chain.size() >= kMaxRelayers) return;
+  RelayerChain extended = val.chain;
+  extended.push_back(self);
+  const Offset self_rel = torus.delta(val.origin, self);
+  if (mode_ == RelayMode::kEarmarked) {
+    std::array<Offset, RelayerChain::kCapacity> rel = val.rel;
+    rel[val.chain.size()] = self_rel;
+    if (!earmarks_->allows(
+            std::span<const Offset>(rel.data(), extended.size()))) {
+      return;
+    }
+  } else {
+    // Usefulness filter: a decider only ever accepts a chain whose nodes
+    // plus the committer fit in one neighborhood, so drop extensions that
+    // already cannot. A spoofed sender can place us arbitrarily far from
+    // the claimed origin, so the self delta may fall outside the table
+    // span — containing_or_empty maps that (correctly) to "no center".
+    CenterSet admissible = val.chain_centers;
+    admissible &= center_table_->containing_or_empty(self_rel);
+    if (!admissible.any()) return;
+  }
+  ctx.broadcast(make_heard(extended, val.origin, v));
+}
+
+/// Fallback for radii the fast engine does not support (r > 7): the original
+/// fully per-receiver path.
+void BvIndirectBehavior::handle_heard_legacy(NodeContext& ctx,
+                                             const Envelope& env) {
   const Torus& torus = ctx.torus();
   const Message& msg = env.msg;
   if (msg.relayers.empty() || msg.relayers.size() > kMaxRelayers) return;
@@ -126,37 +299,7 @@ void BvIndirectBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
   // (unless full tracking is requested).
   if ((!committed_.has_value() || params_.track_after_commit) &&
       !counter_.is_determined(origin, v)) {
-    Evidence& ev = evidence_[key];
-    ev.origin = origin;
-    auto& per_first = ev.per_first_relayer[chain.front()];
-    if (per_first < kReportsPerFirstRelayer &&
-        ev.dedup.insert(pack_report_key(rel, chain.size())).second) {
-      ++per_first;
-      Evidence::Report report;
-      report.relayers = chain;
-      report.rel = rel;
-      bool mask_ok = true;
-      for (const Coord c : chain) {
-        auto bit = ev.node_bits.find(c);
-        if (bit == ev.node_bits.end()) {
-          bit = ev.node_bits.emplace(c, static_cast<int>(ev.bit_coords.size()))
-                    .first;
-          ev.bit_coords.push_back(c);
-        }
-        if (bit->second >= static_cast<int>(report.mask.size())) {
-          // Id space exhausted (cannot happen for r <= 7). Dropping the
-          // report is conservative: it can only delay determination, never
-          // let conflicting reports pass as disjoint.
-          mask_ok = false;
-          break;
-        }
-        report.mask.set(static_cast<std::size_t>(bit->second));
-      }
-      if (mask_ok) {
-        ev.reports.push_back(report);
-        dirty_.insert(key);
-      }
-    }
+    accept_report_legacy(key, origin, chain, rel);
   }
 
   // Relay with ourselves appended, if depth allows and the extended chain is
@@ -206,6 +349,42 @@ void BvIndirectBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
     if (!fits) return;
   }
   ctx.broadcast(make_heard(extended, origin, v));
+}
+
+void BvIndirectBehavior::accept_report_legacy(
+    std::uint64_t key, Coord origin, const RelayerChain& chain,
+    const std::array<Offset, RelayerChain::kCapacity>& rel) {
+  Evidence& ev = evidence_[key];
+  ev.origin = origin;
+  auto& per_first = ev.per_first_relayer[chain.front()];
+  if (per_first < kReportsPerFirstRelayer &&
+      ev.dedup.insert(pack_report_key(rel, chain.size())).second) {
+    ++per_first;
+    Evidence::Report report;
+    report.relayers = chain;
+    report.rel = rel;
+    bool mask_ok = true;
+    for (const Coord c : chain) {
+      auto bit = ev.node_bits.find(c);
+      if (bit == ev.node_bits.end()) {
+        bit = ev.node_bits.emplace(c, static_cast<int>(ev.bit_coords.size()))
+                  .first;
+        ev.bit_coords.push_back(c);
+      }
+      if (bit->second >= static_cast<int>(report.mask.size())) {
+        // Id space exhausted (cannot happen for r <= 7). Dropping the
+        // report is conservative: it can only delay determination, never
+        // let conflicting reports pass as disjoint.
+        mask_ok = false;
+        break;
+      }
+      report.mask.set(static_cast<std::size_t>(bit->second));
+    }
+    if (mask_ok) {
+      ev.reports.push_back(report);
+      dirty_.insert(key);
+    }
+  }
 }
 
 bool BvIndirectBehavior::try_determine_from_reports(const Torus& torus,
@@ -272,16 +451,29 @@ void BvIndirectBehavior::on_round_end(NodeContext& ctx) {
     // Dead state after committing; reclaim it.
     dirty_.clear();
     evidence_.clear();
+    fast_evidence_.clear();
     return;
   }
   if (dirty_.empty()) return;
   const Torus& torus = ctx.torus();
-  // Move out: determine() mutates evidence_ and new dirt belongs to the next
-  // round anyway.
+  // Move out: determine() mutates the evidence maps and new dirt belongs to
+  // the next round anyway.
   scratch_keys_.clear();
   scratch_keys_.insert(scratch_keys_.end(), dirty_.begin(), dirty_.end());
   std::sort(scratch_keys_.begin(), scratch_keys_.end());  // deterministic
   dirty_.clear();
+  if (center_table_ != nullptr) {
+    PackingMemo& memo = PackingMemo::thread_instance();
+    for (const std::uint64_t key : scratch_keys_) {
+      const auto it = fast_evidence_.find(key);
+      if (it == fast_evidence_.end()) continue;  // already determined
+      if (it->second.det.evaluate(memo)) {
+        determine(ctx, it->second.origin,
+                  static_cast<std::uint8_t>(key & 1));
+      }
+    }
+    return;
+  }
   for (const std::uint64_t key : scratch_keys_) {
     const auto it = evidence_.find(key);
     if (it == evidence_.end()) continue;  // already determined

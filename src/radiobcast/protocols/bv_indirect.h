@@ -36,6 +36,7 @@
 #include "radiobcast/net/network.h"
 #include "radiobcast/paths/packing.h"
 #include "radiobcast/protocols/common.h"
+#include "radiobcast/protocols/determination.h"
 
 namespace rbcast {
 
@@ -45,6 +46,15 @@ enum class RelayMode : std::uint8_t { kFlood, kEarmarked };
 
 class BvIndirectBehavior final : public NodeBehavior {
  public:
+  /// Largest radius for which the packed uint64 HEARD dedup key
+  /// (pack_report_key) is injective: chain components are bounded by 3r and
+  /// encoded in 8-bit two's complement, so 3r <= 126. The constructor
+  /// rejects larger radii loudly — silent key collisions could merge
+  /// distinct reports and delay (never forge) determinations, but only
+  /// nondeterministically enough to be worth forbidding outright.
+  static constexpr std::int32_t kMaxReportKeyRadius = 42;
+
+  /// Throws std::invalid_argument unless 1 <= r <= kMaxReportKeyRadius.
   BvIndirectBehavior(const ProtocolParams& params, const Torus& torus,
                      std::int32_t r, Metric m, RelayMode mode);
 
@@ -101,8 +111,20 @@ class BvIndirectBehavior final : public NodeBehavior {
 
   static constexpr int kReportsPerFirstRelayer = 8;
 
+  /// Incremental-engine evidence for one (origin, value) pair (used when
+  /// CenterTable supports (r, m) — every r <= 7; Evidence above is the
+  /// legacy fallback for larger radii).
+  struct FastEvidence {
+    Coord origin{};
+    IncrementalDetermination det;
+  };
+
   void handle_committed(NodeContext& ctx, const Envelope& env);
   void handle_heard(NodeContext& ctx, const Envelope& env);
+  void handle_heard_legacy(NodeContext& ctx, const Envelope& env);
+  void accept_report_legacy(
+      std::uint64_t key, Coord origin, const RelayerChain& chain,
+      const std::array<Offset, RelayerChain::kCapacity>& rel);
   void determine(NodeContext& ctx, Coord origin, std::uint8_t value);
   void commit(NodeContext& ctx, std::uint8_t value);
   bool try_determine_from_reports(const Torus& torus, Coord origin,
@@ -117,6 +139,12 @@ class BvIndirectBehavior final : public NodeBehavior {
   // mutex-guarded cache on every HEARD.
   const NeighborhoodTable& table_;
   const EarmarkPlan* earmarks_;  // non-null iff mode == kEarmarked
+  // Incremental determination engine (protocols/determination.h): non-null
+  // iff CenterTable::supported(r, m). When set, evidence lives in
+  // fast_evidence_ and relay-usefulness tests are single bitset ANDs; the
+  // legacy evidence_ path below only serves 8 <= r <= kMaxReportKeyRadius.
+  const CenterTable* center_table_;
+  std::uint64_t digest_seed_;
   // True when the torus is large enough (width, height >= 8r) that offset
   // arithmetic up to 4r never wraps ambiguously, so containment tests can
   // run on origin-relative deltas; tiny tori fall back to coord-space tests.
@@ -126,6 +154,7 @@ class BvIndirectBehavior final : public NodeBehavior {
   NeighborhoodCommitCounter counter_;
   std::unordered_map<Coord, std::uint8_t> first_committed_;
   std::unordered_map<std::uint64_t, Evidence> evidence_;  // by (origin,value)
+  std::unordered_map<std::uint64_t, FastEvidence> fast_evidence_;
   std::unordered_set<std::uint64_t> dirty_;               // keys to re-check
   // Reusable scratch for try_determine_from_reports / on_round_end; cleared
   // per use, capacity retained (no per-candidate-center allocations).

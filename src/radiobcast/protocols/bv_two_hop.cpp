@@ -20,6 +20,11 @@ BvTwoHopBehavior::BvTwoHopBehavior(const ProtocolParams& params,
       r_(r),
       m_(m),
       table_(NeighborhoodTable::get(r, m)),
+      center_table_(CenterTable::supported(r, m) && torus.width() > 2 * r &&
+                            torus.height() > 2 * r
+                        ? &CenterTable::get(r, m, torus.width(),
+                                            torus.height())
+                        : nullptr),
       offset_exact_(torus.width() >= 4 * r && torus.height() >= 4 * r),
       counter_(torus, r, m, params.t) {}
 
@@ -96,7 +101,21 @@ void BvTwoHopBehavior::handle_heard(NodeContext& ctx, const Envelope& env) {
   // nbd(c)). t+1 distinct reporters under one center are t+1 node-disjoint
   // evidence chains confined to that neighborhood.
   bool determined = false;
-  if (offset_exact_) {
+  if (center_table_ != nullptr) {
+    // Incremental engine: the centers whose neighborhood contains both the
+    // origin and the reporter at delta d are precomputed — walk the bitset
+    // instead of testing all K offsets. Identical counts to the loops below
+    // (the table bakes in this torus's fold).
+    auto& counts = reporter_counts_[origin_value_key(origin, v)];
+    if (counts.empty()) counts.assign(static_cast<std::size_t>(table_.size()), 0);
+    const Offset d = torus.delta(origin, reporter);
+    const std::int64_t threshold = params_.t + 1;
+    center_table_->containing(d).for_each([&](int k) {
+      auto& count = counts[static_cast<std::size_t>(k)];
+      count += 1;
+      if (count >= threshold) determined = true;
+    });
+  } else if (offset_exact_) {
     // Offset-space counting: center k is origin + off_k, the reporter sits at
     // d = delta(origin, reporter) with |d| <= r, so "reporter in nbd(c)" is
     // within_radius(d - off_k) and "c == reporter" is off_k == d — all raw

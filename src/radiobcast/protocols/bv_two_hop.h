@@ -26,6 +26,7 @@
 #include "radiobcast/grid/neighborhood.h"
 #include "radiobcast/net/network.h"
 #include "radiobcast/protocols/common.h"
+#include "radiobcast/protocols/determination.h"
 
 namespace rbcast {
 
@@ -65,6 +66,13 @@ class BvTwoHopBehavior final : public NodeBehavior {
   Metric m_;
   // Hoisted per-message lookup (no mutex-guarded cache hit per HEARD).
   const NeighborhoodTable& table_;
+  // Incremental engine (protocols/determination.h): one precomputed bitset
+  // walk per HEARD instead of K geometry tests. Non-null iff
+  // CenterTable::supported(r, m) and the torus is wide enough (> 2r per
+  // side) that distinct center offsets never wrap to one coordinate — the
+  // fold is baked into the table, so this also covers tori in (2r, 4r) that
+  // the raw-arithmetic path below cannot.
+  const CenterTable* center_table_;
   // True when the torus is large enough (width, height >= 4r) that offset
   // arithmetic up to 2r never wraps ambiguously; the reporter counting then
   // runs entirely in offset space with flat per-offset-index count arrays.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "radiobcast/core/analysis.h"
 #include "radiobcast/core/experiment.h"
 #include "radiobcast/core/simulation.h"
@@ -198,6 +200,31 @@ TEST(BvIndirect, BehaviorUnitConflictingChainsDoNotCount) {
                 {{11, 11}, make_heard({{13, 10}, {11, 11}}, origin, 1)});
   b->on_round_end(ctx);
   EXPECT_EQ(b->determinations(), 0);
+}
+
+TEST(BvIndirect, RadiusGuardRejectsKeyCollidingRadii) {
+  // pack_report_key encodes origin-relative chain deltas (bounded by 3r) in
+  // 8-bit two's complement, injective only for r <= kMaxReportKeyRadius.
+  const ProtocolParams params{1, {0, 0}};
+  const std::int32_t rmax = BvIndirectBehavior::kMaxReportKeyRadius;
+  EXPECT_EQ(rmax, 42);
+  {
+    const Torus torus(8 * rmax + 4, 8 * rmax + 4);
+    EXPECT_NO_THROW(BvIndirectBehavior(params, torus, rmax, Metric::kLInf,
+                                       RelayMode::kFlood));
+  }
+  {
+    const Torus torus(8 * (rmax + 1) + 4, 8 * (rmax + 1) + 4);
+    EXPECT_THROW(BvIndirectBehavior(params, torus, rmax + 1, Metric::kLInf,
+                                    RelayMode::kFlood),
+                 std::invalid_argument);
+  }
+  {
+    const Torus torus(12, 12);
+    EXPECT_THROW(
+        BvIndirectBehavior(params, torus, 0, Metric::kLInf, RelayMode::kFlood),
+        std::invalid_argument);
+  }
 }
 
 }  // namespace

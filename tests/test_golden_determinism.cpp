@@ -56,11 +56,12 @@ struct CampaignHashes {
 /// One deterministic mini-campaign for `protocol`: silent + lying (+spoofing
 /// for bv-2hop) adversaries, a perfect and a lossy channel cell each, with
 /// retransmissions so the repeat-delivery path is pinned too.
-CampaignHashes run_golden_campaign(ProtocolKind protocol, std::int64_t t,
+CampaignHashes run_golden_campaign(ProtocolKind protocol, std::int32_t r,
+                                   std::int64_t t, std::int64_t reps,
                                    int workers, const std::string& tag) {
   CampaignSpec spec;
   spec.base.width = spec.base.height = 12;
-  spec.base.r = 1;
+  spec.base.r = r;
   spec.base.protocol = protocol;
   spec.base.t = t;
   spec.base.retransmissions = 2;
@@ -71,7 +72,7 @@ CampaignHashes run_golden_campaign(ProtocolKind protocol, std::int64_t t,
   }
   spec.placements = {PlacementKind::kRandomBounded};
   spec.loss_ps = {0.0, 0.25};
-  spec.reps = 3;
+  spec.reps = reps;
   spec.base_seed = 20260806;
 
   const std::filesystem::path trace_dir =
@@ -94,7 +95,9 @@ CampaignHashes run_golden_campaign(ProtocolKind protocol, std::int64_t t,
 
 struct GoldenRow {
   ProtocolKind protocol;
+  std::int32_t r;
   std::int64_t t;
+  std::int64_t reps;
   const char* json_sha;
   const char* csv_sha;
   const char* trace_sha;
@@ -103,36 +106,58 @@ struct GoldenRow {
 // JSON/CSV digests re-recorded when the runtime's link/barrier counters were
 // added to the counter schema (see header comment); trace digests are
 // unchanged since trace events carry no counters.
+//
+// The r = 2 rows (fewer reps: they are ~100x the work per trial) were
+// recorded from the pre-incremental-determination engine (PR 7 parent
+// commit); they pin the r >= 2 evidence/set-packing path that the r = 1 rows
+// barely exercise.
 const GoldenRow kGolden[] = {
-    {ProtocolKind::kCrashFlood, 3,
+    {ProtocolKind::kCrashFlood, 1, 3, 3,
      "8b01fb8939f4b87718b502fe59ffda3e35ddc22208f9358794e67f89ffe80339",
      "41dc0d19d34bae8697d5498112f3521964a07be672b6b3d57eb85c93703022dc",
      "102189cc5240713ab49e6fb74e9a17a981d5ed4c02a5b3955408d5f9eff60ddc"},
-    {ProtocolKind::kCpa, 1,
+    {ProtocolKind::kCpa, 1, 1, 3,
      "87a4b0872f19f0519fe87675e4b025c9ab282e0996ea463881a877b83769cb4c",
      "587a54d4c6be3067632d1216fe52f1324e6e322444e9ae138f722af09d96b83d",
      "20df3a755dac1411923306328f544bedbdcbf59eb35bd7de496b74d6c3dca92b"},
-    {ProtocolKind::kBvTwoHop, 1,
+    {ProtocolKind::kBvTwoHop, 1, 1, 3,
      "0196e9c0d686c0972542753ba30e7b5c0c06f796041fbc80fad622668789e72e",
      "de24d97d606b1dda67e6279f8064a1f0ec30bc958dc2f604153d25d6bb96087d",
      "249ced1b5baa733926ca02b77c87fb2ea4da4e4ad05811eb3fd7b7863e68b8db"},
-    {ProtocolKind::kBvIndirectFlood, 1,
+    {ProtocolKind::kBvIndirectFlood, 1, 1, 3,
      "5c9157ef733de37a992da1e191ea921505272098cbb0d26aaed1ebd7433f1aba",
      "3305bf21013d2018bcebf91d1a5596f9effde182b7e3a708b82a54649e6cba20",
      "dbcb5c458c2906f9585378a34857bd49b554dea3dd64149179d33d47d08058ad"},
-    {ProtocolKind::kBvIndirectEarmarked, 1,
+    {ProtocolKind::kBvIndirectEarmarked, 1, 1, 3,
      "54a88aa1e661d60b690b4629706d17880abf25938f36620debb935e5913ebf70",
      "77d0d5bcc668172b1271739cd69260c3c7ea24b9f8ab048ad9fa93d8960fcb59",
      "3dba37c6cee5ba895874b233b976532f3e29342b76ed70c9f3cbfcfd61599a95"},
+    // r = 2 rows recorded from the pre-incremental (PR 5) engine; the
+    // incremental rewrite must reproduce them byte-for-byte.
+    {ProtocolKind::kBvTwoHop, 2, 4, 2,
+     "acb220e7b47e18f2cba0956dc2d880f1931199de2e8003540a09a3f1861565a2",
+     "d85dcca373319a8df9b0b26665fd2ab1ced7a3aed74b2a333008acf6e7a0d120",
+     "8d831c1ab43b66f9c194c65100aee8aae6d626625537e4ff4ec70e1c7531fbe0"},
+    {ProtocolKind::kBvIndirectFlood, 2, 4, 2,
+     "8e374952df1312eeffa163497e57d96c587de802d3c80988d8137c3f56897a4d",
+     "b4c420b3154355d6598ca261e122a4a5c53721035f693e8d593c3642e1a9a9dd",
+     "48ab91405ca0ef5e5ff4e2050fee11b1f6f4521ad90245418e8ba9f51ee0fa02"},
+    {ProtocolKind::kBvIndirectEarmarked, 2, 4, 2,
+     "0b6b09b0cc3f9ec3a6b4a42a6a258d16350dd04abbfe61ff651b35db2981b6bd",
+     "279b21bb1b364fe0908a6213025e1753d953c750dcafff28a236a8545c96d792",
+     "8e2be41f3e0aa0a0bcf65ee61720e2cfd863a36dd01ed4ed35e5525dd3999e91"},
 };
 
 class GoldenDeterminism : public testing::TestWithParam<GoldenRow> {};
 
 TEST_P(GoldenDeterminism, CampaignBytesMatchRecordedDigests) {
   const GoldenRow& row = GetParam();
-  const std::string tag = to_string(row.protocol);
-  const CampaignHashes w1 = run_golden_campaign(row.protocol, row.t, 1, tag);
-  const CampaignHashes w8 = run_golden_campaign(row.protocol, row.t, 8, tag);
+  const std::string tag =
+      std::string(to_string(row.protocol)) + "_r" + std::to_string(row.r);
+  const CampaignHashes w1 =
+      run_golden_campaign(row.protocol, row.r, row.t, row.reps, 1, tag);
+  const CampaignHashes w8 =
+      run_golden_campaign(row.protocol, row.r, row.t, row.reps, 8, tag);
 
   // Worker-count independence first: if these disagree, determinism itself
   // broke (worse than a schema change).
@@ -150,7 +175,8 @@ TEST_P(GoldenDeterminism, CampaignBytesMatchRecordedDigests) {
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, GoldenDeterminism, testing::ValuesIn(kGolden),
     [](const testing::TestParamInfo<GoldenRow>& info) {
-      std::string name = to_string(info.param.protocol);
+      std::string name = std::string(to_string(info.param.protocol)) + "_r" +
+                         std::to_string(info.param.r);
       for (char& c : name) {
         if (c == '-') c = '_';
       }

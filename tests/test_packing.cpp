@@ -14,7 +14,7 @@ NodeMask mask_of(std::initializer_list<int> bits) {
 }
 
 TEST(Packing, EmptyInput) {
-  const auto r = max_disjoint_packing({});
+  const auto r = max_disjoint_packing(std::vector<NodeMask>{});
   EXPECT_EQ(r.count, 0);
   EXPECT_TRUE(r.chosen.empty());
 }
@@ -146,6 +146,95 @@ TEST(Packing, RandomInstancesMatchBruteForce) {
       if (ok) best = std::max(best, cnt);
     }
     EXPECT_EQ(max_disjoint_packing(sets).count, best) << "trial " << trial;
+  }
+}
+
+Interior interior_of(std::initializer_list<std::uint32_t> ids) {
+  Interior in;
+  for (const std::uint32_t id : ids) in.add(id);
+  return in;
+}
+
+TEST(Interior, AddKeepsSortedAndIntersectDetectsSharedIds) {
+  const Interior a = interior_of({7, 3, 9});
+  const Interior b = interior_of({1, 9});
+  const Interior c = interior_of({2, 4});
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(c.intersects(b));
+  EXPECT_FALSE(Interior{}.intersects(a));
+  EXPECT_TRUE(Interior{}.empty());
+}
+
+TEST(InteriorPacking, MirrorsMaskOverloadOnFixedCases) {
+  // Same conflict structure as the mask tests above — the Interior overload
+  // must return the same count and the same chosen indices.
+  struct Case {
+    std::vector<std::vector<int>> sets;
+    int target = 0;
+  };
+  const std::vector<Case> cases = {
+      {{{0, 1}, {1, 2}, {0, 2}}, 0},
+      {{{}, {}, {0}, {0}}, 0},
+      {{{0, 1}, {0, 2, 3}, {1, 4, 5}}, 0},
+      {{{0, 1}, {2}, {1, 2}, {3, 4}, {0, 4}}, 0},
+      {{{0}, {0}, {0}}, 10},
+      {{{1, 2}, {1, 2}, {3}}, 0},
+  };
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    std::vector<NodeMask> masks;
+    std::vector<Interior> interiors;
+    for (const auto& ids : cases[ci].sets) {
+      NodeMask m;
+      Interior in;
+      for (const int id : ids) {
+        m.set(static_cast<std::size_t>(id));
+        in.add(static_cast<std::uint32_t>(id));
+      }
+      masks.push_back(m);
+      interiors.push_back(in);
+    }
+    const auto rm = max_disjoint_packing(masks, cases[ci].target);
+    const auto ri = max_disjoint_packing(
+        std::span<const Interior>(interiors), cases[ci].target);
+    EXPECT_EQ(rm.count, ri.count) << "case " << ci;
+    EXPECT_EQ(rm.chosen, ri.chosen) << "case " << ci;
+  }
+}
+
+TEST(InteriorPacking, RandomInstancesMatchMaskOverloadExactly) {
+  // The incremental determination engine depends on the two overloads
+  // exploring the same search tree: identical counts AND identical chosen
+  // indices, across targets and budgets.
+  Rng rng(7331);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(12));
+    std::vector<NodeMask> masks;
+    std::vector<Interior> interiors;
+    for (int i = 0; i < n; ++i) {
+      NodeMask m;
+      Interior in;
+      const int k = static_cast<int>(rng.below(4));  // 0..3 interior nodes
+      for (int j = 0; j < k; ++j) {
+        const int id = static_cast<int>(rng.below(9));
+        if (!m.test(static_cast<std::size_t>(id))) {
+          m.set(static_cast<std::size_t>(id));
+          in.add(static_cast<std::uint32_t>(id));
+        }
+      }
+      masks.push_back(m);
+      interiors.push_back(in);
+    }
+    const int target = static_cast<int>(rng.below(4));  // 0..3
+    const std::int64_t budget =
+        rng.below(2) == 0 ? 20000 : static_cast<std::int64_t>(rng.below(16));
+    const auto rm = max_disjoint_packing(masks, target, budget);
+    const auto ri = max_disjoint_packing(std::span<const Interior>(interiors),
+                                         target, budget);
+    EXPECT_EQ(rm.count, ri.count) << "trial " << trial;
+    EXPECT_EQ(rm.chosen, ri.chosen) << "trial " << trial;
   }
 }
 
