@@ -114,6 +114,35 @@ void BM_RuntimeScenario(benchmark::State& state) {
 // the timing thread, and rounds/s is a wall-clock claim.
 BENCHMARK(BM_RuntimeScenario)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Lossy-channel deployment cost: loss_p > 0 switches every node from the
+// shared-broadcast fast path to the per-receiver fan-out (one pairwise loss
+// draw and an individual link send per (message, receiver), plus a
+// per-receiver ROUND_DONE marker). This is the runtime analogue of the
+// simulator's lossy ablations; the interesting number is the overhead
+// relative to BM_RuntimeScenario, not the absolute rounds/s.
+void BM_RuntimeLossy(benchmark::State& state) {
+  Scenario scenario;
+  scenario.sim.width = 3;
+  scenario.sim.height = 3;
+  scenario.sim.r = 1;
+  scenario.sim.t = 0;
+  scenario.sim.protocol = ProtocolKind::kCrashFlood;
+  scenario.sim.max_rounds = 16;
+  scenario.sim.seed = 2026;
+  scenario.sim.loss_p = 0.1;
+  scenario.round_timeout_ms = 0;
+  scenario.linger_timeout_ms = 2000;
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    const RuntimeResult result = run_scenario_threads(scenario);
+    if (result.wrong_commits != 0) state.SkipWithError("wrong commit");
+    benchmark::DoNotOptimize(result.counters.envelopes_dropped);
+    rounds += result.rounds;
+  }
+  state.SetItemsProcessed(rounds);
+}
+BENCHMARK(BM_RuntimeLossy)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
-# Race-check the campaign thread pool: build with -DRADIOBCAST_SANITIZE=thread
-# and run the campaign test suite (which exercises multi-worker determinism)
-# under ThreadSanitizer. Any data race aborts the run with a nonzero exit.
+# Race-check the concurrent machinery under ThreadSanitizer: the campaign
+# thread pool (multi-worker determinism), the perfect-link / fault-injection
+# transport stack, and the round synchronizer's timeout/suspect paths that
+# the chaos layer leans on. Any data race aborts the run with a nonzero exit.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${repo}/build-tsan"
 
 cmake -B "${build}" -S "${repo}" -DRADIOBCAST_SANITIZE=thread >/dev/null
-cmake --build "${build}" --target test_campaign test_experiment -j >/dev/null
+cmake --build "${build}" --target \
+  test_campaign test_experiment test_perfect_link test_round_sync -j >/dev/null
 
 TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_campaign"
 TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_experiment" \
   --gtest_filter='Aggregate.*:RunRepeated.*'
+# Link + synchronizer: covers the FaultInjectionTransport drop/dup/reorder
+# paths and the multi-threaded slow-node progress test (real sockets, one
+# thread per node) that exercises timeout-opened barriers and suspicion.
+TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_perfect_link"
+TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_round_sync"
 
-echo "TSan campaign check passed"
+echo "TSan concurrency check passed"

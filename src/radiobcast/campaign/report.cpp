@@ -82,7 +82,7 @@ void write_aggregate(std::ostream& os, const Aggregate& agg) {
 }  // namespace
 
 void write_json(std::ostream& os, const CampaignResult& result) {
-  os << "{\"schema\":\"radiobcast-campaign-v3\",\"trials\":"
+  os << "{\"schema\":\"radiobcast-campaign-v4\",\"trials\":"
      << result.trial_count << ",\"cells\":[";
   for (std::size_t c = 0; c < result.cells.size(); ++c) {
     const CellResult& cell = result.cells[c];
@@ -128,7 +128,8 @@ void write_csv(std::ostream& os, const CampaignResult& result) {
         "envelopes_delivered,envelopes_dropped,commits,trial_retries,"
         "trial_timeouts,trial_failures,packets_sent,packets_retransmitted,"
         "packets_acked,duplicates_dropped,barrier_timeouts,barrier_wait_us,"
-        "last_commit_round\n";
+        "chaos_drops,chaos_delays,chaos_duplicates,chaos_partition_drops,"
+        "node_restarts,peers_suspected,degraded_rounds,last_commit_round\n";
   for (const CellResult& cell : result.cells) {
     const SimConfig& sim = cell.cell.sim;
     const Aggregate& agg = cell.aggregate;
@@ -167,6 +168,13 @@ void write_csv(std::ostream& os, const CampaignResult& result) {
        << agg.counters_total.duplicates_dropped << ','
        << agg.counters_total.barrier_timeouts << ','
        << agg.counters_total.barrier_wait_us << ','
+       << agg.counters_total.chaos_drops << ','
+       << agg.counters_total.chaos_delays << ','
+       << agg.counters_total.chaos_duplicates << ','
+       << agg.counters_total.chaos_partition_drops << ','
+       << agg.counters_total.node_restarts << ','
+       << agg.counters_total.peers_suspected << ','
+       << agg.counters_total.degraded_rounds << ','
        << agg.counters_total.last_commit_round << '\n';
   }
 }

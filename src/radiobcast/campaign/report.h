@@ -17,7 +17,7 @@ namespace rbcast {
 
 /// Writes the campaign as a JSON document:
 /// {
-///   "schema": "radiobcast-campaign-v3",
+///   "schema": "radiobcast-campaign-v4",
 ///   "trials": N,
 ///   "cells": [
 ///     {"label": ..., "params": {protocol, adversary, placement, width,

@@ -188,7 +188,12 @@ SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults,
     net.set_channel(std::make_unique<JammingChannel>(
         torus, cfg.r, cfg.metric, faults.sorted(), cfg.jam_budget));
   } else if (cfg.loss_p > 0.0) {
-    net.set_channel(std::make_unique<IidLossChannel>(cfg.loss_p));
+    if (cfg.loss_model == LossModel::kPairwise) {
+      net.set_channel(
+          std::make_unique<PairwiseLossChannel>(cfg.loss_p, cfg.seed));
+    } else {
+      net.set_channel(std::make_unique<IidLossChannel>(cfg.loss_p));
+    }
   }
   if (cfg.retransmissions != 1) {
     net.set_retransmissions(cfg.retransmissions);

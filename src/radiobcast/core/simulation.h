@@ -51,6 +51,14 @@ const char* to_string(AdversaryKind k);
 /// Inverse of to_string(AdversaryKind). Returns nullopt for unknown names.
 std::optional<AdversaryKind> adversary_from_string(std::string_view name);
 
+/// How loss_p randomness is drawn. kSharedStream is the historical default
+/// (one network-wide rng consumed in global delivery order — cheapest, and
+/// what every recorded campaign digest pins). kPairwise gives each ordered
+/// (sender, receiver) pair its own seeded stream, which is the only layout a
+/// distributed deployment can replicate; the networked runtime maps loss_p
+/// onto it (net/channel.h's PairwiseLossChannel).
+enum class LossModel : std::uint8_t { kSharedStream, kPairwise };
+
 struct SimConfig {
   std::int32_t width = 20;
   std::int32_t height = 20;
@@ -69,6 +77,7 @@ struct SimConfig {
   /// paper's model is loss_p = 0, retransmissions = 1.
   double loss_p = 0.0;
   int retransmissions = 1;
+  LossModel loss_model = LossModel::kSharedStream;
   /// For kJamming: deliveries each faulty node may destroy (-1 = unbounded).
   std::int64_t jam_budget = 0;
   /// Per-trial deadline watchdog (0 = off). `deadline_rounds` is a

@@ -18,7 +18,10 @@
 // t-bounded neighborhood); only liveness degrades, which retransmissions
 // repair with high probability — exactly the trade the paper sketches.
 
+#include <cstdint>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "radiobcast/grid/coord.h"
 #include "radiobcast/util/rng.h"
@@ -69,6 +72,61 @@ class IidLossChannel final : public ChannelModel {
 
  private:
   double p_loss_;
+};
+
+/// Packs a canonical coordinate into the 64-bit key the pairwise loss
+/// streams are seeded from. Shared with the runtime's loss policy
+/// (runtime/node.cpp) — both sides must derive identical seeds.
+constexpr std::uint64_t pack_coord_key(Coord c) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x)) << 32) |
+         static_cast<std::uint32_t>(c.y);
+}
+
+/// Seed of the loss stream dedicated to the ordered pair (sender, receiver).
+inline std::uint64_t pairwise_loss_seed(std::uint64_t seed, Coord sender,
+                                        Coord receiver) {
+  return hash_seeds(hash_seeds(seed, pack_coord_key(sender)),
+                    pack_coord_key(receiver));
+}
+
+/// Iid loss like IidLossChannel, but each ordered (sender, receiver) pair
+/// draws from its own seeded stream instead of the network's single shared
+/// one. Statistically identical (every draw is an independent Bernoulli(p));
+/// the difference is that a pair's k-th decision depends only on
+/// (seed, sender, receiver, k) — not on the global delivery order — so a
+/// distributed deployment can reproduce the simulator's exact drop pattern
+/// with no shared state. This is the channel the runtime's loss_p mapping is
+/// equivalence-tested against (tests/test_runtime_chaos.cpp).
+class PairwiseLossChannel final : public ChannelModel {
+ public:
+  /// Throws std::invalid_argument unless p_loss is a number in [0, 1]
+  /// (same NaN-safe guard as IidLossChannel).
+  PairwiseLossChannel(double p_loss, std::uint64_t seed)
+      : p_loss_(p_loss), seed_(seed) {
+    if (!(p_loss >= 0.0 && p_loss <= 1.0)) {
+      throw std::invalid_argument(
+          "PairwiseLossChannel: p_loss must be in [0,1]");
+    }
+  }
+
+  bool delivers(Coord sender, Coord receiver, Rng&) override {
+    // Coordinates arrive canonical from the delivery loop; the shared rng is
+    // deliberately untouched (pairwise streams replace it).
+    const auto key = std::pair(pack_coord_key(sender), pack_coord_key(receiver));
+    auto it = streams_.find(key);
+    if (it == streams_.end()) {
+      it = streams_.emplace(key, Rng(pairwise_loss_seed(seed_, sender, receiver)))
+               .first;
+    }
+    return !it->second.chance(p_loss_);
+  }
+
+  double loss_probability() const { return p_loss_; }
+
+ private:
+  double p_loss_;
+  std::uint64_t seed_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Rng> streams_;
 };
 
 }  // namespace rbcast

@@ -22,6 +22,13 @@ void Counters::merge(const Counters& other) {
   duplicates_dropped += other.duplicates_dropped;
   barrier_timeouts += other.barrier_timeouts;
   barrier_wait_us += other.barrier_wait_us;
+  chaos_drops += other.chaos_drops;
+  chaos_delays += other.chaos_delays;
+  chaos_duplicates += other.chaos_duplicates;
+  chaos_partition_drops += other.chaos_partition_drops;
+  node_restarts += other.node_restarts;
+  peers_suspected += other.peers_suspected;
+  degraded_rounds += other.degraded_rounds;
   last_commit_round = std::max(last_commit_round, other.last_commit_round);
 }
 
@@ -51,6 +58,13 @@ std::string to_json(const Counters& c) {
   field("duplicates_dropped", c.duplicates_dropped, false);
   field("barrier_timeouts", c.barrier_timeouts, false);
   field("barrier_wait_us", c.barrier_wait_us, false);
+  field("chaos_drops", c.chaos_drops, false);
+  field("chaos_delays", c.chaos_delays, false);
+  field("chaos_duplicates", c.chaos_duplicates, false);
+  field("chaos_partition_drops", c.chaos_partition_drops, false);
+  field("node_restarts", c.node_restarts, false);
+  field("peers_suspected", c.peers_suspected, false);
+  field("degraded_rounds", c.degraded_rounds, false);
   out += ",\"last_commit_round\":";
   out += std::to_string(c.last_commit_round);
   out += '}';

@@ -66,6 +66,25 @@ struct Counters {
   std::uint64_t barrier_timeouts = 0;
   /// Microseconds spent waiting at round barriers, cumulative.
   std::uint64_t barrier_wait_us = 0;
+  /// Chaos/fault-injection tier (runtime/transport.h's ChaosTransport and the
+  /// crash/restart machinery, docs/RUNTIME.md): always zero in the simulator
+  /// and in deployments without a chaos section.
+  /// Datagrams destroyed outright by the chaos layer.
+  std::uint64_t chaos_drops = 0;
+  /// Datagrams held back and delivered late by the chaos layer.
+  std::uint64_t chaos_delays = 0;
+  /// Extra datagram copies injected by the chaos layer.
+  std::uint64_t chaos_duplicates = 0;
+  /// Datagrams suppressed by a directed partition window.
+  std::uint64_t chaos_partition_drops = 0;
+  /// Crash/restart cycles this node (or deployment) survived.
+  std::uint64_t node_restarts = 0;
+  /// Peers moved onto the round synchronizer's suspect list (transitions, so
+  /// a peer suspected, cleared, and re-suspected counts twice).
+  std::uint64_t peers_suspected = 0;
+  /// Rounds that opened with at least one expected peer's traffic missing
+  /// (timeout or suspect-skip) — the degraded-mode breadcrumb trail.
+  std::uint64_t degraded_rounds = 0;
   /// Round in which the last note_commit fired (0 = none beyond the source's
   /// round-0 commit). "In which round did the last node commit?" — this one.
   std::int64_t last_commit_round = 0;

@@ -26,6 +26,17 @@ RuntimeNode::Options node_options(const Scenario& scenario,
   opts.max_rounds = scenario.sim.max_rounds;
   opts.round_timeout = std::chrono::milliseconds(scenario.round_timeout_ms);
   opts.linger_timeout = std::chrono::milliseconds(scenario.linger_timeout_ms);
+  opts.suspect_after = static_cast<int>(scenario.suspect_after);
+  if (scenario.sim.adversary == AdversaryKind::kJamming) {
+    opts.jammers = scenario.faults;
+  }
+  if (scenario.crash_node && *scenario.crash_node == self) {
+    opts.crash_at_round = scenario.crash_at_round;
+  }
+  if (!scenario.state_dir.empty()) {
+    opts.snapshot_path =
+        scenario.state_dir + "/state-" + std::to_string(index) + ".txt";
+  }
   return opts;
 }
 
@@ -53,11 +64,13 @@ RuntimeResult score_verdicts(const Scenario& scenario,
   for (const RuntimeVerdict& v : verdicts) {
     result.rounds = std::max(result.rounds, v.rounds);
     result.any_interrupted = result.any_interrupted || v.interrupted;
+    result.crashed_nodes += v.crashed ? 1 : 0;
     result.counters.merge(v.counters);
     if (v.role != NodeRole::kHonest) continue;
     result.honest_nodes += 1;
     if (!v.committed.has_value()) {
       result.undecided += 1;
+      if (v.crashed) result.crashed_undecided += 1;
     } else if (*v.committed == scenario.sim.value) {
       result.correct_commits += 1;
     } else {
@@ -92,6 +105,18 @@ RuntimeResult run_scenario_threads(
   }
   for (auto& transport : transports) transport->set_peers(ports);
 
+  // Chaos wrappers are per-node and live outside the restart loop, so a
+  // restarted node keeps the same datagram-fate stream and cumulative stats.
+  std::vector<std::unique_ptr<ChaosTransport>> chaos;
+  if (scenario.chaos.enabled()) {
+    chaos.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      chaos.push_back(std::make_unique<ChaosTransport>(
+          static_cast<std::uint32_t>(i), *transports[static_cast<std::size_t>(i)],
+          make_chaos_options(scenario, static_cast<std::int32_t>(i))));
+    }
+  }
+
   std::vector<RuntimeVerdict> verdicts(static_cast<std::size_t>(n));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
@@ -99,13 +124,36 @@ RuntimeResult run_scenario_threads(
   std::exception_ptr first_error;
   for (std::int64_t i = 0; i < n; ++i) {
     threads.emplace_back([&, i] {
+      const auto idx = static_cast<std::size_t>(i);
       try {
         RuntimeNode::Options opts =
             node_options(scenario, static_cast<std::int32_t>(i));
         if (tweak) tweak(opts);
-        RuntimeNode node(std::move(opts),
-                         *transports[static_cast<std::size_t>(i)]);
-        verdicts[static_cast<std::size_t>(i)] = node.run();
+        Transport& transport =
+            chaos.empty() ? static_cast<Transport&>(*transports[idx])
+                          : static_cast<Transport&>(*chaos[idx]);
+        const bool can_restart =
+            scenario.restart_after_ms >= 0 && !opts.snapshot_path.empty();
+        for (;;) {
+          RuntimeNode node(opts, transport);
+          verdicts[idx] = node.run();
+          if (!verdicts[idx].crashed || !can_restart) break;
+          // Crash/restart recovery: relaunch this node from its snapshot.
+          // The UDP socket stays bound, so peers keep retransmitting into it
+          // while the node is "down" — strictly more benign than process
+          // mode, which is fine for a convergence test.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(scenario.restart_after_ms));
+          opts.resume = true;
+          opts.crash_at_round = -1;
+        }
+        if (!chaos.empty()) {
+          const ChaosStats& st = chaos[idx]->stats();
+          verdicts[idx].counters.chaos_drops = st.drops;
+          verdicts[idx].counters.chaos_duplicates = st.duplicates;
+          verdicts[idx].counters.chaos_delays = st.delays;
+          verdicts[idx].counters.chaos_partition_drops = st.partition_drops;
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -140,15 +188,24 @@ void write_verdict(std::ostream& out, const RuntimeVerdict& v) {
       << "rounds " << v.rounds << '\n'
       << "lingered_clean " << (v.lingered_clean ? 1 : 0) << '\n'
       << "interrupted " << (v.interrupted ? 1 : 0) << '\n'
+      << "crashed " << (v.crashed ? 1 : 0) << '\n'
       << "commits " << v.counters.commits << '\n'
       << "broadcasts_queued " << v.counters.broadcasts_queued << '\n'
       << "envelopes_delivered " << v.counters.envelopes_delivered << '\n'
+      << "envelopes_dropped " << v.counters.envelopes_dropped << '\n'
       << "packets_sent " << v.counters.packets_sent << '\n'
       << "packets_retransmitted " << v.counters.packets_retransmitted << '\n'
       << "packets_acked " << v.counters.packets_acked << '\n'
       << "duplicates_dropped " << v.counters.duplicates_dropped << '\n'
       << "barrier_timeouts " << v.counters.barrier_timeouts << '\n'
       << "barrier_wait_us " << v.counters.barrier_wait_us << '\n'
+      << "chaos_drops " << v.counters.chaos_drops << '\n'
+      << "chaos_delays " << v.counters.chaos_delays << '\n'
+      << "chaos_duplicates " << v.counters.chaos_duplicates << '\n'
+      << "chaos_partition_drops " << v.counters.chaos_partition_drops << '\n'
+      << "node_restarts " << v.counters.node_restarts << '\n'
+      << "peers_suspected " << v.counters.peers_suspected << '\n'
+      << "degraded_rounds " << v.counters.degraded_rounds << '\n'
       << "last_commit_round " << v.counters.last_commit_round << '\n';
 }
 
@@ -200,6 +257,9 @@ RuntimeVerdict parse_verdict(std::istream& in) {
     } else if (key == "interrupted") {
       want_i64(x);
       v.interrupted = x != 0;
+    } else if (key == "crashed") {
+      want_i64(x);
+      v.crashed = x != 0;
     } else if (key == "commits") {
       want_i64(x);
       v.counters.commits = static_cast<std::uint64_t>(x);
@@ -209,6 +269,9 @@ RuntimeVerdict parse_verdict(std::istream& in) {
     } else if (key == "envelopes_delivered") {
       want_i64(x);
       v.counters.envelopes_delivered = static_cast<std::uint64_t>(x);
+    } else if (key == "envelopes_dropped") {
+      want_i64(x);
+      v.counters.envelopes_dropped = static_cast<std::uint64_t>(x);
     } else if (key == "packets_sent") {
       want_i64(x);
       v.counters.packets_sent = static_cast<std::uint64_t>(x);
@@ -227,6 +290,27 @@ RuntimeVerdict parse_verdict(std::istream& in) {
     } else if (key == "barrier_wait_us") {
       want_i64(x);
       v.counters.barrier_wait_us = static_cast<std::uint64_t>(x);
+    } else if (key == "chaos_drops") {
+      want_i64(x);
+      v.counters.chaos_drops = static_cast<std::uint64_t>(x);
+    } else if (key == "chaos_delays") {
+      want_i64(x);
+      v.counters.chaos_delays = static_cast<std::uint64_t>(x);
+    } else if (key == "chaos_duplicates") {
+      want_i64(x);
+      v.counters.chaos_duplicates = static_cast<std::uint64_t>(x);
+    } else if (key == "chaos_partition_drops") {
+      want_i64(x);
+      v.counters.chaos_partition_drops = static_cast<std::uint64_t>(x);
+    } else if (key == "node_restarts") {
+      want_i64(x);
+      v.counters.node_restarts = static_cast<std::uint64_t>(x);
+    } else if (key == "peers_suspected") {
+      want_i64(x);
+      v.counters.peers_suspected = static_cast<std::uint64_t>(x);
+    } else if (key == "degraded_rounds") {
+      want_i64(x);
+      v.counters.degraded_rounds = static_cast<std::uint64_t>(x);
     } else if (key == "last_commit_round") {
       want_i64(v.counters.last_commit_round);
     } else {

@@ -32,10 +32,32 @@ struct RuntimeResult {
   std::int64_t undecided = 0;
   std::int64_t rounds = 0;  // max over nodes
   bool any_interrupted = false;
+  /// Verdicts that ended in a crash (injected or synthesized for a dead
+  /// process), any role.
+  std::int64_t crashed_nodes = 0;
+  /// Honest nodes whose final verdict is a crash without a commit — excused
+  /// from the degraded-correct bar (they died, they were not wrong).
+  std::int64_t crashed_undecided = 0;
   Counters counters;  // merged over nodes
 
   bool success() const {
     return wrong_commits == 0 && correct_commits == honest_nodes;
+  }
+
+  /// The deployment hit faults (crashes, restarts, timed-out or incomplete
+  /// barriers) even if the protocol outcome is intact.
+  bool degraded() const {
+    return crashed_nodes > 0 || counters.node_restarts > 0 ||
+           counters.barrier_timeouts > 0 || counters.degraded_rounds > 0;
+  }
+
+  /// Degraded-but-correct: nobody committed a wrong value and every honest
+  /// node that survived to the end committed correctly. This is the bar a
+  /// chaos deployment must clear — weaker than success() only in excusing
+  /// nodes that died.
+  bool degraded_correct() const {
+    return wrong_commits == 0 &&
+           correct_commits + crashed_undecided == honest_nodes;
   }
 };
 
@@ -48,6 +70,9 @@ RuntimeResult score_verdicts(const Scenario& scenario,
 /// loopback UDP sockets (ephemeral ports). `tweak`, when set, may adjust
 /// each node's options before construction (test hook: behavior factories,
 /// timeouts, trace sinks). Propagates the first node exception, if any.
+/// When the scenario has a chaos section, every node's transport is wrapped
+/// in a seeded ChaosTransport; when it has crash_node + restart_after_ms and
+/// a state_dir, the crashed node's thread relaunches it from its snapshot.
 RuntimeResult run_scenario_threads(
     const Scenario& scenario,
     const std::function<void(RuntimeNode::Options&)>& tweak = nullptr);

@@ -25,6 +25,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "radiobcast/core/simulation.h"
@@ -34,7 +36,9 @@
 #include "radiobcast/runtime/local_broadcast.h"
 #include "radiobcast/runtime/perfect_link.h"
 #include "radiobcast/runtime/round_sync.h"
+#include "radiobcast/runtime/snapshot.h"
 #include "radiobcast/runtime/transport.h"
+#include "radiobcast/util/rng.h"
 
 namespace rbcast {
 
@@ -50,6 +54,11 @@ struct RuntimeVerdict {
   bool lingered_clean = false;
   /// The loop exited early on a shutdown request (SIGINT/SIGTERM).
   bool interrupted = false;
+  /// The loop exited via crash injection (Options::crash_at_round) or — in a
+  /// placeholder verdict synthesized by the orchestrator — the process died
+  /// before writing a real verdict. A crashed verdict makes the deployment
+  /// degraded, never successful.
+  bool crashed = false;
   Counters counters;
 };
 
@@ -57,10 +66,13 @@ class RuntimeNode final : public BroadcastBackend {
  public:
   struct Options {
     /// Protocol / topology configuration, interpreted exactly as
-    /// run_simulation does. The runtime realizes the paper's perfect TDMA
-    /// model only: loss_p must be 0, retransmissions 1, and the adversary
-    /// must not be kSpoofing or kJamming (those live in the simulated
-    /// channel, which has no socket analogue).
+    /// run_simulation does. loss_p > 0 is realized as deterministic
+    /// message-level suppression above the link (the PairwiseLossChannel
+    /// schedule — see finish_round); retransmissions must be 1 (the link
+    /// layer owns retransmission here); kSpoofing is rejected (socket
+    /// identity makes it impossible) and kJamming is realized geometrically
+    /// for jam_budget <= 0 only (a bounded budget is a globally ordered
+    /// ledger no distributed node can replicate).
     SimConfig sim;
     Coord self{};
     NodeRole role = NodeRole::kHonest;
@@ -74,6 +86,21 @@ class RuntimeNode final : public BroadcastBackend {
     /// After the last round, keep acking/retransmitting until every peer got
     /// our traffic, at most this long.
     std::chrono::milliseconds linger_timeout{2000};
+    /// Consecutive timed-out barriers before a missing peer stops gating
+    /// rounds (RoundSynchronizer suspicion; 0 = never suspect).
+    int suspect_after = 0;
+    /// kJamming only: the jammers' canonical coordinates (the scenario's
+    /// fault set) — the geometric blackout is computed from these.
+    std::vector<Coord> jammers;
+    /// Crash injection: _exit the event loop right after finishing this
+    /// round (-1 = never). The verdict comes back with crashed = true; the
+    /// caller decides whether to restart (see resume).
+    std::int64_t crash_at_round = -1;
+    /// When set, an fsync'd NodeSnapshot is written after every finished
+    /// round, and `resume = true` restores from it instead of running
+    /// on_start — the crash/restart recovery path (runtime/snapshot.h).
+    std::string snapshot_path;
+    bool resume = false;
     /// Optional event sink (round_started / message_delivered /
     /// node_committed, same schema as the simulator's). Not owned.
     RoundTrace* trace = nullptr;
@@ -109,8 +136,18 @@ class RuntimeNode final : public BroadcastBackend {
 
   /// Drains the link (feeding the synchronizer) and runs retransmissions.
   void pump();
-  /// Sends round k's queued broadcasts plus the ROUND_DONE(k) marker.
+  /// Sends round k's queued broadcasts plus the ROUND_DONE(k) marker — with
+  /// the channel policy (loss / jamming) applied per receiver, so each
+  /// marker's done_count is the number of messages that receiver was
+  /// actually sent. Writes the state snapshot afterwards when configured.
   void finish_round(std::int64_t k);
+  /// True iff the channel policy suppresses this transmission to `receiver`
+  /// (consumes one loss draw when the loss schedule is active).
+  bool suppressed(std::uint32_t receiver);
+  void write_state(std::int64_t k);
+  /// Restores link / loss / verdict state from the snapshot; returns the
+  /// last finished round, or -1 when no snapshot exists (fresh start).
+  std::int64_t restore_state();
   bool stop_requested() const {
     return opts_.stop_requested && opts_.stop_requested();
   }
@@ -122,11 +159,27 @@ class RuntimeNode final : public BroadcastBackend {
   PerfectLink link_;
   LocalBroadcast broadcast_;
   RoundSynchronizer sync_;
+  const Adjacency* adjacency_;
   std::unique_ptr<NodeBehavior> behavior_;
   std::int64_t round_ = 0;
   std::vector<Message> outbox_;
   std::vector<ReceivedMessage> rx_buffer_;
   Counters counters_;
+  /// Per-receiver deterministic loss schedule (loss_p > 0): the same
+  /// pairwise streams PairwiseLossChannel draws from, plus the draw counts
+  /// that let a restart fast-forward to the right stream position.
+  struct LossStream {
+    Rng rng;
+    std::uint64_t draws = 0;
+  };
+  std::unordered_map<std::uint32_t, LossStream> loss_;
+  bool loss_active_ = false;
+  /// Receivers blacked out by unbounded jamming (static geometry).
+  std::vector<bool> jammed_receiver_;
+  bool jam_active_ = false;
+  /// Verdict floor restored from a pre-crash snapshot.
+  std::optional<std::uint8_t> restored_committed_;
+  std::int64_t restored_commit_round_ = -1;
 };
 
 }  // namespace rbcast

@@ -1,13 +1,17 @@
 // radiobcast-runtime: orchestrates a full networked deployment on loopback.
 //
 // Launches one radiobcast-node process per torus node from a shared scenario
-// file (or runs them as in-process threads with --in-process), collects every
-// per-node verdict, scores the outcome like run_simulation would, and prints
-// a summary.
+// file (or runs them as in-process threads with --in-process), supervises
+// the children (per-node exit ledger, optional --respawn of crashed or
+// killed nodes from their snapshots), collects every per-node verdict —
+// synthesizing a crashed placeholder from the node's snapshot when a process
+// died before writing one — scores the outcome like run_simulation would,
+// and prints a summary plus <out>/deployment.txt.
 //
-// Exit codes: 0 success, 3 when --expect-all-commit fails, 130/143 on
-// SIGINT/SIGTERM (children are forwarded SIGTERM and reaped first), 2 on bad
-// usage, 1 on runtime errors.
+// Exit codes: 0 success, 3 when --expect-all-commit or
+// --expect-degraded-correct fails, 130/143 on SIGINT/SIGTERM (children are
+// forwarded SIGTERM and reaped first), 2 on bad usage, 1 on runtime errors
+// (including a node binary that failed to exec).
 
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -26,6 +30,7 @@
 
 #include "radiobcast/runtime/harness.h"
 #include "radiobcast/runtime/scenario.h"
+#include "radiobcast/runtime/snapshot.h"
 #include "radiobcast/util/cli.h"
 #include "radiobcast/util/shutdown.h"
 
@@ -38,6 +43,54 @@ std::string sibling_binary(const char* argv0, const std::string& name) {
   const auto slash = path.find_last_of('/');
   if (slash == std::string::npos) return name;  // rely on PATH
   return path.substr(0, slash + 1) + name;
+}
+
+/// Per-child supervision record — the deployment's fault ledger.
+struct ChildState {
+  pid_t pid = -1;
+  bool running = false;
+  int restarts = 0;
+  int exit_code = -1;  // last exit status when the child exited
+  int signal = 0;      // termination signal when it was killed
+};
+
+pid_t spawn_node(const std::string& node_bin, const std::string& scenario_path,
+                 const std::string& out_dir, std::int64_t index, bool resume) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const std::string idx = std::to_string(index);
+  if (resume) {
+    ::execl(node_bin.c_str(), node_bin.c_str(), "--scenario",
+            scenario_path.c_str(), "--index", idx.c_str(), "--out",
+            out_dir.c_str(), "--quiet", "--resume",
+            static_cast<char*>(nullptr));
+  } else {
+    ::execl(node_bin.c_str(), node_bin.c_str(), "--scenario",
+            scenario_path.c_str(), "--index", idx.c_str(), "--out",
+            out_dir.c_str(), "--quiet", static_cast<char*>(nullptr));
+  }
+  // Only reached when exec fails.
+  std::cerr << "radiobcast-runtime: exec " << node_bin << ": "
+            << std::strerror(errno) << "\n";
+  ::_exit(127);
+}
+
+void print_ledger(std::ostream& os, const std::vector<ChildState>& ledger) {
+  for (std::size_t i = 0; i < ledger.size(); ++i) {
+    const ChildState& c = ledger[i];
+    const bool noteworthy = c.signal != 0 || c.restarts > 0 ||
+                            (c.exit_code != 0 && c.exit_code != -1);
+    if (!noteworthy) continue;
+    os << "node " << i << ": ";
+    if (c.signal != 0) {
+      os << "killed by signal " << c.signal;
+    } else {
+      os << "exit " << c.exit_code;
+      if (c.exit_code == 9) os << " (crash injection)";
+    }
+    if (c.restarts > 0) os << ", respawned x" << c.restarts;
+    os << "\n";
+  }
 }
 
 void print_summary(std::ostream& os, const Scenario& scenario,
@@ -53,49 +106,59 @@ void print_summary(std::ostream& os, const Scenario& scenario,
      << result.counters.packets_retransmitted << "), acked "
      << result.counters.packets_acked << ", duplicates dropped "
      << result.counters.duplicates_dropped << ", barrier timeouts "
-     << result.counters.barrier_timeouts << "\n"
-     << (result.success() ? "RELIABLE BROADCAST ACHIEVED"
-                          : "reliable broadcast NOT achieved")
-     << "\n";
+     << result.counters.barrier_timeouts << "\n";
+  if (scenario.chaos.enabled()) {
+    os << "chaos: drops " << result.counters.chaos_drops << ", duplicates "
+       << result.counters.chaos_duplicates << ", delays "
+       << result.counters.chaos_delays << ", partition drops "
+       << result.counters.chaos_partition_drops << "\n";
+  }
+  if (result.degraded()) {
+    os << "degraded: crashed " << result.crashed_nodes << ", restarts "
+       << result.counters.node_restarts << ", peers suspected "
+       << result.counters.peers_suspected << ", degraded rounds "
+       << result.counters.degraded_rounds << "\n";
+  }
+  if (result.success()) {
+    os << "RELIABLE BROADCAST ACHIEVED\n";
+  } else if (result.degraded() && result.degraded_correct()) {
+    os << "DEGRADED BUT CORRECT\n";
+  } else {
+    os << "reliable broadcast NOT achieved\n";
+  }
 }
 
 int run_processes(const Scenario& scenario, const std::string& scenario_path,
                   const std::string& node_bin, const std::string& out_dir,
-                  ShutdownGuard& shutdown, RuntimeResult& result) {
+                  bool respawn, ShutdownGuard& shutdown,
+                  RuntimeResult& result, std::vector<ChildState>& ledger) {
   const Torus torus(scenario.sim.width, scenario.sim.height);
   const std::int64_t n = torus.node_count();
-  std::vector<pid_t> children;
-  children.reserve(static_cast<std::size_t>(n));
+  ledger.assign(static_cast<std::size_t>(n), ChildState{});
   for (std::int64_t i = 0; i < n; ++i) {
-    const pid_t pid = ::fork();
+    const pid_t pid = spawn_node(node_bin, scenario_path, out_dir, i, false);
     if (pid < 0) {
       std::cerr << "radiobcast-runtime: fork: " << std::strerror(errno)
                 << "\n";
-      for (const pid_t child : children) ::kill(child, SIGTERM);
-      for (const pid_t child : children) ::waitpid(child, nullptr, 0);
+      for (const ChildState& c : ledger) {
+        if (c.running) ::kill(c.pid, SIGTERM);
+      }
+      for (const ChildState& c : ledger) {
+        if (c.running) ::waitpid(c.pid, nullptr, 0);
+      }
       return 1;
     }
-    if (pid == 0) {
-      const std::string index = std::to_string(i);
-      ::execl(node_bin.c_str(), node_bin.c_str(), "--scenario",
-              scenario_path.c_str(), "--index", index.c_str(), "--out",
-              out_dir.c_str(), "--quiet", static_cast<char*>(nullptr));
-      // Only reached when exec fails.
-      std::cerr << "radiobcast-runtime: exec " << node_bin << ": "
-                << std::strerror(errno) << "\n";
-      ::_exit(127);
-    }
-    children.push_back(pid);
+    ledger[static_cast<std::size_t>(i)].pid = pid;
+    ledger[static_cast<std::size_t>(i)].running = true;
   }
 
   bool forwarded = false;
-  int failures = 0;
-  std::vector<bool> reaped(children.size(), false);
-  std::size_t live = children.size();
+  bool exec_failed = false;
+  std::size_t live = static_cast<std::size_t>(n);
   while (live > 0) {
     if (shutdown.requested() && !forwarded) {
-      for (std::size_t i = 0; i < children.size(); ++i) {
-        if (!reaped[i]) ::kill(children[i], SIGTERM);
+      for (const ChildState& c : ledger) {
+        if (c.running) ::kill(c.pid, SIGTERM);
       }
       forwarded = true;
     }
@@ -106,36 +169,82 @@ int run_processes(const Scenario& scenario, const std::string& scenario_path,
       continue;
     }
     if (done < 0) break;  // no children left
-    for (std::size_t i = 0; i < children.size(); ++i) {
-      if (children[i] == done && !reaped[i]) {
-        reaped[i] = true;
-        --live;
-        const bool clean =
-            WIFEXITED(status) && WEXITSTATUS(status) == 0;
-        if (!clean && !forwarded) ++failures;
-        break;
+    for (std::size_t i = 0; i < ledger.size(); ++i) {
+      ChildState& c = ledger[i];
+      if (c.pid != done || !c.running) continue;
+      c.running = false;
+      --live;
+      bool died = false;
+      if (WIFEXITED(status)) {
+        c.exit_code = WEXITSTATUS(status);
+        if (c.exit_code == 127) exec_failed = true;
+        died = c.exit_code == 9;
+      } else if (WIFSIGNALED(status)) {
+        c.signal = WTERMSIG(status);
+        died = true;
       }
+      // Supervision: relaunch a crashed or killed node from its snapshot,
+      // at most once — a node that dies twice stays dead (no crash loops).
+      if (died && respawn && !forwarded && c.restarts < 1) {
+        if (scenario.restart_after_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(scenario.restart_after_ms));
+        }
+        const pid_t np = spawn_node(node_bin, scenario_path, out_dir,
+                                    static_cast<std::int64_t>(i), true);
+        if (np > 0) {
+          c.pid = np;
+          c.running = true;
+          c.signal = 0;
+          c.exit_code = -1;
+          ++c.restarts;
+          ++live;
+        }
+      }
+      break;
     }
   }
   if (shutdown.requested()) return shutdown.exit_code();
-  if (failures > 0) {
-    std::cerr << "radiobcast-runtime: " << failures
-              << " node process(es) exited abnormally\n";
+  if (exec_failed) {
+    std::cerr << "radiobcast-runtime: node binary failed to exec\n";
     return 1;
   }
 
+  // Collect verdicts. A node that died before writing one gets a crashed
+  // placeholder, enriched from its snapshot when the crash left one — this
+  // is what turns a SIGKILLed node into a degraded verdict instead of a
+  // missing-file error.
   std::vector<RuntimeVerdict> verdicts;
   verdicts.reserve(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
     const std::string path =
         out_dir + "/verdict-" + std::to_string(i) + ".txt";
     std::ifstream in(path);
-    if (!in) {
-      std::cerr << "radiobcast-runtime: missing verdict file " << path
-                << "\n";
-      return 1;
+    if (in) {
+      verdicts.push_back(parse_verdict(in));
+      continue;
     }
-    verdicts.push_back(parse_verdict(in));
+    RuntimeVerdict v;
+    const RuntimeNode::Options o =
+        node_options(scenario, static_cast<std::int32_t>(i));
+    v.index = static_cast<std::int32_t>(i);
+    v.self = o.self;
+    v.role = o.role;
+    v.crashed = true;
+    const std::string snap_path =
+        (scenario.state_dir.empty() ? out_dir : scenario.state_dir) +
+        "/state-" + std::to_string(i) + ".txt";
+    try {
+      if (const auto snap = load_snapshot(snap_path)) {
+        v.committed = snap->committed;
+        v.commit_round = snap->commit_round;
+        v.rounds = std::max<std::int64_t>(snap->round, 0);
+        v.counters.node_restarts = snap->restarts;
+      }
+    } catch (const std::exception&) {
+      // A torn snapshot cannot make the placeholder worse than bare.
+    }
+    verdicts.push_back(v);
   }
   result = score_verdicts(scenario, std::move(verdicts));
   return 0;
@@ -144,7 +253,8 @@ int run_processes(const Scenario& scenario, const std::string& scenario_path,
 int run(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"scenario", "node-bin", "out", "in-process",
-                      "expect-all-commit", "quiet", "help"});
+                      "expect-all-commit", "expect-degraded-correct",
+                      "respawn", "quiet", "help"});
   if (!args.ok()) {
     std::cerr << "radiobcast-runtime: " << args.error() << "\n";
     return 2;
@@ -158,8 +268,14 @@ int run(int argc, char** argv) {
            "dir)\n"
            "  --in-process         run nodes as threads instead of "
            "processes\n"
+           "  --respawn            relaunch a crashed/killed node from its "
+           "snapshot (once)\n"
            "  --expect-all-commit  exit 3 unless every honest node committed "
            "the source value\n"
+           "  --expect-degraded-correct\n"
+           "                       exit 3 if any node committed a wrong "
+           "value or a surviving\n"
+           "                       honest node failed to commit\n"
            "  --quiet              suppress the summary\n";
     return 0;
   }
@@ -173,6 +289,8 @@ int run(int argc, char** argv) {
 
   ShutdownGuard shutdown;
   RuntimeResult result;
+  std::vector<ChildState> ledger;
+  std::string deployment_path;
   if (args.get_bool("in-process", false)) {
     result = run_scenario_threads(scenario);
     if (result.any_interrupted || shutdown.requested()) {
@@ -188,17 +306,35 @@ int run(int argc, char** argv) {
     std::filesystem::create_directories(out_dir);
     const std::string node_bin =
         args.get("node-bin", sibling_binary(argv[0], "radiobcast-node"));
-    const int rc = run_processes(scenario, scenario_path, node_bin, out_dir,
-                                 shutdown, result);
+    const int rc =
+        run_processes(scenario, scenario_path, node_bin, out_dir,
+                      args.get_bool("respawn", false), shutdown, result,
+                      ledger);
     if (rc != 0) return rc;
+    deployment_path = out_dir + "/deployment.txt";
   }
 
+  if (!deployment_path.empty()) {
+    std::ofstream out(deployment_path);
+    if (out) {
+      print_summary(out, scenario, result);
+      print_ledger(out, ledger);
+    }
+  }
   if (!args.get_bool("quiet", false)) {
     print_summary(std::cout, scenario, result);
+    print_ledger(std::cout, ledger);
   }
   if (args.get_bool("expect-all-commit", false) && !result.success()) {
     std::cerr << "radiobcast-runtime: expected every honest node to commit "
                  "the source value\n";
+    return 3;
+  }
+  if (args.get_bool("expect-degraded-correct", false) &&
+      !result.degraded_correct()) {
+    std::cerr << "radiobcast-runtime: expected a degraded-but-correct "
+                 "deployment (no wrong commits, every surviving honest node "
+                 "committed)\n";
     return 3;
   }
   return 0;

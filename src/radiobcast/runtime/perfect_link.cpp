@@ -125,6 +125,25 @@ void PerfectLink::poll(std::vector<ReceivedMessage>& out) {
   send_acks();
 }
 
+LinkState PerfectLink::export_state() const {
+  LinkState state;
+  state.out_next_seq.assign(out_seq_.begin(), out_seq_.end());
+  std::sort(state.out_next_seq.begin(), state.out_next_seq.end());
+  state.in_next_seq.reserve(inbound_.size());
+  for (const auto& [peer, in] : inbound_) {
+    state.in_next_seq.emplace_back(peer, in.next_seq);
+  }
+  std::sort(state.in_next_seq.begin(), state.in_next_seq.end());
+  return state;
+}
+
+void PerfectLink::restore_state(const LinkState& state) {
+  for (const auto& [peer, seq] : state.out_next_seq) out_seq_[peer] = seq;
+  for (const auto& [peer, seq] : state.in_next_seq) {
+    inbound_[peer].next_seq = seq;
+  }
+}
+
 void PerfectLink::send_acks() {
   for (auto& [to, ids] : acks_owed_) {
     std::size_t i = 0;

@@ -20,6 +20,7 @@
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "radiobcast/runtime/transport.h"
@@ -41,6 +42,21 @@ struct LinkStats {
   std::uint64_t packets_retransmitted = 0;   // of which were retransmissions
   std::uint64_t packets_acked = 0;           // message ids acked by peers
   std::uint64_t duplicates_dropped = 0;      // received copies already seen
+};
+
+/// The link's sequence-number state: everything a restarted process needs so
+/// its fresh PerfectLink neither reuses an outgoing sequence number (which a
+/// peer would dedup-drop as a stale id) nor re-accepts traffic it already
+/// consumed (which would violate no-dup upstream). Captured at a quiescent
+/// point — after flush(), with no batches in flight from this side — by the
+/// crash-snapshot machinery (runtime/snapshot.h).
+struct LinkState {
+  /// (peer, next outgoing sequence number), sorted by peer.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out_next_seq;
+  /// (peer, next inbound sequence number not yet consumed), sorted by peer.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> in_next_seq;
+
+  friend bool operator==(const LinkState&, const LinkState&) = default;
 };
 
 class PerfectLink {
@@ -78,6 +94,14 @@ class PerfectLink {
   bool all_acked() const { return unacked_.empty() && pending_total_ == 0; }
 
   const LinkStats& stats() const { return stats_; }
+
+  /// Captures the sequence-number state (see LinkState). Deterministic
+  /// (sorted by peer) so snapshots serialize reproducibly.
+  LinkState export_state() const;
+
+  /// Restores sequence numbers on a freshly constructed link (restart path).
+  /// Must be called before any send/poll traffic.
+  void restore_state(const LinkState& state);
 
  private:
   struct OutgoingBatch {

@@ -1,5 +1,6 @@
 #include "radiobcast/runtime/round_sync.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace rbcast {
@@ -22,6 +23,9 @@ void RoundSynchronizer::on_message(std::uint32_t from,
   PeerRound& peer = rounds_[msg.round].peers[from];
   if (msg.kind == WireKind::kRoundDone) {
     peer.done_count = msg.done_count;
+    // Any marker is proof of life: a suspected peer that speaks again (a
+    // restarted process catching up) rejoins the barrier immediately.
+    if (suspected_.erase(from) > 0) miss_streak_[from] = 0;
   } else {
     peer.msgs.push_back(msg.msg);
   }
@@ -30,7 +34,8 @@ void RoundSynchronizer::on_message(std::uint32_t from,
 bool RoundSynchronizer::complete(std::int64_t round) const {
   const auto it = rounds_.find(round);
   for (const std::uint32_t peer : expected_) {
-    if (it == rounds_.end()) return expected_.empty();
+    if (suspected_.count(peer) > 0) continue;  // suspects don't gate rounds
+    if (it == rounds_.end()) return false;
     const auto pit = it->second.peers.find(peer);
     if (pit == it->second.peers.end() || !pit->second.done_count.has_value()) {
       return false;
@@ -47,14 +52,49 @@ bool RoundSynchronizer::timed_out(
   if (opts_.timeout.count() == 0) return false;
   const auto it = rounds_.find(round);
   if (it == rounds_.end() || !it->second.clock_running) return false;
-  return now - it->second.started >= opts_.timeout;
+  return now - it->second.started >= opts_.timeout * backoff_;
 }
 
 std::vector<RoundMessage> RoundSynchronizer::take(std::int64_t round) {
   std::vector<RoundMessage> out;
   const auto it = rounds_.find(round);
+  // Which expected peers' round traffic is missing (no marker, or fewer
+  // messages than the marker promises)?
+  std::vector<std::uint32_t> missing;
+  bool timeout_open = false;  // missing a peer we were actually waiting on
+  for (const std::uint32_t peer : expected_) {
+    bool has = false;
+    if (it != rounds_.end()) {
+      const auto pit = it->second.peers.find(peer);
+      has = pit != it->second.peers.end() &&
+            pit->second.done_count.has_value() &&
+            pit->second.msgs.size() >= *pit->second.done_count;
+    }
+    if (has) {
+      miss_streak_[peer] = 0;
+    } else {
+      missing.push_back(peer);
+      if (suspected_.count(peer) == 0) timeout_open = true;
+    }
+  }
+  if (!missing.empty()) ++degraded_rounds_;
+  if (timeout_open) {
+    ++timeouts_;
+    // Back off: transient congestion should not snowball into suspecting
+    // half the neighborhood. A fully complete round resets this below.
+    backoff_ = std::min(backoff_ * 2, std::max(opts_.max_backoff, 1));
+    for (const std::uint32_t peer : missing) {
+      if (suspected_.count(peer) > 0) continue;
+      const int streak = ++miss_streak_[peer];
+      if (opts_.suspect_after > 0 && streak >= opts_.suspect_after) {
+        suspected_.insert(peer);
+        ++suspect_transitions_;
+      }
+    }
+  } else if (missing.empty()) {
+    backoff_ = 1;
+  }
   if (it == rounds_.end()) return out;
-  if (!complete(round)) ++timeouts_;
   for (auto& [sender, peer] : it->second.peers) {
     // Under a timeout a peer may have sent messages without its marker; only
     // marker-covered messages are released so a late burst from a wedged

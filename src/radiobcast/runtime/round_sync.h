@@ -20,6 +20,7 @@
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "radiobcast/runtime/wire.h"
@@ -37,6 +38,17 @@ class RoundSynchronizer {
   struct Options {
     /// Max wait for one round's barrier; zero means wait forever.
     std::chrono::milliseconds timeout{0};
+    /// Graceful degradation: after this many *consecutive* timed-out rounds
+    /// missing the same peer, that peer is suspected and no longer gates the
+    /// barrier (0 = never suspect). A marker from a suspected peer clears the
+    /// suspicion immediately — the mechanism that lets a restarted process
+    /// rejoin the round structure it fell out of.
+    int suspect_after = 0;
+    /// Adaptive backoff: every timed-out barrier doubles the effective
+    /// timeout (transient congestion should not cascade into a spurious
+    /// suspicion storm), every fully complete barrier resets it. The
+    /// multiplier is capped at this value.
+    int max_backoff = 8;
   };
 
   /// `expected` lists the node indices whose ROUND_DONE markers gate every
@@ -67,6 +79,23 @@ class RoundSynchronizer {
   /// Barriers opened by timeout rather than completion.
   std::uint64_t timeouts() const { return timeouts_; }
 
+  /// Peers currently on the suspect list (not gating barriers).
+  std::size_t suspected_count() const { return suspected_.size(); }
+  bool is_suspected(std::uint32_t peer) const {
+    return suspected_.count(peer) > 0;
+  }
+
+  /// Total suspicion *transitions* (a peer suspected, cleared, and suspected
+  /// again counts twice) — feeds the peers_suspected obs counter.
+  std::uint64_t suspect_transitions() const { return suspect_transitions_; }
+
+  /// Rounds released with at least one expected peer's traffic missing
+  /// (opened by timeout, or complete only because suspects were skipped).
+  std::uint64_t degraded_rounds() const { return degraded_rounds_; }
+
+  /// Current adaptive timeout multiplier (1 = no backoff), for tests.
+  int backoff() const { return backoff_; }
+
  private:
   struct PeerRound {
     std::vector<Message> msgs;  // arrival order == per-sender FIFO order
@@ -83,6 +112,12 @@ class RoundSynchronizer {
   Options opts_;
   std::unordered_map<std::int64_t, RoundState> rounds_;
   std::uint64_t timeouts_ = 0;
+  /// Consecutive timed-out rounds each peer's marker was missing from.
+  std::unordered_map<std::uint32_t, int> miss_streak_;
+  std::unordered_set<std::uint32_t> suspected_;
+  std::uint64_t suspect_transitions_ = 0;
+  std::uint64_t degraded_rounds_ = 0;
+  int backoff_ = 1;
 };
 
 }  // namespace rbcast

@@ -1,0 +1,119 @@
+#include "radiobcast/runtime/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rbcast {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& path, const char* what) {
+  throw std::runtime_error("snapshot " + path + ": " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void write_snapshot(const std::string& path, const NodeSnapshot& s) {
+  std::ostringstream body;
+  body << "round " << s.round << '\n'
+       << "committed " << (s.committed ? static_cast<int>(*s.committed) : -1)
+       << '\n'
+       << "commit_round " << s.commit_round << '\n'
+       << "restarts " << s.restarts << '\n';
+  for (const auto& [peer, seq] : s.link.out_next_seq) {
+    body << "out_seq " << peer << ' ' << seq << '\n';
+  }
+  for (const auto& [peer, seq] : s.link.in_next_seq) {
+    body << "in_seq " << peer << ' ' << seq << '\n';
+  }
+  for (const auto& [peer, draws] : s.loss_draws) {
+    body << "loss_draws " << peer << ' ' << draws << '\n';
+  }
+  const std::string bytes = body.str();
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) io_fail(tmp, "open");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      io_fail(tmp, "write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must never land ahead of the data, or a
+  // crash could leave a named-but-empty snapshot.
+  if (::fsync(fd) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    io_fail(tmp, "fsync");
+  }
+  if (::close(fd) < 0) io_fail(tmp, "close");
+  if (::rename(tmp.c_str(), path.c_str()) < 0) io_fail(path, "rename");
+}
+
+std::optional<NodeSnapshot> load_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  NodeSnapshot s;
+  std::string line;
+  bool saw_round = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    const auto want_i64 = [&](std::int64_t& out) {
+      if (!(ls >> out)) {
+        throw std::invalid_argument("snapshot: bad value for '" + key + "'");
+      }
+    };
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    if (key == "round") {
+      want_i64(s.round);
+      saw_round = true;
+    } else if (key == "committed") {
+      want_i64(a);
+      if (a >= 0) s.committed = static_cast<std::uint8_t>(a);
+    } else if (key == "commit_round") {
+      want_i64(s.commit_round);
+    } else if (key == "restarts") {
+      want_i64(a);
+      s.restarts = static_cast<std::uint64_t>(a);
+    } else if (key == "out_seq") {
+      want_i64(a);
+      want_i64(b);
+      s.link.out_next_seq.emplace_back(static_cast<std::uint32_t>(a),
+                                       static_cast<std::uint32_t>(b));
+    } else if (key == "in_seq") {
+      want_i64(a);
+      want_i64(b);
+      s.link.in_next_seq.emplace_back(static_cast<std::uint32_t>(a),
+                                      static_cast<std::uint32_t>(b));
+    } else if (key == "loss_draws") {
+      want_i64(a);
+      want_i64(b);
+      s.loss_draws.emplace_back(static_cast<std::uint32_t>(a),
+                                static_cast<std::uint64_t>(b));
+    } else {
+      throw std::invalid_argument("snapshot: unknown key '" + key + "'");
+    }
+  }
+  if (!saw_round) throw std::invalid_argument("snapshot: missing round");
+  return s;
+}
+
+}  // namespace rbcast

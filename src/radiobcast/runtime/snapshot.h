@@ -1,0 +1,57 @@
+#pragma once
+// Crash/restart state snapshots for runtime nodes.
+//
+// A restarted radiobcast-node must rejoin the ROUND_DONE barrier without
+// violating the PerfectLink invariants: reusing an outgoing sequence number
+// would get its fresh traffic dedup-dropped by peers, and rewinding an
+// inbound sequence number would re-deliver consumed messages (a no-dup
+// violation upstream). The snapshot is therefore exactly the link's
+// sequence-number state plus the protocol-visible facts (committed value,
+// last finished round, per-pair loss-stream positions), written with the
+// fsync + rename discipline of the campaign journal: a crash mid-write
+// leaves the previous snapshot intact, never a torn file.
+//
+// The snapshot is deliberately tiny (per-peer integers, not message
+// payloads). Traffic a crashed node had received but not yet consumed is
+// lost by design; recovery relies on peers' stubborn retransmissions of
+// everything unacked, and anything acked-then-lost surfaces as a degraded
+// (timeout-opened) round, never as a wrong verdict.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "radiobcast/runtime/perfect_link.h"
+
+namespace rbcast {
+
+struct NodeSnapshot {
+  /// Last round this node fully finished (outbox + marker flushed).
+  std::int64_t round = -1;
+  std::optional<std::uint8_t> committed;
+  std::int64_t commit_round = -1;
+  /// Crash/restart cycles completed before this snapshot was taken.
+  std::uint64_t restarts = 0;
+  /// PerfectLink sequence-number state (see LinkState).
+  LinkState link;
+  /// (receiver, Bernoulli draws consumed) per pairwise loss stream, so a
+  /// restarted node resumes the deterministic loss schedule at the right
+  /// offset instead of replaying it from zero. Sorted by receiver.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> loss_draws;
+
+  friend bool operator==(const NodeSnapshot&, const NodeSnapshot&) = default;
+};
+
+/// Atomically replaces `path` with the serialized snapshot: write to
+/// `path.tmp`, fsync, rename over `path`. Throws std::runtime_error on I/O
+/// failure.
+void write_snapshot(const std::string& path, const NodeSnapshot& snapshot);
+
+/// Loads a snapshot; nullopt when `path` does not exist (fresh start).
+/// Throws std::invalid_argument on a malformed file (never silently ignores
+/// corruption — the rename discipline means a readable file is complete).
+std::optional<NodeSnapshot> load_snapshot(const std::string& path);
+
+}  // namespace rbcast

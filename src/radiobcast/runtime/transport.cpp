@@ -142,4 +142,71 @@ bool FaultInjectionTransport::try_receive(Datagram& out) {
   return true;
 }
 
+ChaosTransport::ChaosTransport(std::uint32_t self, Transport& inner,
+                               ChaosOptions opts)
+    : self_(self),
+      inner_(&inner),
+      opts_(std::move(opts)),
+      start_(std::chrono::steady_clock::now()) {}
+
+bool ChaosTransport::partitioned(
+    std::uint32_t to, std::chrono::steady_clock::time_point now) const {
+  const std::int64_t age_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
+          .count();
+  for (const ChaosOptions::Partition& p : opts_.partitions) {
+    if (p.from != self_ || p.to != to) continue;
+    if (age_ms < p.start_ms) continue;
+    if (p.end_ms >= 0 && age_ms >= p.end_ms) continue;
+    return true;
+  }
+  return false;
+}
+
+void ChaosTransport::release_due(std::chrono::steady_clock::time_point now) {
+  // Insertion order is release order for a single delay value; scanning the
+  // front suffices and keeps this O(due) per call.
+  while (!delayed_.empty() && delayed_.front().release <= now) {
+    Delayed d = std::move(delayed_.front());
+    delayed_.pop_front();
+    inner_->send(d.to, d.bytes);
+  }
+}
+
+void ChaosTransport::send(std::uint32_t to,
+                          const std::vector<std::uint8_t>& bytes) {
+  const auto now = std::chrono::steady_clock::now();
+  release_due(now);
+  if (partitioned(to, now)) {
+    ++stats_.partition_drops;
+    return;
+  }
+  // One private Rng per datagram, seeded from (seed, sender->receiver pair,
+  // per-pair sequence): the fate of the k-th datagram on a link is a pure
+  // function of the scenario, never of cross-link interleaving.
+  const std::uint64_t pair_key =
+      (static_cast<std::uint64_t>(self_) << 32) | to;
+  Rng rng(hash_seeds(hash_seeds(opts_.seed, pair_key), pair_seq_[to]++));
+  if (rng.chance(opts_.drop_p)) {
+    ++stats_.drops;
+    return;
+  }
+  const bool duplicate = rng.chance(opts_.duplicate_p);
+  if (rng.chance(opts_.delay_p) && opts_.delay.count() > 0) {
+    ++stats_.delays;
+    delayed_.push_back(Delayed{now + opts_.delay, to, bytes});
+  } else {
+    inner_->send(to, bytes);
+  }
+  if (duplicate) {
+    ++stats_.duplicates;
+    inner_->send(to, bytes);
+  }
+}
+
+bool ChaosTransport::try_receive(Datagram& out) {
+  release_due(std::chrono::steady_clock::now());
+  return inner_->try_receive(out);
+}
+
 }  // namespace rbcast

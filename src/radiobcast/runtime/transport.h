@@ -9,10 +9,12 @@
 // perfect-link tests can prove no-loss / no-dup / FIFO under adversarial
 // conditions without flaky timing.
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "radiobcast/util/rng.h"
@@ -103,6 +105,83 @@ class FaultInjectionTransport final : public Transport {
   std::deque<Datagram> inbox_;
   /// Held-back datagram per destination awaiting the reorder release.
   std::vector<std::unique_ptr<Datagram>> held_;
+};
+
+/// Chaos knobs for one node's outgoing traffic (the scenario file's `chaos`
+/// section, runtime/scenario.h). All probabilities are per-datagram.
+struct ChaosOptions {
+  double drop_p = 0.0;       // destroy the datagram
+  double duplicate_p = 0.0;  // inject a second copy
+  double delay_p = 0.0;      // hold the datagram back for `delay`
+  std::chrono::milliseconds delay{0};
+  std::uint64_t seed = 1;
+  /// A directed link blackout: datagrams from node `from` to node `to` are
+  /// destroyed while the deployment age is in [start_ms, end_ms) — end_ms < 0
+  /// means forever. Modeled after iptables-style one-way partitions.
+  struct Partition {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    std::int64_t start_ms = 0;
+    std::int64_t end_ms = -1;
+  };
+  std::vector<Partition> partitions;
+
+  bool enabled() const {
+    return drop_p > 0.0 || duplicate_p > 0.0 || delay_p > 0.0 ||
+           !partitions.empty();
+  }
+};
+
+/// What the chaos layer did to this node's traffic; mirrored into the obs
+/// counter pipeline (chaos_* fields) by the harness / node binary.
+struct ChaosStats {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t partition_drops = 0;
+};
+
+/// Seeded fault injection for the *real* transport path: wraps any Transport
+/// (UdpTransport in deployments) and decides each outgoing datagram's fate —
+/// drop, duplicate, delay, or partition suppression — deterministically from
+/// (seed, sender, receiver, per-pair datagram sequence). Two runs of the same
+/// scenario inject the exact same faults, regardless of scheduling; only the
+/// recovery timing (retransmissions) differs. Delayed datagrams are released
+/// by later send/try_receive calls once their deadline passes, so no extra
+/// thread is involved.
+class ChaosTransport final : public Transport {
+ public:
+  /// `inner` is borrowed and must outlive this object. `self` is this node's
+  /// index (partitions are filtered to `from == self`).
+  ChaosTransport(std::uint32_t self, Transport& inner, ChaosOptions opts);
+
+  void send(std::uint32_t to, const std::vector<std::uint8_t>& bytes) override;
+  bool try_receive(Datagram& out) override;
+
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  struct Delayed {
+    std::chrono::steady_clock::time_point release{};
+    std::uint32_t to = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  /// True when the (self -> to) link is inside a partition window at `now`.
+  bool partitioned(std::uint32_t to,
+                   std::chrono::steady_clock::time_point now) const;
+  void release_due(std::chrono::steady_clock::time_point now);
+
+  std::uint32_t self_;
+  Transport* inner_;
+  ChaosOptions opts_;
+  ChaosStats stats_;
+  std::chrono::steady_clock::time_point start_;
+  /// Per-destination datagram sequence: the chaos fate of datagram k to peer
+  /// p is Rng(hash_seeds(hash_seeds(seed, pair_key(self, p)), k)) — stable
+  /// under any interleaving with traffic to other peers.
+  std::unordered_map<std::uint32_t, std::uint64_t> pair_seq_;
+  std::deque<Delayed> delayed_;  // sorted by insertion; released when due
 };
 
 }  // namespace rbcast

@@ -103,9 +103,9 @@ struct GoldenRow {
   const char* trace_sha;
 };
 
-// JSON/CSV digests re-recorded when the runtime's link/barrier counters were
-// added to the counter schema (see header comment); trace digests are
-// unchanged since trace events carry no counters.
+// JSON/CSV digests re-recorded when the chaos/recovery counters were added
+// to the counter schema (campaign schema v3 -> v4, see header comment);
+// trace digests are unchanged since trace events carry no counters.
 //
 // The r = 2 rows (fewer reps: they are ~100x the work per trial) were
 // recorded from the pre-incremental-determination engine (PR 7 parent
@@ -113,38 +113,38 @@ struct GoldenRow {
 // barely exercise.
 const GoldenRow kGolden[] = {
     {ProtocolKind::kCrashFlood, 1, 3, 3,
-     "8b01fb8939f4b87718b502fe59ffda3e35ddc22208f9358794e67f89ffe80339",
-     "41dc0d19d34bae8697d5498112f3521964a07be672b6b3d57eb85c93703022dc",
+     "3137293c847d53186ab3a98d6bc93f2a499d94755d1cac737e6a99f79bc8d57d",
+     "d2cdfd898fb5d6671ab2a55a4b569ad046a4abf2c49509b9736402677431a240",
      "102189cc5240713ab49e6fb74e9a17a981d5ed4c02a5b3955408d5f9eff60ddc"},
     {ProtocolKind::kCpa, 1, 1, 3,
-     "87a4b0872f19f0519fe87675e4b025c9ab282e0996ea463881a877b83769cb4c",
-     "587a54d4c6be3067632d1216fe52f1324e6e322444e9ae138f722af09d96b83d",
+     "08c56706c4dc29ea21e53fb7ae7a51b11d6245ffbaca55b65ab8d5c1e38fc754",
+     "4bbaa67d02d1966ee90c695eb767fb279ff1ff676cf14ed77ab49a5969f1518c",
      "20df3a755dac1411923306328f544bedbdcbf59eb35bd7de496b74d6c3dca92b"},
     {ProtocolKind::kBvTwoHop, 1, 1, 3,
-     "0196e9c0d686c0972542753ba30e7b5c0c06f796041fbc80fad622668789e72e",
-     "de24d97d606b1dda67e6279f8064a1f0ec30bc958dc2f604153d25d6bb96087d",
+     "5175dff29ac1ee302a4b21dfaf1cc14993287ed2267d33ac284c46820a68fcac",
+     "f7570c6764d8699d09122bb88e17c0a961d1c109d0542e1436e074a12ac0fb81",
      "249ced1b5baa733926ca02b77c87fb2ea4da4e4ad05811eb3fd7b7863e68b8db"},
     {ProtocolKind::kBvIndirectFlood, 1, 1, 3,
-     "5c9157ef733de37a992da1e191ea921505272098cbb0d26aaed1ebd7433f1aba",
-     "3305bf21013d2018bcebf91d1a5596f9effde182b7e3a708b82a54649e6cba20",
+     "c317c8a35a67f473b3b4fdcc1ced6e20b98fc925cb266f79fbbfa180367feb67",
+     "5fadab5eba03dae3ea4d295e6b84c445c50c147db965161e4e24429fecc4adea",
      "dbcb5c458c2906f9585378a34857bd49b554dea3dd64149179d33d47d08058ad"},
     {ProtocolKind::kBvIndirectEarmarked, 1, 1, 3,
-     "54a88aa1e661d60b690b4629706d17880abf25938f36620debb935e5913ebf70",
-     "77d0d5bcc668172b1271739cd69260c3c7ea24b9f8ab048ad9fa93d8960fcb59",
+     "32ca426e58759cabbd86ba8157109be710ee00306450b96cca96d26336e5b8f3",
+     "6fd5e75e8f026fa52ce145b128de1f0b946238dcc5757f980918ff729ce3b4e4",
      "3dba37c6cee5ba895874b233b976532f3e29342b76ed70c9f3cbfcfd61599a95"},
     // r = 2 rows recorded from the pre-incremental (PR 5) engine; the
     // incremental rewrite must reproduce them byte-for-byte.
     {ProtocolKind::kBvTwoHop, 2, 4, 2,
-     "acb220e7b47e18f2cba0956dc2d880f1931199de2e8003540a09a3f1861565a2",
-     "d85dcca373319a8df9b0b26665fd2ab1ced7a3aed74b2a333008acf6e7a0d120",
+     "5e9826c0069a11bf68e43e68c28a582635e69438a386e2b48641a14d40ebae3c",
+     "57790d77098a85a3a1aaeb4b3fae126ae3544ed513cfb216847d57b2d6249854",
      "8d831c1ab43b66f9c194c65100aee8aae6d626625537e4ff4ec70e1c7531fbe0"},
     {ProtocolKind::kBvIndirectFlood, 2, 4, 2,
-     "8e374952df1312eeffa163497e57d96c587de802d3c80988d8137c3f56897a4d",
-     "b4c420b3154355d6598ca261e122a4a5c53721035f693e8d593c3642e1a9a9dd",
+     "530ee834d2fb999fab45c57ec737e9e2f7d18c94fb4a47a4e64fa1503ed2eb7d",
+     "b1c13804bc29650e1d35bd30fabdb716609fe75e568afe6fc3a114192c2e4853",
      "48ab91405ca0ef5e5ff4e2050fee11b1f6f4521ad90245418e8ba9f51ee0fa02"},
     {ProtocolKind::kBvIndirectEarmarked, 2, 4, 2,
-     "0b6b09b0cc3f9ec3a6b4a42a6a258d16350dd04abbfe61ff651b35db2981b6bd",
-     "279b21bb1b364fe0908a6213025e1753d953c750dcafff28a236a8545c96d792",
+     "9c754c95f0af5e6c51df76b4c5ae913ab34b0642448bc8026ecc14a6fd3815c1",
+     "93eb602e0c1101cea5f351cd95aa2c457fbe5afe65b35c8c2bc4febcabfb4a96",
      "8e2be41f3e0aa0a0bcf65ee61720e2cfd863a36dd01ed4ed35e5525dd3999e91"},
 };
 

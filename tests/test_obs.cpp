@@ -150,6 +150,8 @@ TEST(Counters, JsonRenderingIsFixedOrder) {
   c.packets_sent = 12;
   c.barrier_wait_us = 77;
   c.last_commit_round = 3;
+  c.chaos_drops = 2;
+  c.degraded_rounds = 1;
   EXPECT_EQ(to_json(c),
             "{\"broadcasts_queued\":1,\"spoofed_sends\":0,"
             "\"committed_queued\":0,\"heard_queued\":0,"
@@ -159,6 +161,9 @@ TEST(Counters, JsonRenderingIsFixedOrder) {
             "\"packets_sent\":12,\"packets_retransmitted\":0,"
             "\"packets_acked\":0,\"duplicates_dropped\":0,"
             "\"barrier_timeouts\":0,\"barrier_wait_us\":77,"
+            "\"chaos_drops\":2,\"chaos_delays\":0,\"chaos_duplicates\":0,"
+            "\"chaos_partition_drops\":0,\"node_restarts\":0,"
+            "\"peers_suspected\":0,\"degraded_rounds\":1,"
             "\"last_commit_round\":3}");
 }
 

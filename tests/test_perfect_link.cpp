@@ -68,6 +68,79 @@ struct LinkPair {
   }
 };
 
+// Direct unit tests of the fault shim itself — the link-level property tests
+// below only prove the *link* masks these faults, not that the shim actually
+// injects them in the advertised shapes.
+
+TEST(FaultInjectionTransport, DropPathDestroysDatagrams) {
+  FaultInjectionTransport::Options opts;
+  opts.drop_p = 1.0;
+  FaultInjectionTransport a(0, opts), b(1, opts);
+  a.set_peers({&a, &b});
+  b.set_peers({&a, &b});
+  a.send(1, {1, 2, 3});
+  Datagram d;
+  EXPECT_FALSE(b.try_receive(d));
+}
+
+TEST(FaultInjectionTransport, DuplicatePathInjectsIdenticalCopies) {
+  FaultInjectionTransport::Options opts;
+  opts.duplicate_p = 1.0;
+  FaultInjectionTransport a(0, opts), b(1, opts);
+  a.set_peers({&a, &b});
+  b.set_peers({&a, &b});
+  a.send(1, {7, 8});
+  Datagram first, second, third;
+  ASSERT_TRUE(b.try_receive(first));
+  ASSERT_TRUE(b.try_receive(second));
+  EXPECT_EQ(first.from, 0u);
+  EXPECT_EQ(second.from, 0u);
+  EXPECT_EQ(first.bytes, (std::vector<std::uint8_t>{7, 8}));
+  EXPECT_EQ(second.bytes, first.bytes);
+  EXPECT_FALSE(b.try_receive(third));  // exactly two copies, not more
+}
+
+TEST(FaultInjectionTransport, ReorderPathSwapsConsecutiveDatagrams) {
+  FaultInjectionTransport::Options opts;
+  opts.reorder_p = 1.0;
+  FaultInjectionTransport a(0, opts), b(1, opts);
+  a.set_peers({&a, &b});
+  b.set_peers({&a, &b});
+  a.send(1, {1});
+  Datagram d;
+  EXPECT_FALSE(b.try_receive(d));  // first datagram held back
+  a.send(1, {2});  // releases the held one *behind* this send
+  ASSERT_TRUE(b.try_receive(d));
+  EXPECT_EQ(d.bytes, (std::vector<std::uint8_t>{2}));
+  ASSERT_TRUE(b.try_receive(d));
+  EXPECT_EQ(d.bytes, (std::vector<std::uint8_t>{1}));
+  EXPECT_FALSE(b.try_receive(d));
+}
+
+TEST(FaultInjectionTransport, SameSeedYieldsSameFaultSchedule) {
+  FaultInjectionTransport::Options opts;
+  opts.drop_p = 0.4;
+  opts.duplicate_p = 0.3;
+  opts.seed = 99;
+  std::vector<std::vector<std::uint8_t>> runs[2];
+  for (auto& run : runs) {
+    FaultInjectionTransport a(0, opts), b(1, opts);
+    a.set_peers({&a, &b});
+    b.set_peers({&a, &b});
+    for (std::uint8_t i = 0; i < 50; ++i) a.send(1, {i});
+    Datagram d;
+    while (b.try_receive(d)) run.push_back(d.bytes);
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_LT(runs[0].size(), 50u);   // drops happened
+  // Duplicates happened too: some byte appears twice.
+  bool any_dup = false;
+  for (std::size_t i = 1; i < runs[0].size(); ++i) {
+    any_dup = any_dup || runs[0][i] == runs[0][i - 1];
+  }
+  EXPECT_TRUE(any_dup);
+}
+
 TEST(PerfectLink, DeliversInOrderOverCleanTransport) {
   // Default RTO: acks arrive within microseconds on the in-memory fabric,
   // far inside the 20ms backoff, so a clean run never retransmits.

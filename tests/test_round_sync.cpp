@@ -138,6 +138,89 @@ TEST(RoundSynchronizer, TimeoutOpensBarrierAndReleasesOnlyCoveredTraffic) {
   EXPECT_EQ(sync.timeouts(), 1u);
 }
 
+TEST(RoundSynchronizer, TimeoutDoublesBackoffAndCompleteRoundResetsIt) {
+  RoundSynchronizer::Options opts;
+  opts.timeout = milliseconds(10);
+  opts.max_backoff = 4;
+  RoundSynchronizer sync({1}, opts);
+  EXPECT_EQ(sync.backoff(), 1);
+
+  const auto t0 = steady_clock::now();
+  sync.begin_round(0, t0);
+  EXPECT_TRUE(sync.timed_out(0, t0 + milliseconds(11)));
+  (void)sync.take(0);  // timeout-open: backoff doubles
+  EXPECT_EQ(sync.backoff(), 2);
+
+  // With the doubled multiplier the next round tolerates 2x the base wait.
+  sync.begin_round(1, t0);
+  EXPECT_FALSE(sync.timed_out(1, t0 + milliseconds(11)));
+  EXPECT_TRUE(sync.timed_out(1, t0 + milliseconds(21)));
+  (void)sync.take(1);
+  (void)sync.take(2);  // another timeout-open (round clock never started)
+  EXPECT_EQ(sync.backoff(), 4);
+  (void)sync.take(3);
+  EXPECT_EQ(sync.backoff(), 4);  // capped at max_backoff
+
+  // A fully complete round resets the multiplier.
+  sync.on_message(1, marker(4, 0));
+  ASSERT_TRUE(sync.complete(4));
+  (void)sync.take(4);
+  EXPECT_EQ(sync.backoff(), 1);
+}
+
+TEST(RoundSynchronizer, SuspectsPersistentlySilentPeerAndStopsGatingOnIt) {
+  RoundSynchronizer::Options opts;
+  opts.timeout = milliseconds(10);
+  opts.suspect_after = 2;
+  RoundSynchronizer sync({1, 2}, opts);
+
+  // Peer 2 participates; peer 1 is silent for two consecutive timeout-opened
+  // rounds -> suspected.
+  sync.on_message(2, marker(0, 0));
+  EXPECT_FALSE(sync.complete(0));
+  (void)sync.take(0);
+  EXPECT_FALSE(sync.is_suspected(1));
+  sync.on_message(2, marker(1, 0));
+  (void)sync.take(1);
+  EXPECT_TRUE(sync.is_suspected(1));
+  EXPECT_EQ(sync.suspected_count(), 1u);
+  EXPECT_EQ(sync.suspect_transitions(), 1u);
+  EXPECT_EQ(sync.degraded_rounds(), 2u);
+
+  // A suspected peer no longer gates the barrier...
+  sync.on_message(2, marker(2, 0));
+  EXPECT_TRUE(sync.complete(2));
+  // ...but such rounds still count as degraded: traffic may be missing.
+  (void)sync.take(2);
+  EXPECT_EQ(sync.degraded_rounds(), 3u);
+
+  // A marker from the suspected peer clears the suspicion immediately — the
+  // restarted-process rejoin path.
+  sync.on_message(1, marker(3, 0));
+  EXPECT_FALSE(sync.is_suspected(1));
+  sync.on_message(2, marker(3, 0));
+  EXPECT_TRUE(sync.complete(3));
+  (void)sync.take(3);
+  EXPECT_EQ(sync.degraded_rounds(), 3u);  // fully complete — not degraded
+  EXPECT_EQ(sync.suspect_transitions(), 1u);
+}
+
+TEST(RoundSynchronizer, ParticipationResetsTheMissStreak) {
+  RoundSynchronizer::Options opts;
+  opts.timeout = milliseconds(10);
+  opts.suspect_after = 2;
+  RoundSynchronizer sync({1}, opts);
+
+  (void)sync.take(0);  // miss 1
+  sync.on_message(1, marker(1, 0));
+  ASSERT_TRUE(sync.complete(1));
+  (void)sync.take(1);  // present — streak resets
+  (void)sync.take(2);  // miss 1 again, not 2
+  EXPECT_FALSE(sync.is_suspected(1));
+  (void)sync.take(3);  // miss 2 -> suspected
+  EXPECT_TRUE(sync.is_suspected(1));
+}
+
 // End-to-end slow-node progress over real loopback sockets: one node exits
 // after round 1 and never sends markers again. With a finite round timeout
 // every other node must still run the full horizon and commit; only the

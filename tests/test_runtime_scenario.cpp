@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 
 #include "radiobcast/runtime/harness.h"
+#include "radiobcast/util/rng.h"
 #include "radiobcast/runtime/node.h"
 #include "radiobcast/runtime/transport.h"
 
@@ -72,6 +74,19 @@ TEST(Scenario, WriteParseRoundtrips) {
   s.base_port = 50123;
   s.round_timeout_ms = 777;
   s.linger_timeout_ms = 888;
+  s.sim.loss_p = 0.125;  // exactly representable — also checks the format
+  s.sim.jam_budget = -1;
+  s.suspect_after = 4;
+  s.chaos.drop_p = 0.1;
+  s.chaos.duplicate_p = 0.0625;
+  s.chaos.delay_p = 0.33;
+  s.chaos.delay_ms = 12;
+  s.chaos.seed = 424242;
+  s.chaos.partitions = {{{1, 1}, {2, 1}, 0, -1}, {{3, 3}, {4, 3}, 50, 200}};
+  s.crash_node = Coord{6, 6};
+  s.crash_at_round = 2;
+  s.restart_after_ms = 150;
+  s.state_dir = "state";
 
   std::ostringstream out;
   write_scenario(out, s);
@@ -85,6 +100,134 @@ TEST(Scenario, WriteParseRoundtrips) {
   EXPECT_EQ(back.base_port, s.base_port);
   EXPECT_EQ(back.round_timeout_ms, s.round_timeout_ms);
   EXPECT_EQ(back.linger_timeout_ms, s.linger_timeout_ms);
+  EXPECT_DOUBLE_EQ(back.sim.loss_p, s.sim.loss_p);
+  EXPECT_EQ(back.sim.jam_budget, s.sim.jam_budget);
+  EXPECT_EQ(back.suspect_after, s.suspect_after);
+  EXPECT_DOUBLE_EQ(back.chaos.drop_p, s.chaos.drop_p);
+  EXPECT_DOUBLE_EQ(back.chaos.duplicate_p, s.chaos.duplicate_p);
+  EXPECT_DOUBLE_EQ(back.chaos.delay_p, s.chaos.delay_p);
+  EXPECT_EQ(back.chaos.delay_ms, s.chaos.delay_ms);
+  EXPECT_EQ(back.chaos.seed, s.chaos.seed);
+  ASSERT_EQ(back.chaos.partitions.size(), 2u);
+  EXPECT_EQ(back.chaos.partitions[1].from, s.chaos.partitions[1].from);
+  EXPECT_EQ(back.chaos.partitions[1].start_ms, 50);
+  EXPECT_EQ(back.chaos.partitions[1].end_ms, 200);
+  EXPECT_EQ(back.crash_node, s.crash_node);
+  EXPECT_EQ(back.crash_at_round, s.crash_at_round);
+  EXPECT_EQ(back.restart_after_ms, s.restart_after_ms);
+  EXPECT_EQ(back.state_dir, s.state_dir);
+}
+
+TEST(Scenario, ParsesChaosAndRecoveryKeys) {
+  const Scenario s = parse_scenario_string(R"(width 8
+height 8
+loss_p 0.25
+jam_budget -1
+suspect_after 3
+chaos_drop_p 0.1
+chaos_dup_p 0.05
+chaos_delay_p 0.2
+chaos_delay_ms 15
+chaos_seed 77
+partition 0 0 1 0
+partition 2 2 9 9 100 500
+crash_node 10 2
+crash_at_round 4
+restart_after_ms 250
+state_dir /tmp/rb-state
+)");
+  EXPECT_DOUBLE_EQ(s.sim.loss_p, 0.25);
+  EXPECT_EQ(s.sim.jam_budget, -1);
+  EXPECT_EQ(s.suspect_after, 3);
+  EXPECT_DOUBLE_EQ(s.chaos.drop_p, 0.1);
+  EXPECT_DOUBLE_EQ(s.chaos.duplicate_p, 0.05);
+  EXPECT_DOUBLE_EQ(s.chaos.delay_p, 0.2);
+  EXPECT_EQ(s.chaos.delay_ms, 15);
+  EXPECT_EQ(s.chaos.seed, 77u);
+  EXPECT_EQ(s.chaos_seed(), 77u);
+  ASSERT_EQ(s.chaos.partitions.size(), 2u);
+  EXPECT_EQ(s.chaos.partitions[0].from, (Coord{0, 0}));
+  EXPECT_EQ(s.chaos.partitions[0].to, (Coord{1, 0}));
+  EXPECT_EQ(s.chaos.partitions[0].end_ms, -1);
+  EXPECT_EQ(s.chaos.partitions[1].start_ms, 100);
+  EXPECT_EQ(s.chaos.partitions[1].end_ms, 500);
+  // Coordinates are canonicalized onto the torus at parse time.
+  EXPECT_EQ(s.chaos.partitions[1].to, (Coord{1, 1}));
+  ASSERT_TRUE(s.crash_node.has_value());
+  EXPECT_EQ(*s.crash_node, (Coord{2, 2}));
+  EXPECT_EQ(s.crash_at_round, 4);
+  EXPECT_EQ(s.restart_after_ms, 250);
+  EXPECT_EQ(s.state_dir, "/tmp/rb-state");
+  EXPECT_TRUE(s.chaos.enabled());
+}
+
+TEST(Scenario, ChaosSeedDerivesFromSimSeedWhenUnset) {
+  const Scenario a = parse_scenario_string("width 4\nheight 4\nseed 1\n");
+  const Scenario b = parse_scenario_string("width 4\nheight 4\nseed 2\n");
+  EXPECT_NE(a.chaos_seed(), b.chaos_seed());
+  EXPECT_NE(a.chaos_seed(), a.sim.seed);  // hash-split, never the raw seed
+}
+
+TEST(Scenario, RejectsDuplicateScalarKeys) {
+  try {
+    parse_scenario_string("width 8\nheight 8\nwidth 9\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate key 'width'"), std::string::npos) << what;
+    EXPECT_NE(what.find("first on line 1"), std::string::npos) << what;
+  }
+  // fault and partition are the repeatable keys.
+  EXPECT_NO_THROW(parse_scenario_string(
+      "width 8\nheight 8\nfault 1 1\nfault 2 2\npartition 0 0 1 0\n"
+      "partition 1 0 0 0\n"));
+}
+
+TEST(Scenario, RejectsMalformedChaosValues) {
+  EXPECT_THROW(parse_scenario_string("width 8\nheight 8\nloss_p 1.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_string("width 8\nheight 8\nchaos_drop_p -0.1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_string("width 8\nheight 8\nchaos_delay_ms -5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_string("width 8\nheight 8\ncrash_at_round -1\n"),
+               std::invalid_argument);
+  // A partition window needs both ends.
+  EXPECT_THROW(
+      parse_scenario_string("width 8\nheight 8\npartition 0 0 1 0 100\n"),
+      std::invalid_argument);
+  EXPECT_THROW(parse_scenario_string("width 8\nheight 8\nsuspect_after -1\n"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, FuzzedLinesThrowCleanlyOrParse) {
+  // Fuzz-style parser hardening: every mutated input must either parse or
+  // throw one of the two documented exception types — never crash, never
+  // leave the parser wedged. Deterministic by construction.
+  const std::string keys[] = {"width",        "height",     "loss_p",
+                              "chaos_drop_p", "chaos_seed", "partition",
+                              "crash_node",   "fault",      "state_dir",
+                              "suspect_after"};
+  const std::string values[] = {"", " 1", " -1", " 0.5", " 1e308", " nan",
+                                " x", " 1 2", " 1 2 3 4 5", " 99999999999",
+                                " 0 0 0 0 0 0 0"};
+  Rng rng(20260809);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = "width 8\nheight 8\n";
+    const int lines = 1 + static_cast<int>(rng.below(4));
+    for (int l = 0; l < lines; ++l) {
+      text += keys[rng.below(std::size(keys))];
+      text += values[rng.below(std::size(values))];
+      text += '\n';
+    }
+    try {
+      const Scenario s = parse_scenario_string(text);
+      (void)s.chaos_seed();  // derived values stay computable
+    } catch (const std::invalid_argument&) {
+    } catch (const std::runtime_error&) {
+    }
+  }
 }
 
 TEST(Scenario, ErrorsCarryLineNumbers) {
@@ -117,6 +260,33 @@ TEST(Scenario, NodeOptionsAssignsRoles) {
             s.round_timeout_ms);
 }
 
+TEST(Scenario, NodeOptionsWiresChaosRecoveryConfig) {
+  Scenario s;
+  s.sim.width = 6;
+  s.sim.height = 6;
+  s.sim.r = 1;
+  s.sim.source = {0, 0};
+  s.faults = {{3, 3}};
+  s.suspect_after = 3;
+  s.crash_node = Coord{2, 2};
+  s.crash_at_round = 5;
+  s.state_dir = "statedir";
+  const Torus torus(6, 6);
+
+  const RuntimeNode::Options crasher = node_options(s, torus.index({2, 2}));
+  EXPECT_EQ(crasher.crash_at_round, 5);
+  EXPECT_EQ(crasher.suspect_after, 3);
+  EXPECT_EQ(crasher.snapshot_path,
+            "statedir/state-" + std::to_string(torus.index({2, 2})) + ".txt");
+  // Only the crash_node gets the crash injection.
+  EXPECT_EQ(node_options(s, torus.index({1, 1})).crash_at_round, -1);
+  // Jammers are wired only under the jamming adversary.
+  EXPECT_TRUE(node_options(s, torus.index({1, 1})).jammers.empty());
+  s.sim.adversary = AdversaryKind::kJamming;
+  s.sim.jam_budget = -1;
+  EXPECT_EQ(node_options(s, torus.index({1, 1})).jammers, s.faults);
+}
+
 TEST(Verdict, WriteParseRoundtrips) {
   RuntimeVerdict v;
   v.index = 17;
@@ -137,6 +307,15 @@ TEST(Verdict, WriteParseRoundtrips) {
   v.counters.barrier_timeouts = 0;
   v.counters.barrier_wait_us = 98765;
   v.counters.last_commit_round = 4;
+  v.crashed = true;
+  v.counters.envelopes_dropped = 11;
+  v.counters.chaos_drops = 5;
+  v.counters.chaos_delays = 6;
+  v.counters.chaos_duplicates = 7;
+  v.counters.chaos_partition_drops = 8;
+  v.counters.node_restarts = 1;
+  v.counters.peers_suspected = 2;
+  v.counters.degraded_rounds = 3;
 
   std::stringstream io;
   write_verdict(io, v);
@@ -161,6 +340,16 @@ TEST(Verdict, WriteParseRoundtrips) {
             v.counters.duplicates_dropped);
   EXPECT_EQ(back.counters.barrier_wait_us, v.counters.barrier_wait_us);
   EXPECT_EQ(back.counters.last_commit_round, v.counters.last_commit_round);
+  EXPECT_EQ(back.crashed, v.crashed);
+  EXPECT_EQ(back.counters.envelopes_dropped, v.counters.envelopes_dropped);
+  EXPECT_EQ(back.counters.chaos_drops, v.counters.chaos_drops);
+  EXPECT_EQ(back.counters.chaos_delays, v.counters.chaos_delays);
+  EXPECT_EQ(back.counters.chaos_duplicates, v.counters.chaos_duplicates);
+  EXPECT_EQ(back.counters.chaos_partition_drops,
+            v.counters.chaos_partition_drops);
+  EXPECT_EQ(back.counters.node_restarts, v.counters.node_restarts);
+  EXPECT_EQ(back.counters.peers_suspected, v.counters.peers_suspected);
+  EXPECT_EQ(back.counters.degraded_rounds, v.counters.degraded_rounds);
 }
 
 TEST(Verdict, UncommittedSerializesAsMinusOne) {
@@ -195,7 +384,11 @@ TEST(RuntimeNode, RejectsConfigurationsWithoutASocketAnalogue) {
   opts.sim.height = 6;
   opts.sim.r = 1;
 
+  // Lossy channels are realized as deterministic message-level suppression
+  // now — valid probabilities are accepted, junk still is not.
   opts.sim.loss_p = 0.1;
+  EXPECT_NO_THROW(RuntimeNode(opts, transport));
+  opts.sim.loss_p = 1.5;
   EXPECT_THROW(RuntimeNode(opts, transport), std::invalid_argument);
   opts.sim.loss_p = 0.0;
 
@@ -205,8 +398,13 @@ TEST(RuntimeNode, RejectsConfigurationsWithoutASocketAnalogue) {
 
   opts.sim.adversary = AdversaryKind::kSpoofing;
   EXPECT_THROW(RuntimeNode(opts, transport), std::invalid_argument);
+  // Unbounded jamming has a static geometric analogue; a bounded budget is
+  // a globally ordered ledger no distributed node can replicate.
   opts.sim.adversary = AdversaryKind::kJamming;
+  opts.sim.jam_budget = 5;
   EXPECT_THROW(RuntimeNode(opts, transport), std::invalid_argument);
+  opts.sim.jam_budget = -1;
+  EXPECT_NO_THROW(RuntimeNode(opts, transport));
 }
 
 }  // namespace
