@@ -10,7 +10,8 @@ build="${repo}/build-tsan"
 
 cmake -B "${build}" -S "${repo}" -DRADIOBCAST_SANITIZE=thread >/dev/null
 cmake --build "${build}" --target \
-  test_campaign test_experiment test_perfect_link test_round_sync -j >/dev/null
+  test_campaign test_experiment test_perfect_link test_round_sync \
+  test_event_loop -j >/dev/null
 
 TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_campaign"
 TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_experiment" \
@@ -20,5 +21,8 @@ TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_experiment" \
 # thread per node) that exercises timeout-opened barriers and suspicion.
 TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_perfect_link"
 TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_round_sync"
+# Event-loop machinery: SwarmHub mailbox handoff across threads, epoll
+# wakeups, and the shared-socket barrier soaks (many nodes, one fd).
+TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_event_loop"
 
 echo "TSan concurrency check passed"

@@ -1,0 +1,98 @@
+#include "radiobcast/obs/latency.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace rbcast {
+
+namespace {
+
+int bucket_of(std::uint64_t us) {
+  if (us == 0) return 0;
+  // floor(log2(us)) + 1: value v lands in [2^(b-1), 2^b).
+  const int b = 64 - std::countl_zero(us);
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+std::uint64_t bucket_upper_us(int b) {
+  if (b == 0) return 0;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+void LatencyHistogram::record_us(std::uint64_t us) {
+  buckets_[static_cast<std::size_t>(bucket_of(us))] += 1;
+  count_ += 1;
+  sum_us_ += us;
+  max_us_ = std::max(max_us_, us);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] +=
+        other.buckets_[static_cast<std::size_t>(b)];
+  }
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+  max_us_ = std::max(max_us_, other.max_us_);
+}
+
+std::uint64_t LatencyHistogram::quantile_us(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the quantile sample, 1-based; ceil without float drift.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= rank) return std::min(bucket_upper_us(b), max_us_);
+  }
+  return max_us_;
+}
+
+std::string LatencyHistogram::serialize() const {
+  std::ostringstream out;
+  out << sum_us_ << ' ' << max_us_;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t c = buckets_[static_cast<std::size_t>(b)];
+    if (c != 0) out << ' ' << b << ':' << c;
+  }
+  return out.str();
+}
+
+LatencyHistogram LatencyHistogram::deserialize(const std::string& text) {
+  LatencyHistogram h;
+  std::istringstream in(text);
+  if (!(in >> h.sum_us_ >> h.max_us_)) {
+    throw std::invalid_argument("latency histogram: missing sum/max");
+  }
+  std::string token;
+  while (in >> token) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("latency histogram: bad bucket '" + token +
+                                  "'");
+    }
+    int b = 0;
+    std::uint64_t c = 0;
+    try {
+      b = std::stoi(token.substr(0, colon));
+      c = std::stoull(token.substr(colon + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("latency histogram: bad bucket '" + token +
+                                  "'");
+    }
+    if (b < 0 || b >= kBuckets) {
+      throw std::invalid_argument("latency histogram: bucket out of range");
+    }
+    h.buckets_[static_cast<std::size_t>(b)] = c;
+    h.count_ += c;
+  }
+  return h;
+}
+
+}  // namespace rbcast

@@ -1,0 +1,57 @@
+#pragma once
+// Mergeable log-bucketed latency histograms for the networked runtime.
+//
+// The runtime measures wall-clock latencies (per-round duration, time to
+// commit) whose exact values are timing-dependent and therefore must stay
+// out of the deterministic Counters JSON (golden campaign digests pin those
+// bytes). LatencyHistogram is the side channel: power-of-two microsecond
+// buckets whose integer counts merge exactly across nodes and processes, so
+// the orchestrator can report deployment-wide p50/p95/p99 from per-node
+// verdict files without ever shipping raw samples. Quantiles are computed at
+// report time from the merged buckets (resolution: one power of two, which
+// is plenty for "did epoll beat the 50 us poll loop by 5x").
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rbcast {
+
+class LatencyHistogram {
+ public:
+  /// Bucket 0 holds exact-zero samples; bucket b >= 1 holds samples in
+  /// [2^(b-1), 2^b) microseconds. 40 buckets cover ~6.4 days.
+  static constexpr int kBuckets = 40;
+
+  void record_us(std::uint64_t us);
+
+  /// Exact merge: bucket-wise integer sums (count/sum/max likewise).
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum_us() const { return sum_us_; }
+  std::uint64_t max_us() const { return max_us_; }
+  std::uint64_t bucket(int b) const {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+
+  /// Upper edge of the bucket containing the q-quantile sample (q in [0,1]),
+  /// clamped to the largest sample seen; 0 when empty. Monotone in q.
+  std::uint64_t quantile_us(double q) const;
+
+  /// Sparse text form for verdict files: "<sum_us> <max_us> [b:count]...".
+  std::string serialize() const;
+  /// Inverse of serialize. Throws std::invalid_argument on malformed input.
+  static LatencyHistogram deserialize(const std::string& text);
+
+  friend bool operator==(const LatencyHistogram&,
+                         const LatencyHistogram&) = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_us_ = 0;
+  std::uint64_t max_us_ = 0;
+};
+
+}  // namespace rbcast

@@ -9,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "radiobcast/runtime/swarm.h"
+
 namespace rbcast {
 
 RuntimeNode::Options node_options(const Scenario& scenario,
@@ -24,6 +26,7 @@ RuntimeNode::Options node_options(const Scenario& scenario,
               : faults.contains(self) ? NodeRole::kFaulty
                                       : NodeRole::kHonest;
   opts.max_rounds = scenario.sim.max_rounds;
+  opts.backend = scenario.backend;
   opts.round_timeout = std::chrono::milliseconds(scenario.round_timeout_ms);
   opts.linger_timeout = std::chrono::milliseconds(scenario.linger_timeout_ms);
   opts.suspect_after = static_cast<int>(scenario.suspect_after);
@@ -77,6 +80,10 @@ RuntimeResult score_verdicts(const Scenario& scenario,
       result.wrong_commits += 1;
     }
   }
+  for (const RuntimeVerdict& v : verdicts) {
+    result.round_latency.merge(v.round_latency);
+    result.commit_latency.merge(v.commit_latency);
+  }
   result.verdicts = std::move(verdicts);
   return result;
 }
@@ -95,15 +102,29 @@ RuntimeResult run_scenario_threads(
 
   // Bind every socket first (ephemeral ports), then tell everyone about
   // everyone: the peer table must be complete before any node transmits.
-  std::vector<std::unique_ptr<UdpTransport>> transports;
-  std::vector<std::uint16_t> ports;
+  // shared_socket collapses the whole deployment onto one SwarmHub socket
+  // (runtime/swarm.h) so a swarm-sized n costs one fd instead of n.
+  std::unique_ptr<SwarmHub> hub;
+  std::vector<std::unique_ptr<Transport>> transports;
   transports.reserve(static_cast<std::size_t>(n));
-  ports.reserve(static_cast<std::size_t>(n));
-  for (std::int64_t i = 0; i < n; ++i) {
-    transports.push_back(std::make_unique<UdpTransport>(0));
-    ports.push_back(transports.back()->local_port());
+  if (scenario.shared_socket) {
+    hub = std::make_unique<SwarmHub>(static_cast<std::uint32_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      transports.push_back(hub->transport(static_cast<std::uint32_t>(i)));
+    }
+  } else {
+    std::vector<UdpTransport*> udp;
+    std::vector<std::uint16_t> ports;
+    udp.reserve(static_cast<std::size_t>(n));
+    ports.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      auto t = std::make_unique<UdpTransport>(0);
+      udp.push_back(t.get());
+      ports.push_back(t->local_port());
+      transports.push_back(std::move(t));
+    }
+    for (UdpTransport* t : udp) t->set_peers(ports);
   }
-  for (auto& transport : transports) transport->set_peers(ports);
 
   // Chaos wrappers are per-node and live outside the restart loop, so a
   // restarted node keeps the same datagram-fate stream and cumulative stats.
@@ -206,6 +227,26 @@ void write_verdict(std::ostream& out, const RuntimeVerdict& v) {
       << "node_restarts " << v.counters.node_restarts << '\n'
       << "peers_suspected " << v.counters.peers_suspected << '\n'
       << "degraded_rounds " << v.counters.degraded_rounds << '\n'
+      << "last_commit_round " << v.counters.last_commit_round << '\n'
+      << "round_latency_hist " << v.round_latency.serialize() << '\n'
+      << "commit_latency_hist " << v.commit_latency.serialize() << '\n';
+}
+
+void write_verdict_core(std::ostream& out, const RuntimeVerdict& v) {
+  out << "index " << v.index << '\n'
+      << "self " << v.self.x << ' ' << v.self.y << '\n'
+      << "role " << role_name(v.role) << '\n'
+      << "committed " << (v.committed ? static_cast<int>(*v.committed) : -1)
+      << '\n'
+      << "commit_round " << v.commit_round << '\n'
+      << "rounds " << v.rounds << '\n'
+      << "crashed " << (v.crashed ? 1 : 0) << '\n'
+      << "commits " << v.counters.commits << '\n'
+      << "broadcasts_queued " << v.counters.broadcasts_queued << '\n'
+      << "committed_queued " << v.counters.committed_queued << '\n'
+      << "heard_queued " << v.counters.heard_queued << '\n'
+      << "envelopes_delivered " << v.counters.envelopes_delivered << '\n'
+      << "envelopes_dropped " << v.counters.envelopes_dropped << '\n'
       << "last_commit_round " << v.counters.last_commit_round << '\n';
 }
 
@@ -313,6 +354,16 @@ RuntimeVerdict parse_verdict(std::istream& in) {
       v.counters.degraded_rounds = static_cast<std::uint64_t>(x);
     } else if (key == "last_commit_round") {
       want_i64(v.counters.last_commit_round);
+    } else if (key == "round_latency_hist" || key == "commit_latency_hist") {
+      std::string rest;
+      std::getline(ls, rest);
+      LatencyHistogram& h = key[0] == 'r' ? v.round_latency : v.commit_latency;
+      try {
+        h = LatencyHistogram::deserialize(rest);
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument("verdict: bad value for '" + key +
+                                    "': " + e.what());
+      }
     } else {
       throw std::invalid_argument("verdict: unknown key '" + key + "'");
     }

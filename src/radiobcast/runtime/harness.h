@@ -39,6 +39,10 @@ struct RuntimeResult {
   /// from the degraded-correct bar (they died, they were not wrong).
   std::int64_t crashed_undecided = 0;
   Counters counters;  // merged over nodes
+  /// Deployment-wide latency distributions, merged over nodes (log-bucketed,
+  /// so merging loses nothing — obs/latency.h). Quantiles via quantile_us.
+  LatencyHistogram round_latency;
+  LatencyHistogram commit_latency;
 
   bool success() const {
     return wrong_commits == 0 && correct_commits == honest_nodes;
@@ -80,6 +84,14 @@ RuntimeResult run_scenario_threads(
 /// Serializes a verdict as line-based `key value` text (the per-node file of
 /// process mode).
 void write_verdict(std::ostream& out, const RuntimeVerdict& verdict);
+
+/// Serializes only the deterministic subset of a verdict: the fields that are
+/// a pure function of the scenario (protocol outcome and message-count
+/// counters), excluding everything timing-dependent (link traffic, barrier
+/// waits, chaos stats, latency histograms). Two runs of one scenario on
+/// different backends must produce byte-identical cores — the cross-backend
+/// equivalence bar (tests/test_runtime_equivalence.cpp).
+void write_verdict_core(std::ostream& out, const RuntimeVerdict& verdict);
 
 /// Inverse of write_verdict. Throws std::invalid_argument on malformed input.
 RuntimeVerdict parse_verdict(std::istream& in);

@@ -60,6 +60,7 @@ RuntimeNode::RuntimeNode(Options opts, Transport& transport)
       // hash_seeds keeps distinct nodes decorrelated.
       rng_(hash_seeds(opts_.sim.seed,
                       static_cast<std::uint64_t>(self_index_))),
+      transport_(&transport),
       link_(static_cast<std::uint32_t>(self_index_), transport, opts_.link),
       broadcast_(link_, adjacency_for(torus_, opts_.sim), self_index_),
       sync_(neighbor_indices(adjacency_for(torus_, opts_.sim), self_index_),
@@ -107,6 +108,10 @@ RuntimeNode::RuntimeNode(Options opts, Transport& transport)
 
 void RuntimeNode::record_commit(Coord node, std::uint8_t value) {
   counters_.commits += 1;
+  commit_hist_.record_us(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - run_start_)
+          .count()));
   if (round_ > counters_.last_commit_round) {
     counters_.last_commit_round = round_;
   }
@@ -146,6 +151,24 @@ void RuntimeNode::pump() {
   link_.tick(std::chrono::steady_clock::now());
 }
 
+void RuntimeNode::wait_for_traffic(
+    std::chrono::steady_clock::time_point cap) {
+  if (opts_.backend == RuntimeBackend::kPoll) {
+    // The poll cadence bounds added latency per round; 50us keeps a loopback
+    // torus running thousands of rounds per second while staying polite to
+    // the scheduler.
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    return;
+  }
+  // Epoll backend: sleep until the socket has a readability edge or the
+  // earliest deadline that demands action — a pending retransmission, or the
+  // caller's cap (barrier timeout / stop probe / linger deadline).
+  if (const auto d = link_.next_deadline(); d.has_value() && *d < cap) {
+    cap = *d;
+  }
+  transport_->wait(cap);
+}
+
 bool RuntimeNode::suppressed(std::uint32_t receiver) {
   if (jam_active_) return jammed_receiver_[receiver];
   if (loss_active_) {
@@ -156,8 +179,22 @@ bool RuntimeNode::suppressed(std::uint32_t receiver) {
   return false;
 }
 
-void RuntimeNode::finish_round(std::int64_t k) {
+void RuntimeNode::finish_round(std::int64_t k, std::int64_t bound) {
+  // Final-round traffic is consumed by nobody: the highest barrier any node
+  // runs is bound-1, so round-`bound` messages and markers would only sit
+  // unacked while peers (whose own sends completed) exit and stop acking —
+  // the one systematic way a clean deployment could burn its whole linger
+  // timeout. Skip the transmissions (the simulator equally never delivers
+  // round-`bound` broadcasts) but still run the loss/jam draws below: the
+  // drop counters and the snapshot's loss-stream positions must keep
+  // matching the simulator schedule draw-for-draw.
+  const bool transmit = k < bound;
   if (!loss_active_ && !jam_active_) {
+    if (!transmit) {
+      outbox_.clear();
+      if (!opts_.snapshot_path.empty()) write_state(k);
+      return;
+    }
     // Perfect channel: identical traffic to every receiver, one shared
     // marker count.
     for (const Message& msg : outbox_) {
@@ -189,6 +226,7 @@ void RuntimeNode::finish_round(std::int64_t k) {
           ++counters_.envelopes_dropped;
           continue;
         }
+        if (!transmit) continue;  // final round: draw, count, never send
         WireMessage wm;
         wm.kind = WireKind::kProtocol;
         wm.round = k;
@@ -196,6 +234,7 @@ void RuntimeNode::finish_round(std::int64_t k) {
         link_.send(receiver, wm);
         ++sent;
       }
+      if (!transmit) continue;
       WireMessage marker;
       marker.kind = WireKind::kRoundDone;
       marker.round = k;
@@ -253,6 +292,10 @@ std::int64_t RuntimeNode::restore_state() {
 
 RuntimeVerdict RuntimeNode::run() {
   using clock = std::chrono::steady_clock;
+  // Stop-probe cadence for the epoll backend: the longest a blocked node
+  // goes without re-checking stop_requested() when nothing else wakes it.
+  constexpr std::chrono::milliseconds kStopProbe(10);
+  run_start_ = clock::now();
   behavior_ = opts_.behavior_factory
                   ? opts_.behavior_factory(opts_.sim, torus_, opts_.role)
                   : make_node_behavior(opts_.sim, torus_, opts_.role);
@@ -266,21 +309,20 @@ RuntimeVerdict RuntimeNode::run() {
   // already out in the world under already-consumed sequence numbers) and
   // rejoins at the round after its last snapshot; peers' stubborn
   // retransmissions replay everything it missed while dead.
+  const std::int64_t bound = opts_.max_rounds > 0
+                                 ? opts_.max_rounds
+                                 : default_round_bound(opts_.sim);
   const std::int64_t resumed_round = opts_.resume ? restore_state() : -1;
   std::int64_t first_round = 1;
   if (resumed_round < 0) {
     round_ = 0;
     behavior_->on_start(ctx);
-    finish_round(0);
+    finish_round(0, bound);
     if (opts_.crash_at_round == 0) verdict.crashed = true;
   } else {
     round_ = resumed_round;
     first_round = resumed_round + 1;
   }
-
-  const std::int64_t bound = opts_.max_rounds > 0
-                                 ? opts_.max_rounds
-                                 : default_round_bound(opts_.sim);
   std::int64_t rounds_run = std::max<std::int64_t>(resumed_round, 0);
   for (std::int64_t k = first_round; k <= bound && !verdict.crashed; ++k) {
     // Barrier: wait until every neighbor's round-(k-1) traffic is in.
@@ -293,10 +335,12 @@ RuntimeVerdict RuntimeNode::run() {
       }
       pump();
       if (sync_.timed_out(k - 1, clock::now())) break;
-      // The poll cadence bounds added latency per round; 50us keeps a
-      // loopback torus running thousands of rounds per second while staying
-      // polite to the scheduler.
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      if (sync_.complete(k - 1)) break;
+      auto cap = clock::now() + kStopProbe;
+      if (const auto d = sync_.deadline(k - 1); d.has_value() && *d < cap) {
+        cap = *d;
+      }
+      wait_for_traffic(cap);
     }
     counters_.barrier_wait_us += static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
@@ -330,7 +374,11 @@ RuntimeVerdict RuntimeNode::run() {
       behavior_->on_receive(ctx, Envelope{sender, rm.msg});
     }
     behavior_->on_round_end(ctx);
-    finish_round(k);
+    finish_round(k, bound);
+    round_hist_.record_us(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                              wait_start)
+            .count()));
     rounds_run = k;
     // Crash injection fires right after the snapshot — the cleanest possible
     // crash point, so the test matrix exercises recovery rather than torn
@@ -347,7 +395,8 @@ RuntimeVerdict RuntimeNode::run() {
     while (!link_.all_acked() && clock::now() < linger_deadline &&
            !stop_requested()) {
       pump();
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      if (link_.all_acked()) break;
+      wait_for_traffic(std::min(linger_deadline, clock::now() + kStopProbe));
     }
     verdict.lingered_clean = link_.all_acked();
   }
@@ -369,6 +418,8 @@ RuntimeVerdict RuntimeNode::run() {
   counters_.peers_suspected = sync_.suspect_transitions();
   counters_.degraded_rounds = sync_.degraded_rounds();
   verdict.counters = counters_;
+  verdict.round_latency = round_hist_;
+  verdict.commit_latency = commit_hist_;
   return verdict;
 }
 

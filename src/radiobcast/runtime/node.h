@@ -32,7 +32,9 @@
 #include "radiobcast/core/simulation.h"
 #include "radiobcast/net/backend.h"
 #include "radiobcast/obs/counters.h"
+#include "radiobcast/obs/latency.h"
 #include "radiobcast/obs/trace.h"
+#include "radiobcast/runtime/event_loop.h"
 #include "radiobcast/runtime/local_broadcast.h"
 #include "radiobcast/runtime/perfect_link.h"
 #include "radiobcast/runtime/round_sync.h"
@@ -60,6 +62,12 @@ struct RuntimeVerdict {
   /// degraded, never successful.
   bool crashed = false;
   Counters counters;
+  /// Wall-clock duration of each finished round (barrier opened to round
+  /// traffic flushed), microseconds. Timing-dependent: excluded from the
+  /// deterministic verdict core (runtime/harness.h).
+  LatencyHistogram round_latency;
+  /// Wall-clock from run() start to each commit this node recorded.
+  LatencyHistogram commit_latency;
 };
 
 class RuntimeNode final : public BroadcastBackend {
@@ -78,6 +86,11 @@ class RuntimeNode final : public BroadcastBackend {
     NodeRole role = NodeRole::kHonest;
     /// Rounds to run; 0 = default_round_bound(sim), the simulator's horizon.
     std::int64_t max_rounds = 0;
+    /// How the node idles between barrier checks: kPoll naps a fixed 50 us
+    /// cadence (the reference backend); kEpoll blocks on Transport::wait
+    /// until socket readiness or the earliest of the retransmission /
+    /// barrier-timeout deadlines (runtime/event_loop.h).
+    RuntimeBackend backend = RuntimeBackend::kPoll;
     PerfectLink::Options link{};
     /// Barrier timeout per round (0 = wait forever). Equivalence runs use 0;
     /// deployments set a generous bound so one dead process cannot wedge the
@@ -136,11 +149,15 @@ class RuntimeNode final : public BroadcastBackend {
 
   /// Drains the link (feeding the synchronizer) and runs retransmissions.
   void pump();
+  /// Idles until new traffic is plausible or `cap` passes. Poll backend: a
+  /// fixed 50 us nap. Epoll backend: blocks on the transport's readiness
+  /// mechanism, bounded by the link's next retransmission deadline.
+  void wait_for_traffic(std::chrono::steady_clock::time_point cap);
   /// Sends round k's queued broadcasts plus the ROUND_DONE(k) marker — with
   /// the channel policy (loss / jamming) applied per receiver, so each
   /// marker's done_count is the number of messages that receiver was
   /// actually sent. Writes the state snapshot afterwards when configured.
-  void finish_round(std::int64_t k);
+  void finish_round(std::int64_t k, std::int64_t bound);
   /// True iff the channel policy suppresses this transmission to `receiver`
   /// (consumes one loss draw when the loss schedule is active).
   bool suppressed(std::uint32_t receiver);
@@ -156,6 +173,7 @@ class RuntimeNode final : public BroadcastBackend {
   Torus torus_;
   std::int32_t self_index_;
   Rng rng_;
+  Transport* transport_;
   PerfectLink link_;
   LocalBroadcast broadcast_;
   RoundSynchronizer sync_;
@@ -180,6 +198,9 @@ class RuntimeNode final : public BroadcastBackend {
   /// Verdict floor restored from a pre-crash snapshot.
   std::optional<std::uint8_t> restored_committed_;
   std::int64_t restored_commit_round_ = -1;
+  std::chrono::steady_clock::time_point run_start_{};
+  LatencyHistogram round_hist_;
+  LatencyHistogram commit_hist_;
 };
 
 }  // namespace rbcast

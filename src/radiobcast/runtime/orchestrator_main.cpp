@@ -55,20 +55,24 @@ struct ChildState {
 };
 
 pid_t spawn_node(const std::string& node_bin, const std::string& scenario_path,
-                 const std::string& out_dir, std::int64_t index, bool resume) {
+                 const std::string& out_dir, std::int64_t index, bool resume,
+                 const std::string& backend) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   const std::string idx = std::to_string(index);
-  if (resume) {
-    ::execl(node_bin.c_str(), node_bin.c_str(), "--scenario",
-            scenario_path.c_str(), "--index", idx.c_str(), "--out",
-            out_dir.c_str(), "--quiet", "--resume",
-            static_cast<char*>(nullptr));
-  } else {
-    ::execl(node_bin.c_str(), node_bin.c_str(), "--scenario",
-            scenario_path.c_str(), "--index", idx.c_str(), "--out",
-            out_dir.c_str(), "--quiet", static_cast<char*>(nullptr));
+  std::vector<std::string> argv_s = {node_bin,  "--scenario", scenario_path,
+                                     "--index", idx,          "--out",
+                                     out_dir,   "--quiet"};
+  if (resume) argv_s.push_back("--resume");
+  if (!backend.empty()) {
+    argv_s.push_back("--backend");
+    argv_s.push_back(backend);
   }
+  std::vector<char*> argv_c;
+  argv_c.reserve(argv_s.size() + 1);
+  for (std::string& a : argv_s) argv_c.push_back(a.data());
+  argv_c.push_back(nullptr);
+  ::execv(node_bin.c_str(), argv_c.data());
   // Only reached when exec fails.
   std::cerr << "radiobcast-runtime: exec " << node_bin << ": "
             << std::strerror(errno) << "\n";
@@ -107,6 +111,18 @@ void print_summary(std::ostream& os, const Scenario& scenario,
      << result.counters.packets_acked << ", duplicates dropped "
      << result.counters.duplicates_dropped << ", barrier timeouts "
      << result.counters.barrier_timeouts << "\n";
+  if (result.round_latency.count() > 0) {
+    os << "round latency us: p50 " << result.round_latency.quantile_us(0.50)
+       << ", p95 " << result.round_latency.quantile_us(0.95) << ", p99 "
+       << result.round_latency.quantile_us(0.99) << ", max "
+       << result.round_latency.max_us() << "\n";
+  }
+  if (result.commit_latency.count() > 0) {
+    os << "commit latency us: p50 " << result.commit_latency.quantile_us(0.50)
+       << ", p95 " << result.commit_latency.quantile_us(0.95) << ", p99 "
+       << result.commit_latency.quantile_us(0.99) << ", max "
+       << result.commit_latency.max_us() << "\n";
+  }
   if (scenario.chaos.enabled()) {
     os << "chaos: drops " << result.counters.chaos_drops << ", duplicates "
        << result.counters.chaos_duplicates << ", delays "
@@ -130,13 +146,15 @@ void print_summary(std::ostream& os, const Scenario& scenario,
 
 int run_processes(const Scenario& scenario, const std::string& scenario_path,
                   const std::string& node_bin, const std::string& out_dir,
-                  bool respawn, ShutdownGuard& shutdown,
-                  RuntimeResult& result, std::vector<ChildState>& ledger) {
+                  bool respawn, const std::string& backend,
+                  ShutdownGuard& shutdown, RuntimeResult& result,
+                  std::vector<ChildState>& ledger) {
   const Torus torus(scenario.sim.width, scenario.sim.height);
   const std::int64_t n = torus.node_count();
   ledger.assign(static_cast<std::size_t>(n), ChildState{});
   for (std::int64_t i = 0; i < n; ++i) {
-    const pid_t pid = spawn_node(node_bin, scenario_path, out_dir, i, false);
+    const pid_t pid =
+        spawn_node(node_bin, scenario_path, out_dir, i, false, backend);
     if (pid < 0) {
       std::cerr << "radiobcast-runtime: fork: " << std::strerror(errno)
                 << "\n";
@@ -190,8 +208,9 @@ int run_processes(const Scenario& scenario, const std::string& scenario_path,
           std::this_thread::sleep_for(
               std::chrono::milliseconds(scenario.restart_after_ms));
         }
-        const pid_t np = spawn_node(node_bin, scenario_path, out_dir,
-                                    static_cast<std::int64_t>(i), true);
+        const pid_t np =
+            spawn_node(node_bin, scenario_path, out_dir,
+                       static_cast<std::int64_t>(i), true, backend);
         if (np > 0) {
           c.pid = np;
           c.running = true;
@@ -254,7 +273,7 @@ int run(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"scenario", "node-bin", "out", "in-process",
                       "expect-all-commit", "expect-degraded-correct",
-                      "respawn", "quiet", "help"});
+                      "respawn", "quiet", "help", "backend"});
   if (!args.ok()) {
     std::cerr << "radiobcast-runtime: " << args.error() << "\n";
     return 2;
@@ -270,6 +289,8 @@ int run(int argc, char** argv) {
            "processes\n"
            "  --respawn            relaunch a crashed/killed node from its "
            "snapshot (once)\n"
+           "  --backend poll|epoll override the scenario's node idle "
+           "strategy\n"
            "  --expect-all-commit  exit 3 unless every honest node committed "
            "the source value\n"
            "  --expect-degraded-correct\n"
@@ -285,7 +306,17 @@ int run(int argc, char** argv) {
         << "radiobcast-runtime: --scenario is required (--help for usage)\n";
     return 2;
   }
-  const Scenario scenario = load_scenario(scenario_path);
+  Scenario scenario = load_scenario(scenario_path);
+  const std::string backend_override = args.get("backend", "");
+  if (!backend_override.empty()) {
+    const auto b = backend_from_string(backend_override);
+    if (!b) {
+      std::cerr << "radiobcast-runtime: unknown backend '" << backend_override
+                << "'\n";
+      return 2;
+    }
+    scenario.backend = *b;  // in-process path; children get --backend instead
+  }
 
   ShutdownGuard shutdown;
   RuntimeResult result;
@@ -308,8 +339,8 @@ int run(int argc, char** argv) {
         args.get("node-bin", sibling_binary(argv[0], "radiobcast-node"));
     const int rc =
         run_processes(scenario, scenario_path, node_bin, out_dir,
-                      args.get_bool("respawn", false), shutdown, result,
-                      ledger);
+                      args.get_bool("respawn", false), backend_override,
+                      shutdown, result, ledger);
     if (rc != 0) return rc;
     deployment_path = out_dir + "/deployment.txt";
   }

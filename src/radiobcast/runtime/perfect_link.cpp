@@ -33,6 +33,7 @@ void PerfectLink::flush() {
 
 void PerfectLink::flush_pending(std::uint32_t to) {
   auto& pending = pending_[to];
+  const auto now = std::chrono::steady_clock::now();
   while (!pending.empty()) {
     const std::size_t n = std::min(pending.size(), kMaxBatch);
     OutgoingBatch batch;
@@ -43,12 +44,19 @@ void PerfectLink::flush_pending(std::uint32_t to) {
                   pending.begin() + static_cast<std::ptrdiff_t>(n));
     pending_total_ -= n;
     batch.rto = opts_.initial_rto;
-    transmit(batch, /*is_retransmit=*/false);
-    unacked_.push_back(std::move(batch));
+    const std::uint64_t key =
+        dest_key(to, message_id_seq(batch.entries.front().id));
+    for (const WireEntry& entry : batch.entries) {
+      ack_index_[dest_key(to, message_id_seq(entry.id))] = key;
+    }
+    transmit(key, batch, /*is_retransmit=*/false, now);
+    unacked_.emplace(key, std::move(batch));
   }
 }
 
-void PerfectLink::transmit(OutgoingBatch& batch, bool is_retransmit) {
+void PerfectLink::transmit(std::uint64_t key, OutgoingBatch& batch,
+                           bool is_retransmit,
+                           std::chrono::steady_clock::time_point now) {
   Packet packet;
   packet.kind = PacketKind::kData;
   packet.sender = self_;
@@ -56,15 +64,18 @@ void PerfectLink::transmit(OutgoingBatch& batch, bool is_retransmit) {
   transport_->send(batch.to, encode_packet(packet));
   ++stats_.packets_sent;
   if (is_retransmit) ++stats_.packets_retransmitted;
-  batch.next_retransmit = std::chrono::steady_clock::now() + batch.rto;
+  wheel_.schedule(key, now + batch.rto);
 }
 
 void PerfectLink::tick(std::chrono::steady_clock::time_point now) {
-  for (OutgoingBatch& batch : unacked_) {
-    if (now >= batch.next_retransmit) {
-      batch.rto = std::min(batch.rto * 2, opts_.max_rto);
-      transmit(batch, /*is_retransmit=*/true);
-    }
+  fired_.clear();
+  wheel_.advance(now, fired_);
+  for (const std::uint64_t key : fired_) {
+    auto it = unacked_.find(key);
+    if (it == unacked_.end()) continue;  // retired between schedule and fire
+    OutgoingBatch& batch = it->second;
+    batch.rto = std::min(batch.rto * 2, opts_.max_rto);
+    transmit(key, batch, /*is_retransmit=*/true, now);
   }
 }
 
@@ -79,23 +90,26 @@ void PerfectLink::poll(std::vector<ReceivedMessage>& out) {
     const std::uint32_t from = datagram.from;
     if (packet.kind == PacketKind::kAck) {
       for (const std::uint64_t id : packet.acks) {
-        for (OutgoingBatch& batch : unacked_) {
-          if (batch.to != from) continue;
-          auto it = std::find_if(
-              batch.entries.begin(), batch.entries.end(),
-              [id](const WireEntry& e) { return e.id == id; });
-          if (it != batch.entries.end()) {
-            batch.entries.erase(it);
-            ++stats_.packets_acked;
-            break;
-          }
+        // Acks only retire traffic this link actually sent to `from`;
+        // dest_key routes straight to the owning batch (duplicate acks miss
+        // the index and fall through harmlessly).
+        const auto idx = ack_index_.find(dest_key(from, message_id_seq(id)));
+        if (idx == ack_index_.end()) continue;
+        const std::uint64_t batch_key = idx->second;
+        auto bit = unacked_.find(batch_key);
+        if (bit == unacked_.end()) continue;
+        OutgoingBatch& batch = bit->second;
+        auto it = std::find_if(batch.entries.begin(), batch.entries.end(),
+                               [id](const WireEntry& e) { return e.id == id; });
+        if (it == batch.entries.end()) continue;
+        batch.entries.erase(it);
+        ack_index_.erase(idx);
+        ++stats_.packets_acked;
+        if (batch.entries.empty()) {
+          wheel_.cancel(batch_key);
+          unacked_.erase(bit);
         }
       }
-      unacked_.erase(std::remove_if(unacked_.begin(), unacked_.end(),
-                                    [](const OutgoingBatch& b) {
-                                      return b.entries.empty();
-                                    }),
-                     unacked_.end());
       continue;
     }
     PeerIn& in = inbound_[from];

@@ -16,13 +16,14 @@
 
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "radiobcast/runtime/event_loop.h"
 #include "radiobcast/runtime/transport.h"
 #include "radiobcast/runtime/wire.h"
 
@@ -87,7 +88,15 @@ class PerfectLink {
   void poll(std::vector<ReceivedMessage>& out);
 
   /// Retransmits every unacked batch whose backoff deadline has passed.
+  /// Driven by a timer wheel: O(due batches), not O(unacked batches).
   void tick(std::chrono::steady_clock::time_point now);
+
+  /// Earliest retransmission deadline across unacked batches, or nullopt
+  /// when everything is acked — the link's contribution to the epoll
+  /// backend's wait bound.
+  std::optional<std::chrono::steady_clock::time_point> next_deadline() const {
+    return wheel_.next_deadline();
+  }
 
   /// True when every message ever sent has been acked (used by the runtime's
   /// linger phase: a node may only exit once its last transmissions landed).
@@ -107,9 +116,15 @@ class PerfectLink {
   struct OutgoingBatch {
     std::uint32_t to = 0;
     std::vector<WireEntry> entries;
-    std::chrono::steady_clock::time_point next_retransmit{};
     std::chrono::milliseconds rto{};
   };
+
+  /// Sequence numbers are per-destination, so ids alone collide across
+  /// destinations; (destination << 32 | seq) is the globally unique key the
+  /// batch map, ack index, and timer wheel all share.
+  static std::uint64_t dest_key(std::uint32_t to, std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(to) << 32) | seq;
+  }
 
   struct PeerIn {
     /// Next sequence number the application has not yet consumed.
@@ -121,7 +136,8 @@ class PerfectLink {
     std::unordered_set<std::uint32_t> seen_ahead;
   };
 
-  void transmit(OutgoingBatch& batch, bool is_retransmit);
+  void transmit(std::uint64_t key, OutgoingBatch& batch, bool is_retransmit,
+                std::chrono::steady_clock::time_point now);
   void flush_pending(std::uint32_t to);
   void send_acks();
 
@@ -135,9 +151,16 @@ class PerfectLink {
   /// Messages queued but not yet wrapped into a transmitted batch, per peer.
   std::unordered_map<std::uint32_t, std::vector<WireEntry>> pending_;
   std::size_t pending_total_ = 0;
-  /// Transmitted batches awaiting acks, keyed by the id of their first entry.
-  /// Acks arrive per-message; a batch is retired when all its entries acked.
-  std::deque<OutgoingBatch> unacked_;
+  /// Transmitted batches awaiting acks, keyed by dest_key of their first
+  /// entry. Acks arrive per-message; a batch is retired (and its wheel timer
+  /// cancelled) when all its entries are acked.
+  std::unordered_map<std::uint64_t, OutgoingBatch> unacked_;
+  /// dest_key of every in-flight entry -> its batch's key, so an inbound ack
+  /// finds its batch in O(1) instead of scanning all unacked batches.
+  std::unordered_map<std::uint64_t, std::uint64_t> ack_index_;
+  /// Retransmission deadlines, one armed timer per unacked batch.
+  TimerWheel wheel_;
+  std::vector<std::uint64_t> fired_;  // tick() scratch
   /// Ack ids owed to each peer, flushed at the end of every poll().
   std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> acks_owed_;
   std::unordered_map<std::uint32_t, PeerIn> inbound_;

@@ -55,6 +55,14 @@ bool RoundSynchronizer::timed_out(
   return now - it->second.started >= opts_.timeout * backoff_;
 }
 
+std::optional<std::chrono::steady_clock::time_point>
+RoundSynchronizer::deadline(std::int64_t round) const {
+  if (opts_.timeout.count() == 0) return std::nullopt;
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end() || !it->second.clock_running) return std::nullopt;
+  return it->second.started + opts_.timeout * backoff_;
+}
+
 std::vector<RoundMessage> RoundSynchronizer::take(std::int64_t round) {
   std::vector<RoundMessage> out;
   const auto it = rounds_.find(round);

@@ -71,6 +71,12 @@ class RoundSynchronizer {
   bool timed_out(std::int64_t round,
                  std::chrono::steady_clock::time_point now) const;
 
+  /// The instant timed_out(round) will flip true, or nullopt when the round's
+  /// clock is not running or the timeout is zero — the synchronizer's
+  /// contribution to the epoll backend's wait bound.
+  std::optional<std::chrono::steady_clock::time_point> deadline(
+      std::int64_t round) const;
+
   /// Releases round k's messages in TDMA order (sender index ascending,
   /// per-sender FIFO) and drops the round's bookkeeping. Call once per round,
   /// after complete() or timed_out().

@@ -192,6 +192,17 @@ Scenario parse_scenario(std::istream& in) {
       if (!(ls >> s.state_dir)) {
         fail(lineno, "expected a path after 'state_dir'");
       }
+    } else if (key == "backend") {
+      std::string name;
+      ls >> name;
+      const auto b = backend_from_string(name);
+      if (!b) fail(lineno, "unknown backend '" + name + "'");
+      s.backend = *b;
+    } else if (key == "shared_socket") {
+      std::int64_t v = 0;
+      want_i64(v);
+      if (v != 0 && v != 1) fail(lineno, "shared_socket must be 0 or 1");
+      s.shared_socket = v != 0;
     } else if (key == "fault") {
       Coord c{};
       want_i32(c.x);
@@ -255,7 +266,9 @@ void write_scenario(std::ostream& out, const Scenario& s) {
       << "chaos_delay_ms " << s.chaos.delay_ms << '\n'
       << "chaos_seed " << s.chaos.seed << '\n'
       << "crash_at_round " << s.crash_at_round << '\n'
-      << "restart_after_ms " << s.restart_after_ms << '\n';
+      << "restart_after_ms " << s.restart_after_ms << '\n'
+      << "backend " << to_string(s.backend) << '\n'
+      << "shared_socket " << (s.shared_socket ? 1 : 0) << '\n';
   if (s.crash_node) {
     out << "crash_node " << s.crash_node->x << ' ' << s.crash_node->y << '\n';
   }

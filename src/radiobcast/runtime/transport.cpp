@@ -6,15 +6,26 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 #include <utility>
 
 #include "radiobcast/runtime/wire.h"
 
 namespace rbcast {
+
+void Transport::wait(std::chrono::steady_clock::time_point deadline) {
+  // The poll backend's cadence: a bounded nap, then the caller re-polls.
+  const auto now = std::chrono::steady_clock::now();
+  if (deadline <= now) return;
+  std::this_thread::sleep_for(
+      std::min<std::chrono::steady_clock::duration>(
+          deadline - now, std::chrono::microseconds(50)));
+}
 
 namespace {
 
@@ -102,6 +113,14 @@ bool UdpTransport::try_receive(Datagram& out) {
   return false;
 }
 
+void UdpTransport::wait(std::chrono::steady_clock::time_point deadline) {
+  if (!loop_) {
+    loop_ = std::make_unique<EventLoop>();
+    loop_->add(fd_);
+  }
+  (void)loop_->wait_until(deadline);
+}
+
 FaultInjectionTransport::FaultInjectionTransport(std::uint32_t self,
                                                  Options opts)
     : self_(self), opts_(opts), rng_(hash_seeds(opts.seed, self)) {}
@@ -142,12 +161,17 @@ bool FaultInjectionTransport::try_receive(Datagram& out) {
   return true;
 }
 
+void FaultInjectionTransport::wait(
+    std::chrono::steady_clock::time_point deadline) {
+  if (!inbox_.empty()) return;
+  Transport::wait(deadline);
+}
+
 ChaosTransport::ChaosTransport(std::uint32_t self, Transport& inner,
                                ChaosOptions opts)
-    : self_(self),
-      inner_(&inner),
-      opts_(std::move(opts)),
-      start_(std::chrono::steady_clock::now()) {}
+    : self_(self), inner_(&inner), opts_(std::move(opts)) {
+  start_ = now();
+}
 
 bool ChaosTransport::partitioned(
     std::uint32_t to, std::chrono::steady_clock::time_point now) const {
@@ -175,7 +199,7 @@ void ChaosTransport::release_due(std::chrono::steady_clock::time_point now) {
 
 void ChaosTransport::send(std::uint32_t to,
                           const std::vector<std::uint8_t>& bytes) {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = this->now();
   release_due(now);
   if (partitioned(to, now)) {
     ++stats_.partition_drops;
@@ -205,8 +229,18 @@ void ChaosTransport::send(std::uint32_t to,
 }
 
 bool ChaosTransport::try_receive(Datagram& out) {
-  release_due(std::chrono::steady_clock::now());
+  release_due(now());
   return inner_->try_receive(out);
+}
+
+void ChaosTransport::wait(std::chrono::steady_clock::time_point deadline) {
+  // A held datagram's release must not wait for the receiver's own deadline:
+  // waking at the release time lets the next try_receive inject it, which is
+  // what keeps delay chaos from turning into artificial barrier stalls.
+  if (!delayed_.empty()) {
+    deadline = std::min(deadline, delayed_.front().release);
+  }
+  inner_->wait(deadline);
 }
 
 }  // namespace rbcast

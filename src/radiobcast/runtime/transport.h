@@ -12,11 +12,13 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "radiobcast/runtime/event_loop.h"
 #include "radiobcast/util/rng.h"
 
 namespace rbcast {
@@ -35,8 +37,24 @@ class Transport {
   /// Best-effort send to node `to`. May silently drop.
   virtual void send(std::uint32_t to, const std::vector<std::uint8_t>& bytes) = 0;
 
+  /// Rvalue overload: transports that buffer in-process (SwarmHub mailboxes)
+  /// take ownership of the datagram instead of copying it — PerfectLink's
+  /// hot path hands freshly encoded packets through here. Defaults to the
+  /// copying path; kernel-backed transports never need to override it.
+  virtual void send(std::uint32_t to, std::vector<std::uint8_t>&& bytes) {
+    send(to, bytes);
+  }
+
   /// Non-blocking receive; returns false when nothing is pending.
   virtual bool try_receive(Datagram& out) = 0;
+
+  /// Blocks until a datagram is plausibly receivable or `deadline` passes.
+  /// May wake spuriously; callers re-check their conditions. The caller must
+  /// have drained try_receive to false first (the epoll implementations are
+  /// edge-triggered). The base implementation sleeps one poll cadence
+  /// (50 us, capped by the deadline) — exactly the poll backend's pacing, so
+  /// transports without a readiness mechanism degrade to polling.
+  virtual void wait(std::chrono::steady_clock::time_point deadline);
 };
 
 /// UDP/IPv4 transport. Each node owns one nonblocking socket; peers are
@@ -61,13 +79,23 @@ class UdpTransport final : public Transport {
   /// Must be called before send/try_receive resolve anything.
   void set_peers(std::vector<std::uint16_t> ports);
 
+  using Transport::send;
   void send(std::uint32_t to, const std::vector<std::uint8_t>& bytes) override;
   bool try_receive(Datagram& out) override;
+
+  /// Epoll-backed wait: sleeps until the socket has a readability edge or
+  /// the deadline passes. The EventLoop is created lazily on first use, so
+  /// poll-backend deployments never pay the extra epoll fd.
+  void wait(std::chrono::steady_clock::time_point deadline) override;
+
+  /// The underlying socket (tests register it with an external EventLoop).
+  int fd() const { return fd_; }
 
  private:
   int fd_ = -1;
   std::uint16_t local_port_ = 0;
   std::vector<std::uint16_t> peer_ports_;
+  std::unique_ptr<EventLoop> loop_;
 };
 
 /// Deterministic failure shim for tests: wraps delivery queues per
@@ -92,8 +120,13 @@ class FaultInjectionTransport final : public Transport {
   /// Peers are not owned and must outlive this object.
   void set_peers(std::vector<FaultInjectionTransport*> peers);
 
+  using Transport::send;
   void send(std::uint32_t to, const std::vector<std::uint8_t>& bytes) override;
   bool try_receive(Datagram& out) override;
+
+  /// Returns immediately when the inbox is non-empty; otherwise the base
+  /// poll-cadence sleep (in-memory fabrics have no readiness mechanism).
+  void wait(std::chrono::steady_clock::time_point deadline) override;
 
  private:
   void enqueue_at(std::uint32_t to, Datagram d);
@@ -115,6 +148,10 @@ struct ChaosOptions {
   double delay_p = 0.0;      // hold the datagram back for `delay`
   std::chrono::milliseconds delay{0};
   std::uint64_t seed = 1;
+  /// Test seam: overrides the clock the delay/partition machinery reads
+  /// (null = steady_clock). Lets the delay tests advance time explicitly
+  /// instead of sleeping — deterministic under sanitizer load.
+  std::function<std::chrono::steady_clock::time_point()> clock;
   /// A directed link blackout: datagrams from node `from` to node `to` are
   /// destroyed while the deployment age is in [start_ms, end_ms) — end_ms < 0
   /// means forever. Modeled after iptables-style one-way partitions.
@@ -155,8 +192,15 @@ class ChaosTransport final : public Transport {
   /// index (partitions are filtered to `from == self`).
   ChaosTransport(std::uint32_t self, Transport& inner, ChaosOptions opts);
 
+  using Transport::send;
   void send(std::uint32_t to, const std::vector<std::uint8_t>& bytes) override;
   bool try_receive(Datagram& out) override;
+
+  /// Forwards to the inner transport, bounded by the next delayed-datagram
+  /// release so held traffic is injected on time even while the receiver
+  /// sleeps. (Assumes the real clock; the ChaosOptions::clock test seam is
+  /// for single-threaded delay tests that never wait.)
+  void wait(std::chrono::steady_clock::time_point deadline) override;
 
   const ChaosStats& stats() const { return stats_; }
 
@@ -171,6 +215,9 @@ class ChaosTransport final : public Transport {
   bool partitioned(std::uint32_t to,
                    std::chrono::steady_clock::time_point now) const;
   void release_due(std::chrono::steady_clock::time_point now);
+  std::chrono::steady_clock::time_point now() const {
+    return opts_.clock ? opts_.clock() : std::chrono::steady_clock::now();
+  }
 
   std::uint32_t self_;
   Transport* inner_;

@@ -168,6 +168,37 @@ TEST(RoundSynchronizer, TimeoutDoublesBackoffAndCompleteRoundResetsIt) {
   EXPECT_EQ(sync.backoff(), 1);
 }
 
+TEST(RoundSynchronizer, DeadlineTracksBackoffAndVanishesWithoutAClock) {
+  RoundSynchronizer::Options opts;
+  opts.timeout = milliseconds(10);
+  RoundSynchronizer sync({1}, opts);
+
+  // No round clock running yet: nothing to wait for.
+  EXPECT_FALSE(sync.deadline(0).has_value());
+
+  const auto t0 = steady_clock::now();
+  sync.begin_round(0, t0);
+  ASSERT_TRUE(sync.deadline(0).has_value());
+  EXPECT_EQ(*sync.deadline(0), t0 + milliseconds(10));
+  // The deadline and timed_out agree to the tick: this is what lets the
+  // epoll loop sleep exactly until the barrier would open.
+  EXPECT_FALSE(sync.timed_out(0, *sync.deadline(0) - milliseconds(1)));
+  EXPECT_TRUE(sync.timed_out(0, *sync.deadline(0) + milliseconds(1)));
+
+  // A timeout-opened barrier doubles the backoff; the next round's deadline
+  // stretches with it.
+  ASSERT_TRUE(sync.timed_out(0, t0 + milliseconds(11)));
+  (void)sync.take(0);
+  sync.begin_round(1, t0);
+  ASSERT_TRUE(sync.deadline(1).has_value());
+  EXPECT_EQ(*sync.deadline(1), t0 + milliseconds(20));
+
+  // A zero timeout means wait forever — no deadline to report.
+  RoundSynchronizer forever({1}, {});
+  forever.begin_round(0, t0);
+  EXPECT_FALSE(forever.deadline(0).has_value());
+}
+
 TEST(RoundSynchronizer, SuspectsPersistentlySilentPeerAndStopsGatingOnIt) {
   RoundSynchronizer::Options opts;
   opts.timeout = milliseconds(10);
@@ -238,8 +269,15 @@ TEST(RoundSynchronizerProgress, CorrectNodesOutrunAWedgedNode) {
   scenario.sim.source = {0, 0};
   scenario.sim.seed = 42;
   scenario.sim.max_rounds = 12;
-  scenario.round_timeout_ms = 25;
+  // 100ms is ~4 orders of magnitude above loopback latency: a loaded CI
+  // machine cannot fire this timeout spuriously, while suspicion
+  // (suspect_after = 2) stops the quitter's neighbors from paying the
+  // timeout more than twice each.
+  scenario.round_timeout_ms = 100;
   scenario.linger_timeout_ms = 200;
+  // The wait-driven backend is the interesting one here: a wedged peer must
+  // wake its neighbors by deadline, not by a polling sleep.
+  scenario.backend = RuntimeBackend::kEpoll;
 
   const Coord quitter{3, 3};  // max distance from the source, honest
   const RuntimeResult result = run_scenario_threads(

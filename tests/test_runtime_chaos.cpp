@@ -282,22 +282,29 @@ TEST(ChaosTransport, PartitionIsDirected) {
 }
 
 TEST(ChaosTransport, DelayHoldsDatagramsUntilTheDeadline) {
+  // Fake clock via the ChaosOptions::clock seam: the test advances time
+  // explicitly instead of sleeping, so a loaded machine can't flake it.
+  auto fake_now = std::chrono::steady_clock::now();
   RecordingTransport inner;
   ChaosOptions opts;
   opts.delay_p = 1.0;
   opts.delay = std::chrono::milliseconds(25);
   opts.seed = 1;
+  opts.clock = [&fake_now] { return fake_now; };
   ChaosTransport chaos(0, inner, opts);
   chaos.send(1, payload(0x5A));
   EXPECT_TRUE(inner.sent.empty());
   EXPECT_EQ(chaos.stats().delays, 1u);
 
-  // Pumping before the deadline releases nothing.
+  // Pumping before the deadline releases nothing — even a hair before.
   Datagram d;
   EXPECT_FALSE(chaos.try_receive(d));
   EXPECT_TRUE(inner.sent.empty());
+  fake_now += std::chrono::milliseconds(25) - std::chrono::microseconds(1);
+  EXPECT_FALSE(chaos.try_receive(d));
+  EXPECT_TRUE(inner.sent.empty());
 
-  std::this_thread::sleep_for(std::chrono::milliseconds(35));
+  fake_now += std::chrono::microseconds(1);
   EXPECT_FALSE(chaos.try_receive(d));  // pump: releases the held datagram
   ASSERT_EQ(inner.sent.size(), 1u);
   EXPECT_EQ(inner.sent[0].first, 1u);

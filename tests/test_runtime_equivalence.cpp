@@ -1,7 +1,10 @@
 // Sim/runtime equivalence: the same protocol objects, run once under the
 // discrete-event simulator and once as threads over real loopback UDP
 // sockets, must produce identical per-node verdicts — same committed value,
-// same commit round, for every node.
+// same commit round, for every node — and they must do so under BOTH event
+// backends (the 50us poll loop and the epoll readiness loop), which is the
+// test that the event engine only changes when nodes wake, never what they
+// observe.
 //
 // Why this holds (docs/RUNTIME.md has the full argument): the runtime tags
 // every broadcast with its TDMA round, the perfect link delivers per-sender
@@ -16,7 +19,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "radiobcast/core/simulation.h"
@@ -31,13 +36,14 @@ struct EquivalenceCase {
   AdversaryKind adversary;
   std::int64_t t;
   std::vector<Coord> faults;
+  /// Message-level loss (the simulator's pairwise channel, replicated
+  /// sender-side by the runtime). 0 = perfect channel.
+  double loss_p = 0.0;
+  /// Unbounded jamming when < 0 (faults double as jammer coordinates).
+  std::int64_t jam_budget = 0;
 };
 
-class RuntimeEquivalence : public testing::TestWithParam<EquivalenceCase> {};
-
-TEST_P(RuntimeEquivalence, VerdictsMatchTheSimulatorNodeForNode) {
-  const EquivalenceCase& param = GetParam();
-
+Scenario make_scenario(const EquivalenceCase& param, RuntimeBackend backend) {
   Scenario scenario;
   scenario.sim.width = 8;
   scenario.sim.height = 8;
@@ -50,11 +56,63 @@ TEST_P(RuntimeEquivalence, VerdictsMatchTheSimulatorNodeForNode) {
   scenario.sim.source = {0, 0};
   scenario.sim.seed = 12345;
   scenario.sim.max_rounds = 0;  // both backends use default_round_bound
+  if (param.loss_p > 0.0) {
+    scenario.sim.loss_p = param.loss_p;
+    // The per-pair streams are the only loss process a distributed node can
+    // replicate without shared state (tests/test_runtime_chaos.cpp).
+    scenario.sim.loss_model = LossModel::kPairwise;
+  }
+  scenario.sim.jam_budget = param.jam_budget;
   scenario.faults = param.faults;
+  scenario.backend = backend;
   // Equivalence runs barrier forever: on loopback with threads all peers are
   // alive, and a timeout would make delivery timing-dependent.
   scenario.round_timeout_ms = 0;
   scenario.linger_timeout_ms = 2000;
+  return scenario;
+}
+
+const std::vector<EquivalenceCase>& all_cases() {
+  static const std::vector<EquivalenceCase> cases{
+      // Crash-flood tolerates silent faults anywhere; t is the assumed
+      // local bound.
+      EquivalenceCase{"crash_flood", ProtocolKind::kCrashFlood,
+                      AdversaryKind::kSilent, 3,
+                      std::vector<Coord>{{3, 3}, {6, 2}, {1, 6}}},
+      EquivalenceCase{"cpa", ProtocolKind::kCpa, AdversaryKind::kSilent, 1,
+                      std::vector<Coord>{{4, 4}}},
+      EquivalenceCase{"bv_2hop", ProtocolKind::kBvTwoHop,
+                      AdversaryKind::kLying, 1, std::vector<Coord>{{4, 4}}},
+      EquivalenceCase{"bv_4hop_flood", ProtocolKind::kBvIndirectFlood,
+                      AdversaryKind::kLying, 1, std::vector<Coord>{{4, 4}}},
+      EquivalenceCase{"bv_4hop_earmarked", ProtocolKind::kBvIndirectEarmarked,
+                      AdversaryKind::kSilent, 1, std::vector<Coord>{{4, 4}}},
+      // Crash-at-round exercises mid-run behavior changes on both
+      // backends (the adversary is honest until its crash round).
+      EquivalenceCase{"crash_flood_crash_at_round", ProtocolKind::kCrashFlood,
+                      AdversaryKind::kCrashAtRound, 3,
+                      std::vector<Coord>{{3, 3}, {6, 2}}},
+      // Lossy channel: the runtime replays the simulator's pairwise drop
+      // schedule message-for-message, on either backend.
+      EquivalenceCase{"crash_flood_lossy", ProtocolKind::kCrashFlood,
+                      AdversaryKind::kSilent, 3,
+                      std::vector<Coord>{{3, 3}, {6, 2}, {1, 6}},
+                      /*loss_p=*/0.1},
+      // Unbounded jamming: a static geometric blackout around the faults.
+      EquivalenceCase{"crash_flood_jammed", ProtocolKind::kCrashFlood,
+                      AdversaryKind::kJamming, 1, std::vector<Coord>{{4, 4}},
+                      /*loss_p=*/0.0, /*jam_budget=*/-1}};
+  return cases;
+}
+
+using EquivalenceParam = std::tuple<EquivalenceCase, RuntimeBackend>;
+
+class RuntimeEquivalence : public testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(RuntimeEquivalence, VerdictsMatchTheSimulatorNodeForNode) {
+  const EquivalenceCase& param = std::get<0>(GetParam());
+  const RuntimeBackend backend = std::get<1>(GetParam());
+  const Scenario scenario = make_scenario(param, backend);
 
   const SimResult sim = run_simulation(scenario.sim, scenario.fault_set());
   const RuntimeResult rt = run_scenario_threads(scenario);
@@ -75,7 +133,7 @@ TEST_P(RuntimeEquivalence, VerdictsMatchTheSimulatorNodeForNode) {
     const std::string where = "node " + std::to_string(v.index) + " (" +
                               std::to_string(v.self.x) + "," +
                               std::to_string(v.self.y) + ") under " +
-                              param.name;
+                              param.name + "/" + to_string(backend);
     switch (expected) {
       case NodeOutcome::kSource:
         EXPECT_EQ(v.role, NodeRole::kSource) << where;
@@ -114,33 +172,42 @@ TEST_P(RuntimeEquivalence, VerdictsMatchTheSimulatorNodeForNode) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, RuntimeEquivalence,
-    testing::Values(
-        // Crash-flood tolerates silent faults anywhere; t is the assumed
-        // local bound.
-        EquivalenceCase{"crash_flood", ProtocolKind::kCrashFlood,
-                        AdversaryKind::kSilent, 3,
-                        std::vector<Coord>{{3, 3}, {6, 2}, {1, 6}}},
-        EquivalenceCase{"cpa", ProtocolKind::kCpa, AdversaryKind::kSilent, 1,
-                        std::vector<Coord>{{4, 4}}},
-        EquivalenceCase{"bv_2hop", ProtocolKind::kBvTwoHop,
-                        AdversaryKind::kLying, 1,
-                        std::vector<Coord>{{4, 4}}},
-        EquivalenceCase{"bv_4hop_flood", ProtocolKind::kBvIndirectFlood,
-                        AdversaryKind::kLying, 1,
-                        std::vector<Coord>{{4, 4}}},
-        EquivalenceCase{"bv_4hop_earmarked",
-                        ProtocolKind::kBvIndirectEarmarked,
-                        AdversaryKind::kSilent, 1,
-                        std::vector<Coord>{{4, 4}}},
-        // Crash-at-round exercises mid-run behavior changes on both
-        // backends (the adversary is honest until its crash round).
-        EquivalenceCase{"crash_flood_crash_at_round",
-                        ProtocolKind::kCrashFlood,
-                        AdversaryKind::kCrashAtRound, 3,
-                        std::vector<Coord>{{3, 3}, {6, 2}}}),
-    [](const testing::TestParamInfo<EquivalenceCase>& info) {
-      return std::string(info.param.name);
+    testing::Combine(testing::ValuesIn(all_cases()),
+                     testing::Values(RuntimeBackend::kPoll,
+                                     RuntimeBackend::kEpoll)),
+    [](const testing::TestParamInfo<EquivalenceParam>& info) {
+      return std::string(std::get<0>(info.param).name) + "_" +
+             to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Cross-backend: verdict cores are byte-identical
+
+/// Serializes every verdict's deterministic core into one string.
+std::string cores_of(const RuntimeResult& result) {
+  std::ostringstream out;
+  for (const RuntimeVerdict& v : result.verdicts) {
+    write_verdict_core(out, v);
+    out << "---\n";
+  }
+  return out.str();
+}
+
+class CrossBackend : public testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(CrossBackend, VerdictCoresAreByteIdenticalUnderPollAndEpoll) {
+  const EquivalenceCase& param = GetParam();
+  const RuntimeResult poll =
+      run_scenario_threads(make_scenario(param, RuntimeBackend::kPoll));
+  const RuntimeResult epoll =
+      run_scenario_threads(make_scenario(param, RuntimeBackend::kEpoll));
+  EXPECT_EQ(cores_of(poll), cores_of(epoll));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, CrossBackend,
+                         testing::ValuesIn(all_cases()),
+                         [](const testing::TestParamInfo<EquivalenceCase>&
+                                info) { return std::string(info.param.name); });
 
 }  // namespace
 }  // namespace rbcast

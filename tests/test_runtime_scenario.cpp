@@ -87,6 +87,8 @@ TEST(Scenario, WriteParseRoundtrips) {
   s.crash_at_round = 2;
   s.restart_after_ms = 150;
   s.state_dir = "state";
+  s.backend = RuntimeBackend::kEpoll;
+  s.shared_socket = true;
 
   std::ostringstream out;
   write_scenario(out, s);
@@ -116,6 +118,21 @@ TEST(Scenario, WriteParseRoundtrips) {
   EXPECT_EQ(back.crash_at_round, s.crash_at_round);
   EXPECT_EQ(back.restart_after_ms, s.restart_after_ms);
   EXPECT_EQ(back.state_dir, s.state_dir);
+  EXPECT_EQ(back.backend, s.backend);
+  EXPECT_EQ(back.shared_socket, s.shared_socket);
+}
+
+TEST(Scenario, ParsesBackendAndRejectsUnknownNames) {
+  const Scenario s = parse_scenario_string(
+      "width 3\nheight 3\nr 1\nbackend epoll\nshared_socket 1\n");
+  EXPECT_EQ(s.backend, RuntimeBackend::kEpoll);
+  EXPECT_TRUE(s.shared_socket);
+  EXPECT_EQ(parse_scenario_string("width 3\nheight 3\nr 1\n").backend,
+            RuntimeBackend::kPoll);  // default stays the reference loop
+  EXPECT_THROW(parse_scenario_string("backend kqueue\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_string("shared_socket 2\n"),
+               std::invalid_argument);
 }
 
 TEST(Scenario, ParsesChaosAndRecoveryKeys) {
