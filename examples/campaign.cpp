@@ -79,6 +79,10 @@ int usage(const char* msg) {
          "table\n"
       << "  --trace-dir=DIR     write one JSONL round trace per trial "
          "(docs/OBSERVABILITY.md)\n"
+      << "  --stream-traces     stream trace events to disk as they happen: "
+         "O(1) trace\n"
+         "                      memory per trial, nothing evicted (needs "
+         "--trace-dir)\n"
       << "  --journal=FILE      fsync'd JSONL write-ahead journal, one record "
          "per trial\n"
       << "  --resume            replay --journal, skip completed trials "
@@ -104,8 +108,9 @@ int main(int argc, char** argv) {
                      {"protocols", "adversaries", "placements", "r", "t",
                       "size", "loss", "metric", "iid-p", "trim", "reps",
                       "seed", "workers", "json", "csv", "quiet", "help",
-                      "counters", "trace-dir", "journal", "resume",
-                      "keep-going", "max-retries", "trial-deadline-ms"});
+                      "counters", "trace-dir", "stream-traces", "journal",
+                      "resume", "keep-going", "max-retries",
+                      "trial-deadline-ms"});
   if (!args.ok()) return usage(args.error().c_str());
   if (args.get_bool("help", false)) return usage("radiobcast-campaign");
 
@@ -178,6 +183,10 @@ int main(int argc, char** argv) {
   CampaignOptions options;
   options.workers = static_cast<int>(args.get_int("workers", 0));
   options.trace_dir = args.get("trace-dir", "");
+  options.stream_traces = args.get_bool("stream-traces", false);
+  if (options.stream_traces && options.trace_dir.empty()) {
+    return usage("--stream-traces requires --trace-dir");
+  }
   options.journal_path = args.get("journal", "");
   options.resume = args.get_bool("resume", false);
   if (options.resume && options.journal_path.empty()) {

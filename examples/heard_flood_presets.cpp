@@ -1,0 +1,124 @@
+// HEARD-flood campaign presets at r = 3..5: the faithful flooding relay mode
+// (bv-4hop-flood) at the radii beyond the paper's worked examples, where
+// report traffic — every plausible HEARD chain relayed by every node — is at
+// its heaviest and the SoA/incremental engine work actually pays off. Each
+// preset is a ready-made CampaignSpec: silent + lying adversaries, a perfect
+// and a lossy channel cell, t at the Theorem 1 threshold, on the smallest
+// legal torus (4r+2 per side) so a laptop can finish the r = 5 sweep.
+//
+//   $ ./heard_flood_presets              # r = 3 preset (the quick one)
+//   $ ./heard_flood_presets --r=4        # one preset
+//   $ ./heard_flood_presets --r=3:5     # the full ladder (r = 5 is slow)
+//
+// Flags: --r=N|LO:HI, --reps=N, --workers=N, --json=FILE, --csv=FILE
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "radiobcast/campaign/engine.h"
+#include "radiobcast/campaign/report.h"
+#include "radiobcast/campaign/spec.h"
+#include "radiobcast/core/analysis.h"
+#include "radiobcast/util/cli.h"
+
+namespace {
+
+using namespace rbcast;
+
+/// The r = 3..5 HEARD-flood preset: one campaign per radius, geometry and
+/// budget derived from r alone so the ladder stays comparable across radii.
+CampaignSpec heard_flood_preset(std::int32_t r, int reps,
+                                std::uint64_t seed) {
+  CampaignSpec spec;
+  spec.base.r = r;
+  // Smallest legal torus (the 4r+2 floor): flood-mode relay traffic grows
+  // superlinearly in the node count, and the evidence path dominates already
+  // at this size (see BM_HeardFlood in bench/bench_engine_perf.cpp).
+  spec.base.width = spec.base.height = 4 * r + 2;
+  spec.base.protocol = ProtocolKind::kBvIndirectFlood;
+  spec.base.t = byz_linf_achievable_max(r);  // Theorem 1 threshold
+  spec.base.retransmissions = 2;
+  spec.adversaries = {AdversaryKind::kSilent, AdversaryKind::kLying};
+  spec.placements = {PlacementKind::kRandomBounded};
+  spec.loss_ps = {0.0, 0.25};
+  spec.reps = reps;
+  spec.base_seed = seed;
+  return spec;
+}
+
+/// Non-throwing radius parse: anything that is not a clean integer maps to
+/// 0, which the 3..5 range check below rejects with the usage message.
+std::int32_t parse_radius(const std::string& s) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return 0;
+  return static_cast<std::int32_t>(v);
+}
+
+bool write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv,
+                     {"r", "reps", "workers", "seed", "json", "csv"});
+  if (!args.ok()) {
+    std::cerr << args.error() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  std::int32_t r_lo = 3;
+  std::int32_t r_hi = 3;
+  const std::string r_arg = args.get("r", "3");
+  if (const auto colon = r_arg.find(':'); colon != std::string::npos) {
+    r_lo = parse_radius(r_arg.substr(0, colon));
+    r_hi = parse_radius(r_arg.substr(colon + 1));
+  } else {
+    r_lo = r_hi = parse_radius(r_arg);
+  }
+  if (r_lo < 3 || r_hi > 5 || r_lo > r_hi) {
+    std::cerr << "heard_flood_presets: --r must lie in 3..5\n";
+    return EXIT_FAILURE;
+  }
+  const int reps = static_cast<int>(args.get_int("reps", 1));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20260809));
+
+  CampaignOptions options;
+  options.workers = static_cast<int>(args.get_int("workers", 0));
+
+  bool all_success = true;
+  for (std::int32_t r = r_lo; r <= r_hi; ++r) {
+    const CampaignSpec spec = heard_flood_preset(r, reps, seed + r);
+    std::cout << "heard-flood preset r=" << r << ": "
+              << spec.base.width << "x" << spec.base.height
+              << " torus, t=" << spec.base.t << " (Thm 1 threshold), "
+              << spec.cell_count() << " cells x " << reps << " reps\n";
+    const CampaignResult result = run_campaign(spec, options);
+    write_summary(std::cout, result);
+    std::cout << "\n";
+    for (const auto& cell : result.cells) {
+      all_success = all_success && cell.aggregate.all_success();
+    }
+    const std::string suffix = "_r" + std::to_string(r);
+    if (const std::string path = args.get("json", ""); !path.empty()) {
+      if (!write_file(path + suffix, to_json(result))) {
+        std::cerr << "cannot write " << path << suffix << "\n";
+        return EXIT_FAILURE;
+      }
+    }
+    if (const std::string path = args.get("csv", ""); !path.empty()) {
+      if (!write_file(path + suffix, to_csv(result))) {
+        std::cerr << "cannot write " << path << suffix << "\n";
+        return EXIT_FAILURE;
+      }
+    }
+  }
+  return all_success ? EXIT_SUCCESS : EXIT_FAILURE;
+}

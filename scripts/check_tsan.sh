@@ -11,7 +11,7 @@ build="${repo}/build-tsan"
 cmake -B "${build}" -S "${repo}" -DRADIOBCAST_SANITIZE=thread >/dev/null
 cmake --build "${build}" --target \
   test_campaign test_experiment test_perfect_link test_round_sync \
-  test_event_loop -j >/dev/null
+  test_event_loop test_cache_concurrency -j >/dev/null
 
 TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_campaign"
 TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_experiment" \
@@ -24,5 +24,8 @@ TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_round_sync"
 # Event-loop machinery: SwarmHub mailbox handoff across threads, epoll
 # wakeups, and the shared-socket barrier soaks (many nodes, one fd).
 TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_event_loop"
+# Process-wide geometry caches (Adjacency::get, CenterTable::get): 8-thread
+# concurrent first-access hammer on same-key and distinct-key patterns.
+TSAN_OPTIONS="halt_on_error=1" "${build}/tests/test_cache_concurrency"
 
 echo "TSan concurrency check passed"

@@ -251,6 +251,23 @@ CampaignResult run_cells(const std::vector<CampaignCell>& cells,
         TrialOutcome outcome;
         if (!tracing) {
           outcome = run_one_trial(cell, tori[trials[i].cell], local.seed);
+        } else if (options.stream_traces) {
+          // Streaming export: the file is opened before the trial and every
+          // event goes straight to it — resident trace memory stays O(1)
+          // per trial however many deliveries the torus produces.
+          const auto path =
+              trace_path(options.trace_dir, trials[i].cell, trials[i].rep);
+          std::ofstream os(path, std::ios::binary);
+          if (!os) {
+            throw TraceIoError("cannot write trace file " + path.string());
+          }
+          RoundTrace trace(1);  // ring unused; 1 slot keeps the ctor happy
+          trace.set_stream(&os);
+          outcome = run_one_trial(cell, tori[trials[i].cell], local.seed,
+                                  &trace);
+          if (!os.flush()) {
+            throw TraceIoError("short write to trace file " + path.string());
+          }
         } else {
           RoundTrace trace(options.trace_capacity);
           outcome = run_one_trial(cell, tori[trials[i].cell], local.seed,

@@ -115,6 +115,12 @@ struct CampaignOptions {
   /// beyond this; the eviction point is deterministic, so truncated traces
   /// stay byte-identical too).
   std::size_t trace_capacity = RoundTrace::kDefaultCapacity;
+  /// Stream each trace event straight to its file as it is recorded instead
+  /// of buffering in the ring: trace memory per trial drops to O(1) and no
+  /// event is ever evicted, at the price of file I/O during the trial. Files
+  /// and bytes are identical to the ring path whenever the ring would not
+  /// have overflowed. Only meaningful with a non-empty trace_dir.
+  bool stream_traces = false;
 
   /// Failure policy. The library default keeps the historical throwing
   /// behavior (made deterministic); the CLI's --keep-going selects

@@ -158,6 +158,7 @@ bool parse_counters(const std::string& s, Counters* c) {
          find_u64(s, "trial_retries", &c->trial_retries) &&
          find_u64(s, "trial_timeouts", &c->trial_timeouts) &&
          find_u64(s, "trial_failures", &c->trial_failures) &&
+         find_u64(s, "engine_bytes_peak", &c->engine_bytes_peak) &&
          find_i64(s, "last_commit_round", &c->last_commit_round);
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "radiobcast/obs/memory.h"
 #include "radiobcast/util/table.h"
 
 namespace rbcast {
@@ -82,7 +83,7 @@ void write_aggregate(std::ostream& os, const Aggregate& agg) {
 }  // namespace
 
 void write_json(std::ostream& os, const CampaignResult& result) {
-  os << "{\"schema\":\"radiobcast-campaign-v4\",\"trials\":"
+  os << "{\"schema\":\"radiobcast-campaign-v5\",\"trials\":"
      << result.trial_count << ",\"cells\":[";
   for (std::size_t c = 0; c < result.cells.size(); ++c) {
     const CellResult& cell = result.cells[c];
@@ -129,7 +130,8 @@ void write_csv(std::ostream& os, const CampaignResult& result) {
         "trial_timeouts,trial_failures,packets_sent,packets_retransmitted,"
         "packets_acked,duplicates_dropped,barrier_timeouts,barrier_wait_us,"
         "chaos_drops,chaos_delays,chaos_duplicates,chaos_partition_drops,"
-        "node_restarts,peers_suspected,degraded_rounds,last_commit_round\n";
+        "node_restarts,peers_suspected,degraded_rounds,engine_bytes_peak,"
+        "last_commit_round\n";
   for (const CellResult& cell : result.cells) {
     const SimConfig& sim = cell.cell.sim;
     const Aggregate& agg = cell.aggregate;
@@ -175,6 +177,7 @@ void write_csv(std::ostream& os, const CampaignResult& result) {
        << agg.counters_total.node_restarts << ','
        << agg.counters_total.peers_suspected << ','
        << agg.counters_total.degraded_rounds << ','
+       << agg.counters_total.engine_bytes_peak << ','
        << agg.counters_total.last_commit_round << '\n';
   }
 }
@@ -207,6 +210,23 @@ void write_summary(std::ostream& os, const CampaignResult& result) {
        << " ms/trial, rounds " << format_double(t.rounds_seconds / n * 1e3, 3)
        << " ms/trial, verdict "
        << format_double(t.verdict_seconds / n * 1e3, 3) << " ms/trial\n";
+  }
+  // Memory: the deterministic analytical engine peak (largest single trial)
+  // next to the OS's view of the whole process (nondeterministic, so like
+  // wall_seconds it appears only here, never in the JSON/CSV payload).
+  const std::uint64_t engine_peak =
+      result.total().counters_total.engine_bytes_peak;
+  if (engine_peak > 0) {
+    os << "memory: engine peak "
+       << format_double(static_cast<double>(engine_peak) / (1024.0 * 1024.0),
+                        1)
+       << " MiB/trial";
+    if (const std::uint64_t rss = peak_rss_bytes(); rss > 0) {
+      os << ", process peak RSS "
+         << format_double(static_cast<double>(rss) / (1024.0 * 1024.0), 1)
+         << " MiB";
+    }
+    os << '\n';
   }
 }
 

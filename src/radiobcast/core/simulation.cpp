@@ -13,6 +13,7 @@
 #include "radiobcast/protocols/common.h"
 #include "radiobcast/protocols/cpa.h"
 #include "radiobcast/protocols/crash_flood.h"
+#include "radiobcast/protocols/pool.h"
 #include "radiobcast/protocols/source.h"
 
 namespace rbcast {
@@ -124,6 +125,33 @@ std::unique_ptr<NodeBehavior> make_faulty(const SimConfig& cfg,
   throw std::logic_error("unknown adversary");
 }
 
+/// Structure-of-arrays pool for the honest nodes of this configuration, or
+/// nullptr for protocols (or parameter corners) the pools do not cover —
+/// those fall back to per-node behaviors, same results either way
+/// (tests/test_pool_equivalence.cpp). Lives here, not in protocols/, because
+/// it is the one place SimConfig meets the pool classes.
+std::unique_ptr<NodePool> make_honest_pool(const SimConfig& cfg,
+                                           const Torus& torus) {
+  if (!soa_pools_enabled()) return nullptr;
+  const ProtocolParams params{cfg.t, cfg.source};
+  switch (cfg.protocol) {
+    case ProtocolKind::kCrashFlood:
+      return std::make_unique<CrashFloodPool>(params, torus);
+    case ProtocolKind::kCpa:
+      return std::make_unique<CpaPool>(params, torus);
+    case ProtocolKind::kBvTwoHop:
+      if (BvTwoHopPool::supported(torus, cfg.r, cfg.metric)) {
+        return std::make_unique<BvTwoHopPool>(params, torus, cfg.r,
+                                              cfg.metric);
+      }
+      return nullptr;  // tiny-torus / offset-exact paths stay per-node
+    case ProtocolKind::kBvIndirectFlood:
+    case ProtocolKind::kBvIndirectEarmarked:
+      return nullptr;  // evidence pools are arena-backed inside the behavior
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 std::unique_ptr<NodeBehavior> make_node_behavior(const SimConfig& cfg,
@@ -198,11 +226,16 @@ SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults,
   if (cfg.retransmissions != 1) {
     net.set_retransmissions(cfg.retransmissions);
   }
+  if (auto pool = make_honest_pool(cfg, torus)) net.set_pool(std::move(pool));
   for (const Coord c : torus.all_coords()) {
     const NodeRole role = c == source         ? NodeRole::kSource
                           : faults.contains(c) ? NodeRole::kFaulty
                                                : NodeRole::kHonest;
-    net.set_behavior(c, make_node_behavior(cfg, torus, role));
+    if (role == NodeRole::kHonest && net.pool() != nullptr) {
+      net.assign_to_pool(c);
+    } else {
+      net.set_behavior(c, make_node_behavior(cfg, torus, role));
+    }
   }
 
   result.timers.setup_seconds = stopwatch.lap();
@@ -248,12 +281,12 @@ SimResult run_simulation(const SimConfig& cfg, const FaultSet& faults,
       continue;
     }
     result.honest_nodes += 1;
-    const auto committed = net.behavior(c)->committed_value();
+    const auto committed = net.committed_value_of(c);
     if (!committed.has_value()) {
       result.undecided += 1;
       continue;
     }
-    result.commit_rounds[idx] = net.behavior(c)->commit_round().value_or(-1);
+    result.commit_rounds[idx] = net.commit_round_of(c).value_or(-1);
     result.outcomes[idx] = (*committed & 1) ? NodeOutcome::kCommitted1
                                             : NodeOutcome::kCommitted0;
     if (*committed == cfg.value) {

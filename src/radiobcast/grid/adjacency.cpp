@@ -22,25 +22,33 @@ Adjacency::Adjacency(const Torus& torus, const NeighborhoodTable& table)
 
 const Adjacency& Adjacency::get(const Torus& torus,
                                 const NeighborhoodTable& table) {
-  // Same shape as NeighborhoodTable::get: mutex-guarded keyed cache with
-  // unique_ptr for address stability. Campaign workers construct networks
-  // concurrently, so the lock covers lookup and insert.
+  // Keyed cache with a per-key once_flag: the global mutex covers only the
+  // map lookup/insert (std::map nodes are address-stable), and the CSR table
+  // is built inside call_once OUTSIDE that lock — so campaign workers
+  // hitting different keys construct concurrently instead of queueing behind
+  // one potentially-100MB build, while racers on the same key still get
+  // exactly one construction. tests/test_cache_concurrency.cpp hammers this
+  // under TSan (scripts/check_tsan.sh).
+  struct Slot {
+    std::once_flag once;
+    std::unique_ptr<Adjacency> value;
+  };
   static std::mutex mutex;
   static std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t, int>,
-                  std::unique_ptr<Adjacency>>
+                  Slot>
       cache;
-  const std::lock_guard<std::mutex> lock(mutex);
   const auto key = std::make_tuple(torus.width(), torus.height(),
                                    table.radius(),
                                    static_cast<int>(table.metric()));
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache
-             .emplace(key,
-                      std::unique_ptr<Adjacency>(new Adjacency(torus, table)))
-             .first;
+  Slot* slot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    slot = &cache[key];
   }
-  return *it->second;
+  std::call_once(slot->once, [&] {
+    slot->value.reset(new Adjacency(torus, table));
+  });
+  return *slot->value;
 }
 
 }  // namespace rbcast

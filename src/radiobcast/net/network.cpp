@@ -25,6 +25,7 @@ RadioNetwork::RadioNetwork(Torus torus, std::int32_t r, Metric metric,
       adjacency_(Adjacency::get(torus_, table_)),
       node_coords_(torus_.all_coords()),
       behaviors_(static_cast<std::size_t>(torus_.node_count())),
+      in_pool_(static_cast<std::size_t>(torus_.node_count()), 0),
       tx_count_(static_cast<std::size_t>(torus_.node_count()), 0) {
   // Reserving up to one fresh broadcast per node keeps the steady-state
   // delivery loop allocation-free (every flood protocol queues at most one
@@ -46,7 +47,21 @@ void RadioNetwork::set_retransmissions(int count) {
 }
 
 void RadioNetwork::set_behavior(Coord c, std::unique_ptr<NodeBehavior> b) {
-  behaviors_[static_cast<std::size_t>(torus_.index(c))] = std::move(b);
+  const auto idx = static_cast<std::size_t>(torus_.index(c));
+  behaviors_[idx] = std::move(b);
+  in_pool_[idx] = 0;
+}
+
+void RadioNetwork::set_pool(std::unique_ptr<NodePool> pool) {
+  if (started_) throw std::logic_error("set_pool after start");
+  pool_ = std::move(pool);
+}
+
+void RadioNetwork::assign_to_pool(Coord c) {
+  if (pool_ == nullptr) throw std::logic_error("assign_to_pool without a pool");
+  const auto idx = static_cast<std::size_t>(torus_.index(c));
+  behaviors_[idx].reset();
+  in_pool_[idx] = 1;
 }
 
 NodeBehavior* RadioNetwork::behavior(Coord c) {
@@ -55,6 +70,24 @@ NodeBehavior* RadioNetwork::behavior(Coord c) {
 
 const NodeBehavior* RadioNetwork::behavior(Coord c) const {
   return behaviors_[static_cast<std::size_t>(torus_.index(c))].get();
+}
+
+std::optional<std::uint8_t> RadioNetwork::committed_value_of(Coord c) const {
+  const std::int32_t i = torus_.index(c);
+  if (in_pool_[static_cast<std::size_t>(i)]) {
+    return pool_->committed_value(i);
+  }
+  const NodeBehavior* b = behaviors_[static_cast<std::size_t>(i)].get();
+  return b != nullptr ? b->committed_value() : std::nullopt;
+}
+
+std::optional<std::int64_t> RadioNetwork::commit_round_of(Coord c) const {
+  const std::int32_t i = torus_.index(c);
+  if (in_pool_[static_cast<std::size_t>(i)]) {
+    return pool_->commit_round(i);
+  }
+  const NodeBehavior* b = behaviors_[static_cast<std::size_t>(i)].get();
+  return b != nullptr ? b->commit_round() : std::nullopt;
 }
 
 void RadioNetwork::count_queued(const Message& msg) {
@@ -109,18 +142,35 @@ void RadioNetwork::queue_spoofed_broadcast(Coord actual_sender,
 
 void RadioNetwork::start() {
   if (started_) throw std::logic_error("RadioNetwork::start called twice");
+  behavior_nodes_.clear();
   for (std::int64_t i = 0; i < torus_.node_count(); ++i) {
+    if (in_pool_[static_cast<std::size_t>(i)]) {
+      NodeContext ctx(*this, node_coords_[static_cast<std::size_t>(i)]);
+      pool_->on_start(ctx, static_cast<std::int32_t>(i));
+      continue;
+    }
     NodeBehavior* b = behaviors_[static_cast<std::size_t>(i)].get();
     if (b == nullptr) {
       throw std::logic_error("node " + to_string(torus_.coord(
                                  static_cast<std::int32_t>(i))) +
                              " has no behavior");
     }
+    behavior_nodes_.push_back(static_cast<std::int32_t>(i));
     NodeContext ctx(*this, node_coords_[static_cast<std::size_t>(i)]);
     b->on_start(ctx);
   }
   started_ = true;
   std::swap(pending_, outbox_);  // outbox_ keeps its capacity for round 1
+  // Fixed dense per-node arrays plus this network's share of the CSR
+  // fan-out; pool/in-flight bytes are folded in per round.
+  const auto n = static_cast<std::uint64_t>(torus_.node_count());
+  fixed_state_bytes_ =
+      n * (sizeof(Coord) + sizeof(std::uint64_t) +
+           sizeof(std::unique_ptr<NodeBehavior>) + sizeof(std::uint8_t)) +
+      n * static_cast<std::uint64_t>(adjacency_.degree()) *
+          sizeof(std::int32_t) +
+      behavior_nodes_.size() * sizeof(std::int32_t);
+  update_engine_bytes();
 }
 
 void RadioNetwork::run_round() {
@@ -155,7 +205,11 @@ void RadioNetwork::run_round() {
       counters_.envelopes_delivered += receivers.size();
       for (const std::int32_t ri : receivers) {
         NodeContext ctx(*this, node_coords_[static_cast<std::size_t>(ri)]);
-        behaviors_[static_cast<std::size_t>(ri)]->on_receive(ctx, env);
+        if (in_pool_[static_cast<std::size_t>(ri)]) {
+          pool_->on_receive(ctx, ri, env);
+        } else {
+          behaviors_[static_cast<std::size_t>(ri)]->on_receive(ctx, env);
+        }
       }
     } else {
       for (const std::int32_t ri : receivers) {
@@ -181,7 +235,11 @@ void RadioNetwork::run_round() {
           trace_->record(e);
         }
         NodeContext ctx(*this, receiver);
-        behaviors_[static_cast<std::size_t>(ri)]->on_receive(ctx, env);
+        if (in_pool_[static_cast<std::size_t>(ri)]) {
+          pool_->on_receive(ctx, ri, env);
+        } else {
+          behaviors_[static_cast<std::size_t>(ri)]->on_receive(ctx, env);
+        }
       }
     }
     if (p.repeats_left > 0) {
@@ -190,15 +248,48 @@ void RadioNetwork::run_round() {
     }
   }
   pending_.clear();
-  for (std::int64_t i = 0; i < torus_.node_count(); ++i) {
-    NodeContext ctx(*this, node_coords_[static_cast<std::size_t>(i)]);
-    behaviors_[static_cast<std::size_t>(i)]->on_round_end(ctx);
+  if (pool_ == nullptr) {
+    for (std::int64_t i = 0; i < torus_.node_count(); ++i) {
+      NodeContext ctx(*this, node_coords_[static_cast<std::size_t>(i)]);
+      behaviors_[static_cast<std::size_t>(i)]->on_round_end(ctx);
+    }
+  } else if (!pool_->wants_round_end()) {
+    // Pool nodes have no round-end work: sweep only the behavior nodes
+    // (node-index order preserved), turning the O(nodes)-per-round loop into
+    // O(non-pool nodes) — on a million-node torus, just the source + faults.
+    for (const std::int32_t i : behavior_nodes_) {
+      NodeContext ctx(*this, node_coords_[static_cast<std::size_t>(i)]);
+      behaviors_[static_cast<std::size_t>(i)]->on_round_end(ctx);
+    }
+  } else {
+    for (std::int64_t i = 0; i < torus_.node_count(); ++i) {
+      NodeContext ctx(*this, node_coords_[static_cast<std::size_t>(i)]);
+      if (in_pool_[static_cast<std::size_t>(i)]) {
+        pool_->on_round_end(ctx, static_cast<std::int32_t>(i));
+      } else {
+        behaviors_[static_cast<std::size_t>(i)]->on_round_end(ctx);
+      }
+    }
   }
   // Swap instead of move-assign so both buffers keep their capacity across
   // rounds (the steady-state allocation-free contract).
   std::swap(pending_, outbox_);
   // Retransmission copies go after this round's fresh sends.
   for (const Pending& p : repeats_) pending_.push_back(p);
+  update_engine_bytes();
+}
+
+void RadioNetwork::update_engine_bytes() {
+  // Logical sizes only (never std::vector capacities), so the figure cannot
+  // depend on a standard library's growth factor; the pool's own tables
+  // report their deterministic open-addressing capacity.
+  const std::uint64_t bytes =
+      fixed_state_bytes_ +
+      (pending_.size() + outbox_.size() + repeats_.size()) * sizeof(Pending) +
+      (pool_ != nullptr ? pool_->state_bytes() : 0);
+  if (bytes > counters_.engine_bytes_peak) {
+    counters_.engine_bytes_peak = bytes;
+  }
 }
 
 std::int64_t RadioNetwork::run_until_quiescent(std::int64_t max_rounds) {

@@ -25,6 +25,7 @@
 #include "radiobcast/net/backend.h"
 #include "radiobcast/net/channel.h"
 #include "radiobcast/net/message.h"
+#include "radiobcast/net/pool.h"
 #include "radiobcast/obs/counters.h"
 #include "radiobcast/obs/trace.h"
 #include "radiobcast/util/rng.h"
@@ -59,6 +60,16 @@ class RadioNetwork final : public BroadcastBackend {
   /// must have behaviors before run() is called.
   void set_behavior(Coord c, std::unique_ptr<NodeBehavior> behavior);
 
+  /// Installs a structure-of-arrays pool (net/pool.h). Nodes join it via
+  /// assign_to_pool; everything else keeps per-node behaviors. Must be set
+  /// before start().
+  void set_pool(std::unique_ptr<NodePool> pool);
+  NodePool* pool() { return pool_.get(); }
+  const NodePool* pool() const { return pool_.get(); }
+
+  /// Marks a node as pool-managed (clearing any behavior). Requires a pool.
+  void assign_to_pool(Coord c);
+
   /// Replaces the channel model (default: PerfectChannel). See net/channel.h.
   void set_channel(std::unique_ptr<ChannelModel> channel);
 
@@ -79,6 +90,11 @@ class RadioNetwork final : public BroadcastBackend {
 
   NodeBehavior* behavior(Coord c);
   const NodeBehavior* behavior(Coord c) const;
+
+  /// Verdict accessors dispatching to the pool or the node's behavior —
+  /// the one query path that works for both kinds of nodes.
+  std::optional<std::uint8_t> committed_value_of(Coord c) const;
+  std::optional<std::int64_t> commit_round_of(Coord c) const;
 
   /// Calls on_start on every node (node-index order). Must be called exactly
   /// once, before the first run_round().
@@ -110,6 +126,9 @@ class RadioNetwork final : public BroadcastBackend {
   std::uint64_t transmissions_of(Coord c) const;
 
  private:
+  /// Folds the current engine-state footprint into
+  /// counters_.engine_bytes_peak (obs/counters.h documents what is counted).
+  void update_engine_bytes();
   // BroadcastBackend send hooks: reachable only through a NodeContext (or the
   // base interface), mirroring the historical friend-only access.
   void queue_broadcast(Coord sender, Message msg) override;
@@ -149,6 +168,10 @@ class RadioNetwork final : public BroadcastBackend {
   std::vector<Coord> node_coords_;
 
   std::vector<std::unique_ptr<NodeBehavior>> behaviors_;  // by node index
+  std::unique_ptr<NodePool> pool_;      // optional SoA state (net/pool.h)
+  std::vector<std::uint8_t> in_pool_;   // by node index; 1 = pool-managed
+  std::vector<std::int32_t> behavior_nodes_;  // non-pool indices (at start())
+  std::uint64_t fixed_state_bytes_ = 0;       // computed at start()
   std::vector<std::uint64_t> tx_count_;                   // by node index
   std::vector<Pending> pending_;  // sent last round, deliver this round
   std::vector<Pending> outbox_;   // sent this round

@@ -1,0 +1,53 @@
+#pragma once
+// Structure-of-arrays node dispatch (docs/PERF.md, "Memory model").
+//
+// A NodePool hosts the protocol state of MANY nodes in dense arrays indexed
+// by the CSR node index, replacing one heap-allocated NodeBehavior per node.
+// The simulator delivers to pool-managed nodes through the pool (one object,
+// flat state) and to everything else — the source, adversaries, bespoke test
+// behaviors — through per-node NodeBehavior objects exactly as before. The
+// pool receives the same callbacks in the same order with the same
+// NodeContext, so a pool-backed trial is byte-identical to a behavior-backed
+// one; tests/test_pool_equivalence.cpp and the golden SHA-256 suite pin that.
+//
+// Concrete pools live in protocols/pool.h (they depend on protocol
+// machinery); this header is the net-layer contract only.
+
+#include <cstdint>
+#include <optional>
+
+#include "radiobcast/net/backend.h"
+
+namespace rbcast {
+
+/// Flat multi-node protocol state. All callbacks mirror NodeBehavior's, with
+/// the dense node index added so implementations address plain arrays.
+class NodePool {
+ public:
+  virtual ~NodePool() = default;
+
+  /// Called once per managed node before the first round (node-index order).
+  virtual void on_start(NodeContext& /*ctx*/, std::int32_t /*node*/) {}
+
+  /// Called for each transmission heard by a managed node.
+  virtual void on_receive(NodeContext& ctx, std::int32_t node,
+                          const Envelope& env) = 0;
+
+  /// Called once per round per managed node — but only when
+  /// wants_round_end() is true: pools with no round-end work opt out and the
+  /// network skips the whole O(nodes)-per-round sweep for them.
+  virtual void on_round_end(NodeContext& /*ctx*/, std::int32_t /*node*/) {}
+  virtual bool wants_round_end() const { return false; }
+
+  virtual std::optional<std::uint8_t> committed_value(
+      std::int32_t node) const = 0;
+  virtual std::optional<std::int64_t> commit_round(std::int32_t node) const = 0;
+
+  /// Bytes of protocol state currently held, counted from logical sizes and
+  /// the pool's own (deterministic) table growth schedule — never from
+  /// std::vector capacities, so the figure is identical across standard
+  /// libraries. Feeds Counters::engine_bytes_peak.
+  virtual std::uint64_t state_bytes() const { return 0; }
+};
+
+}  // namespace rbcast

@@ -29,6 +29,7 @@ void Counters::merge(const Counters& other) {
   node_restarts += other.node_restarts;
   peers_suspected += other.peers_suspected;
   degraded_rounds += other.degraded_rounds;
+  engine_bytes_peak = std::max(engine_bytes_peak, other.engine_bytes_peak);
   last_commit_round = std::max(last_commit_round, other.last_commit_round);
 }
 
@@ -65,6 +66,7 @@ std::string to_json(const Counters& c) {
   field("node_restarts", c.node_restarts, false);
   field("peers_suspected", c.peers_suspected, false);
   field("degraded_rounds", c.degraded_rounds, false);
+  field("engine_bytes_peak", c.engine_bytes_peak, false);
   out += ",\"last_commit_round\":";
   out += std::to_string(c.last_commit_round);
   out += '}';

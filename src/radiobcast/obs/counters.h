@@ -85,11 +85,22 @@ struct Counters {
   /// Rounds that opened with at least one expected peer's traffic missing
   /// (timeout or suspect-skip) — the degraded-mode breadcrumb trail.
   std::uint64_t degraded_rounds = 0;
+  /// Memory tier: high-water mark of the engine's resident protocol+transport
+  /// state, in bytes, as tracked analytically by RadioNetwork after start()
+  /// and after every round — dense per-node arrays, CSR fan-out share,
+  /// in-flight transmission buffers (logical element counts, never vector
+  /// capacities), and the installed NodePool's state_bytes(). Deterministic
+  /// across platforms and standard libraries, unlike an RSS probe
+  /// (obs/memory.h — which is why RSS stays summary-only). Merges by max:
+  /// "the largest single trial footprint seen", matching last_commit_round's
+  /// aggregation style.
+  std::uint64_t engine_bytes_peak = 0;
   /// Round in which the last note_commit fired (0 = none beyond the source's
   /// round-0 commit). "In which round did the last node commit?" — this one.
   std::int64_t last_commit_round = 0;
 
-  /// Exact, associative merge (integer sums; last_commit_round takes the max).
+  /// Exact, associative merge (integer sums; engine_bytes_peak and
+  /// last_commit_round take the max).
   void merge(const Counters& other);
 
   friend bool operator==(const Counters&, const Counters&) = default;

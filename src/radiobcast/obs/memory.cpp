@@ -1,0 +1,50 @@
+#include "radiobcast/obs/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace rbcast {
+
+namespace {
+
+/// VmHWM ("high water mark" RSS) from /proc/self/status, in bytes; 0 when
+/// the file or the field is unavailable (non-Linux).
+std::uint64_t vm_hwm_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + 6, "%llu", &v) == 1) kib = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() {
+  if (const std::uint64_t hwm = vm_hwm_bytes(); hwm != 0) return hwm;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+    // Linux reports ru_maxrss in KiB, macOS in bytes.
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace rbcast

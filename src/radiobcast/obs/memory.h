@@ -1,0 +1,27 @@
+#pragma once
+// Process peak-RSS probe (docs/OBSERVABILITY.md, "Memory").
+//
+// Two memory figures live in this codebase and they are deliberately kept
+// apart:
+//
+//  * Counters::engine_bytes_peak — the engine's ANALYTICAL footprint,
+//    computed from logical array sizes and deterministic table growth.
+//    Identical across platforms, so it belongs in the deterministic campaign
+//    JSON/CSV next to the other counters.
+//  * peak_rss_bytes() below — what the OS actually charged the process.
+//    Includes the allocator's slack, code, every other trial that ran in
+//    this process, and the high-water mark never resets. Useful as a sanity
+//    bound ("did the 1024x1024 trial really stay under N MB?"), useless as a
+//    deterministic artifact — so it is surfaced ONLY through the
+//    human-facing campaign summary, like wall_seconds.
+
+#include <cstdint>
+
+namespace rbcast {
+
+/// Peak resident set size of this process in bytes: VmHWM from
+/// /proc/self/status where available, getrusage(ru_maxrss) otherwise,
+/// 0 if neither source works.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace rbcast

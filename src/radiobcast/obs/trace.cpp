@@ -28,8 +28,9 @@ void append_coord(std::string& out, const char* name, Coord c) {
 
 }  // namespace
 
-std::string to_jsonl(const TraceEvent& e) {
-  std::string out = "{\"event\":\"";
+void append_jsonl(std::string& out, const TraceEvent& e) {
+  out.clear();
+  out += "{\"event\":\"";
   out += to_string(e.kind);
   out += "\",\"round\":";
   out += std::to_string(e.round);
@@ -53,6 +54,11 @@ std::string to_jsonl(const TraceEvent& e) {
       break;
   }
   out += '}';
+}
+
+std::string to_jsonl(const TraceEvent& e) {
+  std::string out;
+  append_jsonl(out, e);
   return out;
 }
 
@@ -62,6 +68,17 @@ RoundTrace::RoundTrace(std::size_t capacity) : buffer_(capacity) {
 
 void RoundTrace::record(const TraceEvent& e) {
   if (!enabled_) return;
+  if (stream_ != nullptr) {
+    // Streaming path: format into the reusable scratch line and write now.
+    // Nothing enters the ring, so resident trace memory stays O(1) per trial
+    // and no event is ever evicted.
+    append_jsonl(line_, e);
+    line_ += '\n';
+    stream_->write(line_.data(),
+                   static_cast<std::streamsize>(line_.size()));
+    ++recorded_;
+    return;
+  }
   if (size_ < buffer_.size()) {
     buffer_[(head_ + size_) % buffer_.size()] = e;
     ++size_;

@@ -54,9 +54,21 @@ struct TraceEvent {
 /// {"event":"node_committed","round":4,"node":[3,0],"value":1}
 std::string to_jsonl(const TraceEvent& e);
 
+/// Appends the same rendering to `out` (after clearing it) — the
+/// allocation-reusing form the streaming exporter formats into.
+void append_jsonl(std::string& out, const TraceEvent& e);
+
 /// Ring-buffer event sink. Construction preallocates `capacity` slots; after
 /// that, record() never allocates. Starts disabled: a sink that is attached
 /// but disabled drops every event at the pointer-test tier.
+///
+/// Streaming mode (set_stream): each event is rendered to JSONL and written
+/// to the attached stream the moment it is recorded, bypassing the ring — so
+/// a trial's trace memory stays O(1) however many deliveries it produces
+/// (the ring path is O(capacity) resident and drops the oldest beyond that).
+/// The bytes written are identical to a ring dump whenever the ring would
+/// not have overflowed; past that point streaming keeps everything the ring
+/// would have evicted. tests/test_trace_stream.cpp pins both properties.
 class RoundTrace {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
@@ -65,6 +77,11 @@ class RoundTrace {
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
+
+  /// Attaches (or with nullptr detaches) a stream to write events to as they
+  /// are recorded. Not owned; must outlive recording.
+  void set_stream(std::ostream* os) { stream_ = os; }
+  std::ostream* stream() const { return stream_; }
 
   /// Appends an event (overwriting the oldest if full). No-op when disabled.
   void record(const TraceEvent& e);
@@ -88,7 +105,9 @@ class RoundTrace {
 
  private:
   bool enabled_ = false;
+  std::ostream* stream_ = nullptr;  // streaming sink, not owned
   std::vector<TraceEvent> buffer_;
+  std::string line_;      // streaming scratch; capacity retained across events
   std::size_t head_ = 0;  // index of the oldest event
   std::size_t size_ = 0;
   std::uint64_t recorded_ = 0;

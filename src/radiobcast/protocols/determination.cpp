@@ -82,20 +82,28 @@ const CenterTable& CenterTable::get(std::int32_t r, Metric m,
   // difference (|d - off| <= 4r < dim/2), so all such tori share one table.
   const std::int32_t fold_w = width > 8 * r ? 0 : width;
   const std::int32_t fold_h = height > 8 * r ? 0 : height;
+  // Per-key once_flag slots, same scheme as Adjacency::get: the mutex covers
+  // only the map access, table construction runs in call_once outside it, so
+  // concurrent first accesses on different (r, metric, fold) keys no longer
+  // serialize (tests/test_cache_concurrency.cpp, scripts/check_tsan.sh).
+  struct Slot {
+    std::once_flag once;
+    std::unique_ptr<CenterTable> value;
+  };
   static std::mutex mutex;
   static std::map<std::tuple<std::int32_t, int, std::int32_t, std::int32_t>,
-                  std::unique_ptr<CenterTable>>
+                  Slot>
       cache;
-  const std::lock_guard<std::mutex> lock(mutex);
   const auto key = std::make_tuple(r, static_cast<int>(m), fold_w, fold_h);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache
-             .emplace(key, std::unique_ptr<CenterTable>(
-                               new CenterTable(r, m, fold_w, fold_h)))
-             .first;
+  Slot* slot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    slot = &cache[key];
   }
-  return *it->second;
+  std::call_once(slot->once, [&] {
+    slot->value.reset(new CenterTable(r, m, fold_w, fold_h));
+  });
+  return *slot->value;
 }
 
 bool CenterTable::supported(std::int32_t r, Metric m) {
@@ -125,6 +133,22 @@ IncrementalDetermination::IncrementalDetermination(const CenterTable& table,
                    63) /
                   64) {}
 
+void IncrementalDetermination::contained_push(CenterState& cs,
+                                              std::uint32_t idx) {
+  if (cs.len == cs.cap) {
+    const std::uint32_t new_cap = cs.cap == 0 ? 4 : cs.cap * 2;
+    const auto new_off = static_cast<std::uint32_t>(contained_arena_.size());
+    contained_arena_.resize(contained_arena_.size() + new_cap);
+    for (std::uint32_t i = 0; i < cs.len; ++i) {
+      contained_arena_[new_off + i] = contained_arena_[cs.off + i];
+    }
+    cs.off = new_off;
+    cs.cap = new_cap;
+  }
+  contained_arena_[cs.off + cs.len] = idx;
+  ++cs.len;
+}
+
 bool IncrementalDetermination::add_report(std::span<const Offset> rel,
                                           std::uint64_t key) {
   const int first = table_.offset_index(rel[0]);
@@ -152,7 +176,7 @@ bool IncrementalDetermination::add_report(std::span<const Offset> rel,
   const std::size_t num_centers = static_cast<std::size_t>(table_.num_centers());
   centers.for_each([&](int k) {
     CenterState& cs = centers_[static_cast<std::size_t>(k)];
-    cs.contained.push_back(idx);
+    contained_push(cs, idx);
     cs.acc0 += m0;
     cs.acc1 += m1;
     const std::size_t bit =
@@ -173,15 +197,14 @@ bool IncrementalDetermination::evaluate(PackingMemo& memo) {
   dirty_.for_each([&](int k) {
     if (certified) return;
     CenterState& cs = centers_[static_cast<std::size_t>(k)];
-    const std::int64_t contained =
-        static_cast<std::int64_t>(cs.contained.size());
+    const std::int64_t contained = static_cast<std::int64_t>(cs.len);
     // Cheap bounds first: not enough reports, or not enough distinct first
     // relayers (disjoint reports need distinct first hops), or nothing new
     // since the last exact check of this center.
     if (contained < target_) return;
     if (static_cast<std::int64_t>(cs.distinct_first) < target_) return;
-    if (cs.contained.size() == cs.evaluated) return;
-    cs.evaluated = static_cast<std::uint32_t>(cs.contained.size());
+    if (cs.len == cs.evaluated) return;
+    cs.evaluated = cs.len;
 
     const std::uint64_t d0 =
         det_mix64(seed_ ^ cs.acc0 ^ (static_cast<std::uint64_t>(contained)
@@ -195,8 +218,8 @@ bool IncrementalDetermination::evaluate(PackingMemo& memo) {
     }
     memo.note_miss();
     scratch_.clear();
-    for (const std::uint32_t idx : cs.contained) {
-      scratch_.push_back(interiors_[idx]);
+    for (std::uint32_t i = 0; i < cs.len; ++i) {
+      scratch_.push_back(interiors_[contained_arena_[cs.off + i]]);
     }
     const PackingResult packing = max_disjoint_packing(
         std::span<const Interior>(scratch_), static_cast<int>(target_));

@@ -234,12 +234,22 @@ class IncrementalDetermination {
   std::size_t report_count() const { return interiors_.size(); }
 
  private:
+  /// Per-center report list, stored as a (offset, size, capacity) span into
+  /// the shared contained_arena_ below instead of one heap vector per center:
+  /// a determination state allocates O(1) blocks however many of its K
+  /// centers activate, and each center's indices stay contiguous (in arrival
+  /// order) for the packing sweep.
   struct CenterState {
-    std::vector<std::uint32_t> contained;  // report indices, arrival order
-    std::uint64_t acc0 = 0, acc1 = 0;      // commutative evidence digest
+    std::uint32_t off = 0, len = 0, cap = 0;  // span into contained_arena_
+    std::uint64_t acc0 = 0, acc1 = 0;         // commutative evidence digest
     std::uint32_t distinct_first = 0;
-    std::uint32_t evaluated = 0;  // contained.size() at last packing check
+    std::uint32_t evaluated = 0;  // len at last packing check
   };
+
+  /// Appends a report index to a center's span, relocating the span to the
+  /// arena tail with doubled capacity when full (retired blocks are reclaimed
+  /// only when the whole state is discarded — bounded by the 2x growth).
+  void contained_push(CenterState& cs, std::uint32_t idx);
 
   const CenterTable& table_;
   std::int64_t target_;  // t + 1
@@ -249,6 +259,7 @@ class IncrementalDetermination {
   std::unordered_set<std::uint64_t> dedup_;  // packed chain keys considered
   std::vector<std::uint8_t> per_first_;      // per first-relayer accept count
   std::vector<CenterState> centers_;
+  std::vector<std::uint32_t> contained_arena_;  // all centers' report spans
   std::vector<std::uint64_t> first_bits_;  // K x K (center, first) seen bits
   CenterSet dirty_;
   std::vector<Interior> scratch_;  // packing input, capacity retained

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "radiobcast/obs/memory.h"
 #include "radiobcast/runtime/harness.h"
 #include "radiobcast/runtime/scenario.h"
 #include "radiobcast/runtime/snapshot.h"
@@ -134,6 +135,12 @@ void print_summary(std::ostream& os, const Scenario& scenario,
        << result.counters.node_restarts << ", peers suspected "
        << result.counters.peers_suspected << ", degraded rounds "
        << result.counters.degraded_rounds << "\n";
+  }
+  // Process-wide peak RSS (kernel-reported, nondeterministic — summary
+  // only, same contract as the campaign summary's memory line).
+  if (const std::uint64_t rss = peak_rss_bytes(); rss > 0) {
+    os << "memory: orchestrator peak RSS "
+       << rss / (1024 * 1024) << " MiB\n";
   }
   if (result.success()) {
     os << "RELIABLE BROADCAST ACHIEVED\n";

@@ -350,7 +350,7 @@ TEST(CampaignReport, JsonShapeAndEscaping) {
   spec.reps = 2;
   const CampaignResult result = run_campaign(spec, {});
   const std::string json = to_json(result);
-  EXPECT_NE(json.find("\"schema\":\"radiobcast-campaign-v4\""),
+  EXPECT_NE(json.find("\"schema\":\"radiobcast-campaign-v5\""),
             std::string::npos);
   EXPECT_NE(json.find("\"failures\":[]"), std::string::npos);
   EXPECT_NE(json.find("\"trials\":2"), std::string::npos);

@@ -12,6 +12,7 @@
 // accidental loss of determinism: the w=1 and w=8 runs must at least agree
 // with each other.
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -60,7 +61,9 @@ CampaignHashes run_golden_campaign(ProtocolKind protocol, std::int32_t r,
                                    std::int64_t t, std::int64_t reps,
                                    int workers, const std::string& tag) {
   CampaignSpec spec;
-  spec.base.width = spec.base.height = 12;
+  // 12 for every r <= 2 (the historical golden geometry); the r = 3 row
+  // needs the 4r+2 floor run_simulation enforces.
+  spec.base.width = spec.base.height = std::max<std::int32_t>(12, 4 * r + 2);
   spec.base.r = r;
   spec.base.protocol = protocol;
   spec.base.t = t;
@@ -103,49 +106,58 @@ struct GoldenRow {
   const char* trace_sha;
 };
 
-// JSON/CSV digests re-recorded when the chaos/recovery counters were added
-// to the counter schema (campaign schema v3 -> v4, see header comment);
-// trace digests are unchanged since trace events carry no counters.
+// JSON/CSV digests re-recorded when engine_bytes_peak joined the counter
+// schema (campaign schema v4 -> v5, see header comment) — but only AFTER the
+// structure-of-arrays trial engine had been landed against the v4 digests
+// unchanged, proving the SoA refactor itself is byte-identical. Trace
+// digests are unchanged since trace events carry no counters.
 //
 // The r = 2 rows (fewer reps: they are ~100x the work per trial) were
 // recorded from the pre-incremental-determination engine (PR 7 parent
 // commit); they pin the r >= 2 evidence/set-packing path that the r = 1 rows
-// barely exercise.
+// barely exercise. The r = 3 row pins the SoA two-hop pool on the larger
+// (4r+2 = 14) geometry the HEARD-flood presets build on.
 const GoldenRow kGolden[] = {
     {ProtocolKind::kCrashFlood, 1, 3, 3,
-     "3137293c847d53186ab3a98d6bc93f2a499d94755d1cac737e6a99f79bc8d57d",
-     "d2cdfd898fb5d6671ab2a55a4b569ad046a4abf2c49509b9736402677431a240",
+     "342eff9096f1ba65102a4dad5526bddac079710af4d79cd46155f7e7dc44b4b0",
+     "579a6718884e0cbd4e5a6cd60c98062a0bb782e32efe8f33706b1bce123da578",
      "102189cc5240713ab49e6fb74e9a17a981d5ed4c02a5b3955408d5f9eff60ddc"},
     {ProtocolKind::kCpa, 1, 1, 3,
-     "08c56706c4dc29ea21e53fb7ae7a51b11d6245ffbaca55b65ab8d5c1e38fc754",
-     "4bbaa67d02d1966ee90c695eb767fb279ff1ff676cf14ed77ab49a5969f1518c",
+     "9dbc655b2bd84591d42e4b73e8856e807c19b385b2b891328e809c0051b3a6d3",
+     "f0cf162bdbf39c762780d1793a347019b82854a239ff218f54750dceb8f2bfd6",
      "20df3a755dac1411923306328f544bedbdcbf59eb35bd7de496b74d6c3dca92b"},
     {ProtocolKind::kBvTwoHop, 1, 1, 3,
-     "5175dff29ac1ee302a4b21dfaf1cc14993287ed2267d33ac284c46820a68fcac",
-     "f7570c6764d8699d09122bb88e17c0a961d1c109d0542e1436e074a12ac0fb81",
+     "7e9ca651796e809e38f8095d3804ce6584f04c347b7fb64d4c016b26e4f300ec",
+     "916d36cef96cb635b286b6236e0b053e2bf67db223114bbaa00c1fc8f6fc7e7b",
      "249ced1b5baa733926ca02b77c87fb2ea4da4e4ad05811eb3fd7b7863e68b8db"},
     {ProtocolKind::kBvIndirectFlood, 1, 1, 3,
-     "c317c8a35a67f473b3b4fdcc1ced6e20b98fc925cb266f79fbbfa180367feb67",
-     "5fadab5eba03dae3ea4d295e6b84c445c50c147db965161e4e24429fecc4adea",
+     "ba228b4c71a281f78928ee1c45b7ea122b88e80f750ca4bd328767a75ee105b9",
+     "09ce891919a1aad059e4a4605cecfdb9d4dfd0a075d26f6898ca9fa047ad481a",
      "dbcb5c458c2906f9585378a34857bd49b554dea3dd64149179d33d47d08058ad"},
     {ProtocolKind::kBvIndirectEarmarked, 1, 1, 3,
-     "32ca426e58759cabbd86ba8157109be710ee00306450b96cca96d26336e5b8f3",
-     "6fd5e75e8f026fa52ce145b128de1f0b946238dcc5757f980918ff729ce3b4e4",
+     "e9f205a66d90de915274f06004156d4eabb5a2c749de4941480af927596607a4",
+     "6d51e8131f7be92db845ab007fdd3e3b042b6cc487913d4ae4e9f82bcd495239",
      "3dba37c6cee5ba895874b233b976532f3e29342b76ed70c9f3cbfcfd61599a95"},
     // r = 2 rows recorded from the pre-incremental (PR 5) engine; the
     // incremental rewrite must reproduce them byte-for-byte.
     {ProtocolKind::kBvTwoHop, 2, 4, 2,
-     "5e9826c0069a11bf68e43e68c28a582635e69438a386e2b48641a14d40ebae3c",
-     "57790d77098a85a3a1aaeb4b3fae126ae3544ed513cfb216847d57b2d6249854",
+     "3f03065ffbc81c5fbc2df82f2525e940a680f07d9d81629cbaaae77d93024e24",
+     "820d36c4dd62f0ac693535ae49515e289f45477a9250d38329360489d64f74f2",
      "8d831c1ab43b66f9c194c65100aee8aae6d626625537e4ff4ec70e1c7531fbe0"},
     {ProtocolKind::kBvIndirectFlood, 2, 4, 2,
-     "530ee834d2fb999fab45c57ec737e9e2f7d18c94fb4a47a4e64fa1503ed2eb7d",
-     "b1c13804bc29650e1d35bd30fabdb716609fe75e568afe6fc3a114192c2e4853",
+     "02f0b6b8f903f44c92329894330babdd6da957181892bf4933650a7086e5aec1",
+     "1717c6325caa6b5419b5313a713c3805ad0f50c7982867797141661ed89e4dfc",
      "48ab91405ca0ef5e5ff4e2050fee11b1f6f4521ad90245418e8ba9f51ee0fa02"},
     {ProtocolKind::kBvIndirectEarmarked, 2, 4, 2,
-     "9c754c95f0af5e6c51df76b4c5ae913ab34b0642448bc8026ecc14a6fd3815c1",
-     "93eb602e0c1101cea5f351cd95aa2c457fbe5afe65b35c8c2bc4febcabfb4a96",
+     "acb14ff8ba985067c3dc833977ddff9ffe8d04baaf2d6b817ae3cb961f776b0b",
+     "b876a0d26ca4d9faaf6dc345c224ed467ff89fa1d9dbd57ee79ff148a95408e8",
      "8e2be41f3e0aa0a0bcf65ee61720e2cfd863a36dd01ed4ed35e5525dd3999e91"},
+    // r = 3 (t = byz_linf_achievable_max(3) = 10, torus 14x14): the SoA
+    // two-hop pool at the radius the HEARD-flood presets start from.
+    {ProtocolKind::kBvTwoHop, 3, 10, 1,
+     "0fa7ce909e2d1ac01dff2c237d72386a36fc80dac6fbfd12d36766c59e05ad4b",
+     "52b616da8502436d461ada39f04dc846322119dba573fe2d976102108c0c2993",
+     "01e42ae8123468c0a394b97daba02cb9db41d3e3abaa2890ab058cd7853afab7"},
 };
 
 class GoldenDeterminism : public testing::TestWithParam<GoldenRow> {};

@@ -132,15 +132,18 @@ TEST(Counters, MergeSumsAndMaxes) {
   a.broadcasts_queued = 5;
   a.commits = 2;
   a.last_commit_round = 7;
+  a.engine_bytes_peak = 100;
   Counters b;
   b.broadcasts_queued = 3;
   b.envelopes_dropped = 4;
   b.last_commit_round = 4;
+  b.engine_bytes_peak = 250;
   a.merge(b);
   EXPECT_EQ(a.broadcasts_queued, 8u);
   EXPECT_EQ(a.commits, 2u);
   EXPECT_EQ(a.envelopes_dropped, 4u);
   EXPECT_EQ(a.last_commit_round, 7);
+  EXPECT_EQ(a.engine_bytes_peak, 250u);  // peak merges by max, not sum
 }
 
 TEST(Counters, JsonRenderingIsFixedOrder) {
@@ -152,6 +155,7 @@ TEST(Counters, JsonRenderingIsFixedOrder) {
   c.last_commit_round = 3;
   c.chaos_drops = 2;
   c.degraded_rounds = 1;
+  c.engine_bytes_peak = 4096;
   EXPECT_EQ(to_json(c),
             "{\"broadcasts_queued\":1,\"spoofed_sends\":0,"
             "\"committed_queued\":0,\"heard_queued\":0,"
@@ -164,6 +168,7 @@ TEST(Counters, JsonRenderingIsFixedOrder) {
             "\"chaos_drops\":2,\"chaos_delays\":0,\"chaos_duplicates\":0,"
             "\"chaos_partition_drops\":0,\"node_restarts\":0,"
             "\"peers_suspected\":0,\"degraded_rounds\":1,"
+            "\"engine_bytes_peak\":4096,"
             "\"last_commit_round\":3}");
 }
 

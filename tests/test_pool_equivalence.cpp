@@ -1,0 +1,170 @@
+// Structure-of-arrays / per-node-behavior equivalence: the SoA pools
+// (protocols/pool.h) must reproduce the behavior-backed engine's results
+// EXACTLY — same outcomes, same commit rounds, same traffic, same
+// deterministic counters — across protocols, adversaries, channel models,
+// and the geometry corners where the two-hop pool falls back to behaviors.
+// The golden SHA-256 suite pins the serialized bytes; this suite pins the
+// full SimResult object (and the fallback decisions) field by field.
+
+#include <gtest/gtest.h>
+
+#include "radiobcast/core/simulation.h"
+#include "radiobcast/fault/fault_set.h"
+#include "radiobcast/grid/torus.h"
+#include "radiobcast/protocols/pool.h"
+
+namespace rbcast {
+namespace {
+
+/// Runs the same (config, faults) under both engines and returns the pair.
+struct BothResults {
+  SimResult pooled;
+  SimResult behaviors;
+};
+
+BothResults run_both(const SimConfig& cfg, const FaultSet& faults) {
+  BothResults out;
+  set_soa_pools_enabled(true);
+  out.pooled = run_simulation(cfg, faults);
+  set_soa_pools_enabled(false);
+  out.behaviors = run_simulation(cfg, faults);
+  set_soa_pools_enabled(true);  // restore the process default
+  return out;
+}
+
+void expect_identical(const BothResults& r, const std::string& tag) {
+  const SimResult& a = r.pooled;
+  const SimResult& b = r.behaviors;
+  EXPECT_EQ(a.honest_nodes, b.honest_nodes) << tag;
+  EXPECT_EQ(a.correct_commits, b.correct_commits) << tag;
+  EXPECT_EQ(a.wrong_commits, b.wrong_commits) << tag;
+  EXPECT_EQ(a.undecided, b.undecided) << tag;
+  EXPECT_EQ(a.rounds, b.rounds) << tag;
+  EXPECT_EQ(a.reached_quiescence, b.reached_quiescence) << tag;
+  EXPECT_EQ(a.transmissions, b.transmissions) << tag;
+  EXPECT_EQ(a.deliveries, b.deliveries) << tag;
+  EXPECT_EQ(a.payload_units, b.payload_units) << tag;
+  EXPECT_EQ(a.outcomes, b.outcomes) << tag;
+  EXPECT_EQ(a.commit_rounds, b.commit_rounds) << tag;
+  // Counters must agree except engine_bytes_peak, which measures the state
+  // layout itself and is exactly what the two engines do differently.
+  Counters ca = a.counters;
+  Counters cb = b.counters;
+  EXPECT_GT(ca.engine_bytes_peak, 0u) << tag;
+  EXPECT_GT(cb.engine_bytes_peak, 0u) << tag;
+  ca.engine_bytes_peak = 0;
+  cb.engine_bytes_peak = 0;
+  EXPECT_EQ(ca, cb) << tag;
+}
+
+SimConfig base_config(ProtocolKind protocol, AdversaryKind adversary) {
+  SimConfig cfg;
+  cfg.width = cfg.height = 12;
+  cfg.r = 1;
+  cfg.t = protocol == ProtocolKind::kCrashFlood ? 2 : 1;
+  cfg.protocol = protocol;
+  cfg.adversary = adversary;
+  cfg.seed = 42;
+  return cfg;
+}
+
+FaultSet two_faults(const Torus& torus) {
+  return FaultSet(torus, {{3, 4}, {7, 8}});
+}
+
+TEST(PoolEquivalence, CrashFloodMatrix) {
+  for (const AdversaryKind adversary :
+       {AdversaryKind::kSilent, AdversaryKind::kCrashAtRound}) {
+    SimConfig cfg = base_config(ProtocolKind::kCrashFlood, adversary);
+    Torus torus(cfg.width, cfg.height);
+    expect_identical(run_both(cfg, two_faults(torus)),
+                     std::string("crash-flood/") + to_string(adversary));
+  }
+}
+
+TEST(PoolEquivalence, CpaMatrix) {
+  for (const AdversaryKind adversary :
+       {AdversaryKind::kSilent, AdversaryKind::kLying}) {
+    SimConfig cfg = base_config(ProtocolKind::kCpa, adversary);
+    Torus torus(cfg.width, cfg.height);
+    expect_identical(run_both(cfg, two_faults(torus)),
+                     std::string("cpa/") + to_string(adversary));
+  }
+}
+
+TEST(PoolEquivalence, BvTwoHopMatrix) {
+  for (const AdversaryKind adversary :
+       {AdversaryKind::kSilent, AdversaryKind::kLying,
+        AdversaryKind::kSpoofing}) {
+    SimConfig cfg = base_config(ProtocolKind::kBvTwoHop, adversary);
+    Torus torus(cfg.width, cfg.height);
+    expect_identical(run_both(cfg, two_faults(torus)),
+                     std::string("bv-2hop/") + to_string(adversary));
+  }
+}
+
+TEST(PoolEquivalence, BvTwoHopRadiusTwoTrackAfterCommit) {
+  SimConfig cfg = base_config(ProtocolKind::kBvTwoHop, AdversaryKind::kLying);
+  cfg.r = 2;
+  cfg.t = 4;
+  Torus torus(cfg.width, cfg.height);
+  expect_identical(run_both(cfg, two_faults(torus)), "bv-2hop/r2");
+}
+
+TEST(PoolEquivalence, LossyChannelWithRetransmissions) {
+  // The lossy slow path consumes channel randomness per delivery; identical
+  // results prove the pool receives callbacks in exactly the same order.
+  for (const ProtocolKind protocol :
+       {ProtocolKind::kCrashFlood, ProtocolKind::kCpa,
+        ProtocolKind::kBvTwoHop}) {
+    SimConfig cfg = base_config(protocol, AdversaryKind::kSilent);
+    cfg.loss_p = 0.25;
+    cfg.retransmissions = 2;
+    Torus torus(cfg.width, cfg.height);
+    expect_identical(run_both(cfg, two_faults(torus)),
+                     std::string(to_string(protocol)) + "/lossy");
+  }
+}
+
+TEST(PoolEquivalence, PairwiseLossModel) {
+  SimConfig cfg = base_config(ProtocolKind::kBvTwoHop, AdversaryKind::kSilent);
+  cfg.loss_p = 0.2;
+  cfg.loss_model = LossModel::kPairwise;
+  Torus torus(cfg.width, cfg.height);
+  expect_identical(run_both(cfg, two_faults(torus)), "bv-2hop/pairwise");
+}
+
+TEST(PoolEquivalence, UncoveredProtocolIsUnaffectedByToggle) {
+  // bv-4hop has no pool: both runs take the behavior path, and the toggle
+  // must not perturb anything (including the engine_bytes_peak accounting,
+  // which is identical when no pool is installed).
+  SimConfig cfg = base_config(ProtocolKind::kBvIndirectFlood,
+                              AdversaryKind::kLying);
+  Torus torus(cfg.width, cfg.height);
+  const BothResults r = run_both(cfg, two_faults(torus));
+  expect_identical(r, "bv-4hop-flood/lying");
+  EXPECT_EQ(r.pooled.counters.engine_bytes_peak,
+            r.behaviors.counters.engine_bytes_peak);
+}
+
+TEST(PoolEquivalence, PoolsAreInstalledWhenSupported) {
+  // Guard against the equivalence suite silently comparing behaviors with
+  // behaviors: the supported() predicate must hold for the matrix geometry.
+  Torus torus(12, 12);
+  EXPECT_TRUE(BvTwoHopPool::supported(torus, 1, Metric::kLInf));
+  EXPECT_TRUE(BvTwoHopPool::supported(torus, 2, Metric::kLInf));
+  // And must reject the corners the pool cannot represent.
+  Torus huge(2048, 2048);  // 2^22 nodes: packed 21-bit indices overflow
+  EXPECT_FALSE(BvTwoHopPool::supported(huge, 2, Metric::kLInf));
+}
+
+TEST(PoolEquivalence, JammingAdversary) {
+  SimConfig cfg = base_config(ProtocolKind::kCrashFlood,
+                              AdversaryKind::kJamming);
+  cfg.jam_budget = 4;
+  Torus torus(cfg.width, cfg.height);
+  expect_identical(run_both(cfg, two_faults(torus)), "crash-flood/jamming");
+}
+
+}  // namespace
+}  // namespace rbcast
